@@ -1,0 +1,83 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (run with no arguments or a subset of
+   table1/table3/table6/fig6/fig7/fig8/fig9, plus the extra
+   ablation/versatility/scalability studies), and exposes a Bechamel
+   micro-benchmark suite ("micro") with one Test.make per experiment
+   driver to time the generators themselves. *)
+
+let run_experiment name driver =
+  Printf.printf "==============================================================\n";
+  Printf.printf "== %s\n" name;
+  Printf.printf "==============================================================\n%!";
+  let started = Unix.gettimeofday () in
+  let output = driver () in
+  print_string output;
+  if output <> "" && output.[String.length output - 1] <> '\n' then print_newline ();
+  Printf.printf "-- %s done in %.1fs\n\n%!" name (Unix.gettimeofday () -. started)
+
+let micro_suite () =
+  let open Bechamel in
+  let quick_tests =
+    [
+      Test.make ~name:"table1:space-sizes"
+        (Staged.stage (fun () -> ignore (Sun_experiments.Figures.table1 ())));
+      Test.make ~name:"table3:reuse-inference"
+        (Staged.stage (fun () -> ignore (Sun_experiments.Figures.table3 ())));
+      Test.make ~name:"table6:one-layer-ablation"
+        (Staged.stage (fun () -> ignore (Sun_experiments.Figures.table6 ~layers:1 ())));
+      Test.make ~name:"fig6:one-mttkrp-schedule"
+        (Staged.stage (fun () ->
+             let w = (List.hd Sun_workloads.Non_dnn.mttkrp_suite).Sun_workloads.Non_dnn.workload in
+             ignore (Sun_core.Optimizer.optimize w Sun_arch.Presets.conventional)));
+      Test.make ~name:"fig7:one-weight-update-schedule"
+        (Staged.stage (fun () ->
+             let l = List.hd (Sun_workloads.Inception.weight_update_layers ()) in
+             ignore
+               (Sun_core.Optimizer.optimize l.Sun_workloads.Inception.workload
+                  Sun_arch.Presets.conventional)));
+      Test.make ~name:"fig8:one-resnet-simba-schedule"
+        (Staged.stage (fun () ->
+             let l = List.hd (Sun_workloads.Resnet18.layers ~batch:16 ()) in
+             ignore
+               (Sun_core.Optimizer.optimize l.Sun_workloads.Resnet18.workload
+                  Sun_arch.Presets.simba_like)));
+      Test.make ~name:"fig9:one-diannao-simulation"
+        (Staged.stage (fun () ->
+             let l = List.hd (Sun_workloads.Resnet18.layers ()) in
+             let w = l.Sun_workloads.Resnet18.workload in
+             match Sun_core.Optimizer.optimize w Sun_arch.Presets.diannao_like with
+             | Ok r ->
+               let p = Sun_diannao.Compiler.compile w r.Sun_core.Optimizer.mapping in
+               ignore (Sun_diannao.Simulator.run w p)
+             | Error _ -> ()));
+    ]
+  in
+  let test = Test.make_grouped ~name:"experiments" quick_tests in
+  let instances = Bechamel.Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg instances test in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Bechamel.Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-44s %14.0f ns/run\n" name est
+      | _ -> Printf.printf "%-44s (no estimate)\n" name)
+    results
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let known = List.map fst Sun_experiments.Figures.all in
+  match args with
+  | [ "micro" ] -> micro_suite ()
+  | [] -> List.iter (fun (name, driver) -> run_experiment name driver) Sun_experiments.Figures.all
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name Sun_experiments.Figures.all with
+        | Some driver -> run_experiment name driver
+        | None ->
+          Printf.eprintf "unknown experiment %S; known: %s or 'micro'\n" name
+            (String.concat ", " known);
+          exit 2)
+      names

@@ -1,0 +1,224 @@
+(* Command-line front end for the Sunstone scheduler.
+
+   sunstone list                         - workloads and architectures
+   sunstone reuse -w conv1d              - Table III-style reuse inference
+   sunstone schedule -w resnet18/conv2_x -a simba [...]
+   sunstone compare -w mttkrp/nell2 -a conventional -t sunstone,tl-fast
+   sunstone experiment fig6              - run a paper experiment *)
+
+open Cmdliner
+module W = Sun_tensor.Workload
+module M = Sun_mapping.Mapping
+module Model = Sun_cost.Model
+module Opt = Sun_core.Optimizer
+module Runners = Sun_experiments.Runners
+
+(* ------------------------------------------------------------------ *)
+(* Workload / architecture registries                                  *)
+(* ------------------------------------------------------------------ *)
+
+let builtin_workloads () =
+  let open Sun_tensor.Catalog in
+  let resnet =
+    List.map
+      (fun (l : Sun_workloads.Resnet18.layer) ->
+        ("resnet18/" ^ l.Sun_workloads.Resnet18.layer_name, l.Sun_workloads.Resnet18.workload))
+      (Sun_workloads.Resnet18.layers ())
+  in
+  let inception =
+    List.map
+      (fun (l : Sun_workloads.Inception.layer) ->
+        ("inception/" ^ l.Sun_workloads.Inception.layer_name, l.Sun_workloads.Inception.workload))
+      (Sun_workloads.Inception.conv_layers ())
+  in
+  let non_dnn =
+    List.map
+      (fun (i : Sun_workloads.Non_dnn.instance) ->
+        (i.Sun_workloads.Non_dnn.instance_name, i.Sun_workloads.Non_dnn.workload))
+      Sun_workloads.Non_dnn.all
+  in
+  [
+    ("conv1d", conv1d ~k:4 ~c:4 ~p:14 ~r:3 ());
+    ("conv2d", conv2d ~n:1 ~k:64 ~c:64 ~p:14 ~q:14 ~r:3 ~s:3 ());
+    ("matmul", matmul ~m:512 ~n:512 ~k:512 ());
+    ("mttkrp", mttkrp ~i:1024 ~j:32 ~k:512 ~l:512 ());
+    ("sddmm", sddmm ~i:1024 ~j:1024 ~k:512 ());
+    ("ttmc", ttmc ~i:512 ~j:256 ~k:256 ~l:8 ~m:8 ());
+    ("mmc", mmc ~i:512 ~j:512 ~k:512 ~l:512 ());
+    ("tcl", tcl ~i:64 ~j:64 ~k:64 ~l:32 ~m:32 ~n:32 ());
+  ]
+  @ resnet @ inception @ non_dnn
+
+let find_workload name =
+  match List.assoc_opt name (builtin_workloads ()) with
+  | Some w -> Ok w
+  | None -> Error (`Msg (Printf.sprintf "unknown workload %S (try `sunstone list`)" name))
+
+let find_arch name =
+  match List.assoc_opt name Sun_arch.Presets.all with
+  | Some a -> Ok a
+  | None -> Error (`Msg (Printf.sprintf "unknown architecture %S (try `sunstone list`)" name))
+
+(* ------------------------------------------------------------------ *)
+(* Common args                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let workload_arg =
+  let doc = "Workload name (see `sunstone list`)." in
+  Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let arch_arg =
+  let doc = "Architecture preset: conventional, simba, diannao or toy." in
+  Arg.(value & opt string "conventional" & info [ "a"; "arch" ] ~docv:"ARCH" ~doc)
+
+let beam_arg =
+  let doc = "Beam width of the level-by-level search." in
+  Arg.(value & opt int Opt.default_config.Opt.beam_width & info [ "beam" ] ~docv:"N" ~doc)
+
+let top_down_arg =
+  let doc = "Optimize top-down instead of bottom-up (Table VI ablation)." in
+  Arg.(value & flag & info [ "top-down" ] ~doc)
+
+let loopnest_arg =
+  let doc = "Also print the mapped loop nest as pseudocode." in
+  Arg.(value & flag & info [ "emit-loopnest" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    print_endline "Workloads:";
+    List.iter (fun (name, w) -> Printf.printf "  %-24s %s\n" name w.W.name) (builtin_workloads ());
+    print_endline "";
+    print_endline "Architectures:";
+    List.iter
+      (fun (name, a) -> Printf.printf "  %-24s %s\n" name a.Sun_arch.Arch.arch_name)
+      Sun_arch.Presets.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in workloads and architecture presets")
+    Term.(const run $ const ())
+
+let reuse_cmd =
+  let run workload =
+    match find_workload workload with
+    | Error (`Msg m) ->
+      prerr_endline m;
+      1
+    | Ok w ->
+      Format.printf "%a@." Sun_tensor.Workload.pp w;
+      Format.printf "%a@." Sun_tensor.Reuse.pp (Sun_tensor.Reuse.analyze w);
+      0
+  in
+  Cmd.v
+    (Cmd.info "reuse" ~doc:"Infer each operand's reuse pattern (paper Table III)")
+    Term.(const run $ workload_arg)
+
+let schedule_cmd =
+  let run workload arch beam top_down emit_loopnest =
+    match (find_workload workload, find_arch arch) with
+    | Error (`Msg m), _ | _, Error (`Msg m) ->
+      prerr_endline m;
+      1
+    | Ok w, Ok a -> (
+      let config =
+        {
+          Opt.default_config with
+          Opt.beam_width = beam;
+          direction = (if top_down then Opt.Top_down else Opt.Bottom_up);
+        }
+      in
+      match Opt.optimize ~config w a with
+      | Error msg ->
+        Printf.eprintf "no valid mapping: %s\n" msg;
+        1
+      | Ok r ->
+        Printf.printf "workload:     %s\narchitecture: %s\n\n" w.W.name a.Sun_arch.Arch.arch_name;
+        Printf.printf "%s\n\n" (M.to_string r.Opt.mapping);
+        Format.printf "%a@." Model.pp_cost r.Opt.cost;
+        Printf.printf "\nsearch: %d candidates examined, %d evaluated, %d pruned, %.2fs\n"
+          r.Opt.stats.Opt.examined r.Opt.stats.Opt.evaluated r.Opt.stats.Opt.pruned_alpha_beta
+          r.Opt.stats.Opt.wall_seconds;
+        if emit_loopnest then begin
+          print_newline ();
+          print_string (Sun_mapping.Loopnest.emit w r.Opt.mapping)
+        end;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Find the best dataflow mapping for a workload on an architecture")
+    Term.(const run $ workload_arg $ arch_arg $ beam_arg $ top_down_arg $ loopnest_arg)
+
+let tools =
+  [
+    ("sunstone", Runners.sunstone ());
+    ("tl-fast", Runners.timeloop_fast);
+    ("tl-slow", Runners.timeloop_slow);
+    ("dmaze-fast", Runners.dmaze_fast);
+    ("dmaze-slow", Runners.dmaze_slow);
+    ("interstellar", Runners.interstellar);
+    ("cosa", Runners.cosa);
+  ]
+
+let compare_cmd =
+  let tools_arg =
+    let doc = "Comma-separated mappers: sunstone, tl-fast, tl-slow, dmaze-fast, dmaze-slow, interstellar, cosa." in
+    Arg.(value & opt string "sunstone,tl-fast" & info [ "t"; "tools" ] ~docv:"TOOLS" ~doc)
+  in
+  let run workload arch tool_names =
+    match (find_workload workload, find_arch arch) with
+    | Error (`Msg m), _ | _, Error (`Msg m) ->
+      prerr_endline m;
+      1
+    | Ok w, Ok a ->
+      let names = String.split_on_char ',' tool_names in
+      let selected =
+        List.filter_map (fun n -> Option.map (fun t -> t) (List.assoc_opt (String.trim n) tools)) names
+      in
+      if selected = [] then begin
+        prerr_endline "no known tools selected";
+        1
+      end
+      else begin
+        Printf.printf "%-14s %-12s %-10s %-10s %s\n" "tool" "EDP" "time" "examined" "status";
+        List.iter
+          (fun (t : Runners.tool) ->
+            let o = t.Runners.run w a in
+            Printf.printf "%-14s %-12s %-10s %-10d %s\n" t.Runners.tool_name (Runners.edp_cell o)
+              (Runners.time_cell o) o.Sun_baselines.Mapper.examined
+              (if o.Sun_baselines.Mapper.valid then "ok" else "INVALID"))
+          selected;
+        0
+      end
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run several mappers on one workload and compare EDP / time")
+    Term.(const run $ workload_arg $ arch_arg $ tools_arg)
+
+let experiment_cmd =
+  let exp_arg =
+    let doc = "Experiment id: table1, table3, table6, fig6, fig7, fig8, fig9." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let run name =
+    match List.assoc_opt name Sun_experiments.Figures.all with
+    | Some driver ->
+      print_string (driver ());
+      print_newline ();
+      0
+    | None ->
+      Printf.eprintf "unknown experiment %S\n" name;
+      1
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables or figures")
+    Term.(const run $ exp_arg)
+
+let () =
+  let info =
+    Cmd.info "sunstone" ~version:"1.0.0"
+      ~doc:"Scalable and versatile scheduler for tensor algebra on spatial accelerators"
+  in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; reuse_cmd; schedule_cmd; compare_cmd; experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Sun_arch Sun_core Sun_cost Sun_mapping Sun_tensor

@@ -1,0 +1,1 @@
+examples/resnet_on_simba.ml: List Printf Sun_arch Sun_baselines Sun_core Sun_cost Sun_util Sun_workloads

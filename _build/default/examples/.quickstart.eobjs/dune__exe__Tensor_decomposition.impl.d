@@ -1,0 +1,1 @@
+examples/tensor_decomposition.ml: List Printf String Sun_arch Sun_core Sun_cost Sun_tensor Sun_util Sun_workloads

@@ -1,0 +1,92 @@
+(* Define your own accelerator and your own tensor operation from scratch,
+   then schedule one on the other — the full public API surface in one
+   file. The machine below is a small edge NPU: a 1-D ring of 8 PEs, each
+   with a 4-wide vector unit and a 2 KB unified scratchpad, behind a 64 KB
+   global buffer. The workload is a batched attention score computation
+   (out[b,i,j] = sum_d q[b,i,d] * k[b,j,d]) that no preset covers.
+
+     dune exec examples/custom_accelerator.exe *)
+
+module W = Sun_tensor.Workload
+module A = Sun_arch.Arch
+module E = Sun_arch.Energy_table
+module Model = Sun_cost.Model
+module Optimizer = Sun_core.Optimizer
+
+let attention_scores ~batch ~seq ~head_dim =
+  W.make ~name:"attention-scores"
+    ~dims:[ ("B", batch); ("I", seq); ("J", seq); ("D", head_dim) ]
+    ~operands:
+      [
+        { W.name = "q"; kind = `Input; indices = [ W.Dim "B"; W.Dim "I"; W.Dim "D" ] };
+        { W.name = "k"; kind = `Input; indices = [ W.Dim "B"; W.Dim "J"; W.Dim "D" ] };
+        { W.name = "scores"; kind = `Output; indices = [ W.Dim "B"; W.Dim "I"; W.Dim "J" ] };
+      ]
+
+let edge_npu =
+  let sram name capacity_words bandwidth : A.partition =
+    {
+      A.part_name = name;
+      capacity_words;
+      accepts = `All;
+      read_energy = E.sram_read ~capacity_words ~bits:16;
+      write_energy = E.sram_write ~capacity_words ~bits:16;
+      bandwidth;
+    }
+  in
+  let pe_scratch : A.level =
+    {
+      A.level_name = "Scratch";
+      partitions = [ sram "Scratch" 1024 16.0 ];
+      fanout = 4 (* vector lanes *);
+      multicast = true;
+      noc_hop_energy = 0.05;
+      unbounded = false;
+    }
+  in
+  let global_buffer : A.level =
+    {
+      A.level_name = "GLB";
+      partitions = [ sram "GLB" 32768 32.0 ];
+      fanout = 8 (* ring of PEs *);
+      multicast = true;
+      noc_hop_energy = E.noc_hop ~bits:16;
+      unbounded = false;
+    }
+  in
+  let dram : A.level =
+    {
+      A.level_name = "DRAM";
+      partitions =
+        [
+          {
+            A.part_name = "DRAM";
+            capacity_words = 0;
+            accepts = `All;
+            read_energy = E.dram_access ~bits:16;
+            write_energy = E.dram_access ~bits:16;
+            bandwidth = 8.0;
+          };
+        ];
+      fanout = 1;
+      multicast = false;
+      noc_hop_energy = 0.0;
+      unbounded = true;
+    }
+  in
+  A.make ~name:"edge-npu" ~levels:[ pe_scratch; global_buffer; dram ]
+    ~mac_energy:(E.mac ~bits:16) ()
+
+let () =
+  let w = attention_scores ~batch:4 ~seq:256 ~head_dim:64 in
+  Format.printf "Machine:@.%a@.@." A.pp edge_npu;
+  Format.printf "Workload:@.%a@.@." W.pp w;
+  match Optimizer.optimize w edge_npu with
+  | Error msg -> Format.printf "no valid mapping: %s@." msg
+  | Ok r ->
+    Format.printf "Best mapping:@.%s@.@." (Sun_mapping.Mapping.to_string r.Optimizer.mapping);
+    Format.printf "%a@.@." Model.pp_cost r.Optimizer.cost;
+    (* sanity: an independently validated mapping *)
+    (match Model.validate w edge_npu r.Optimizer.mapping with
+    | Ok () -> Format.printf "mapping independently validated: fits all buffers and fanouts@."
+    | Error e -> Format.printf "VALIDATION BUG: %s@." e)

@@ -1,0 +1,41 @@
+(* Quickstart: describe a tensor workload, pick an architecture preset, and
+   let Sunstone find a dataflow mapping.
+
+     dune exec examples/quickstart.exe *)
+
+module W = Sun_tensor.Workload
+module Catalog = Sun_tensor.Catalog
+module Presets = Sun_arch.Presets
+module Mapping = Sun_mapping.Mapping
+module Model = Sun_cost.Model
+module Optimizer = Sun_core.Optimizer
+
+let () =
+  (* 1. A workload is a perfectly nested loop over named dimensions. The
+     catalog covers the common families; this is a mid-network ResNet
+     convolution. You could equally build one by hand with
+     [Workload.make] — see examples/custom_accelerator.ml. *)
+  let layer = Catalog.conv2d ~name:"demo-conv" ~n:1 ~k:64 ~c:64 ~p:56 ~q:56 ~r:3 ~s:3 () in
+  Format.printf "Workload:@.%a@.@." W.pp layer;
+
+  (* 2. Sunstone first infers, from the index expressions alone, which loop
+     dimensions can reuse each operand (the paper's Table III). *)
+  Format.printf "Inferred reuse:%a@.@." Sun_tensor.Reuse.pp (Sun_tensor.Reuse.analyze layer);
+
+  (* 3. Schedule it on the conventional (Eyeriss-like) machine. *)
+  let arch = Presets.conventional in
+  match Optimizer.optimize layer arch with
+  | Error msg -> Format.printf "no valid mapping: %s@." msg
+  | Ok result ->
+    Format.printf "Best mapping found:@.%s@.@." (Mapping.to_string result.Optimizer.mapping);
+    Format.printf "%a@.@." Model.pp_cost result.Optimizer.cost;
+    let stats = result.Optimizer.stats in
+    Format.printf "Search: %d candidates examined, %d scored, in %.2f s@." stats.Optimizer.examined
+      stats.Optimizer.evaluated stats.Optimizer.wall_seconds;
+
+    (* 4. For calibration: how much better is this than streaming
+       everything from DRAM? *)
+    let naive = Mapping.single_level layer ~num_levels:(Sun_arch.Arch.num_levels arch) in
+    let naive_cost = Model.evaluate_exn layer arch naive in
+    Format.printf "EDP vs DRAM streaming: %.0fx better@."
+      (naive_cost.Model.edp /. result.Optimizer.cost.Model.edp)

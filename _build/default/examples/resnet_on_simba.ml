@@ -1,0 +1,37 @@
+(* Schedule every ResNet-18 convolution on the Simba-like hierarchical
+   accelerator (two spatial levels inside each PE), and compare against the
+   Timeloop-like random-search baseline — a miniature of the paper's Fig 8.
+
+     dune exec examples/resnet_on_simba.exe *)
+
+module Model = Sun_cost.Model
+module Optimizer = Sun_core.Optimizer
+module Resnet18 = Sun_workloads.Resnet18
+module TL = Sun_baselines.Timeloop_like
+
+let () =
+  let arch = Sun_arch.Presets.simba_like in
+  Printf.printf "%-10s  %-12s %-9s  %-12s %-9s  %s\n" "layer" "sunstone EDP" "time" "TL-fast EDP"
+    "time" "winner";
+  let sun_total = ref 0.0 and tl_total = ref 0.0 in
+  List.iter
+    (fun (layer : Resnet18.layer) ->
+      let w = layer.Resnet18.workload in
+      match Optimizer.optimize w arch with
+      | Error msg -> Printf.printf "%-10s no mapping (%s)\n" layer.Resnet18.layer_name msg
+      | Ok r ->
+        let tl = TL.run ~config:TL.fast w arch in
+        let tl_edp = Sun_baselines.Mapper.edp tl in
+        let weight = float_of_int layer.Resnet18.count in
+        sun_total := !sun_total +. (weight *. r.Optimizer.cost.Model.edp);
+        tl_total := !tl_total +. (weight *. tl_edp);
+        Printf.printf "%-10s  %-12s %-9s  %-12s %-9s  %s\n" layer.Resnet18.layer_name
+          (Sun_util.Table_fmt.si r.Optimizer.cost.Model.edp)
+          (Sun_util.Table_fmt.seconds r.Optimizer.stats.Optimizer.wall_seconds)
+          (Sun_util.Table_fmt.si tl_edp)
+          (Sun_util.Table_fmt.seconds tl.Sun_baselines.Mapper.wall_seconds)
+          (if r.Optimizer.cost.Model.edp <= tl_edp then "sunstone" else "TL"))
+    (Resnet18.layers ~batch:16 ());
+  Printf.printf "\nNetwork EDP (occurrence-weighted): sunstone %s vs TL-fast %s (%.2fx)\n"
+    (Sun_util.Table_fmt.si !sun_total) (Sun_util.Table_fmt.si !tl_total)
+    (!tl_total /. !sun_total)

@@ -1,0 +1,1 @@
+lib/arch/presets.ml: Arch Energy_table List Printf

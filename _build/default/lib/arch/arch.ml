@@ -1,0 +1,68 @@
+type partition = {
+  part_name : string;
+  capacity_words : int;
+  accepts : [ `All | `Roles of string list ];
+  read_energy : float;
+  write_energy : float;
+  bandwidth : float;
+}
+
+type level = {
+  level_name : string;
+  partitions : partition list;
+  fanout : int;
+  multicast : bool;
+  noc_hop_energy : float;
+  unbounded : bool;
+}
+
+type t = { arch_name : string; levels : level list; mac_energy : float; mac_throughput : int }
+
+let make ~name ~levels ~mac_energy ?(mac_throughput = 1) () =
+  if List.length levels < 2 then invalid_arg "Arch.make: need at least two levels";
+  let top = List.nth levels (List.length levels - 1) in
+  if not top.unbounded then invalid_arg "Arch.make: outermost level must be unbounded (DRAM)";
+  List.iter
+    (fun l ->
+      if l.fanout < 1 then invalid_arg (Printf.sprintf "Arch.make: fanout of %s < 1" l.level_name);
+      if l.partitions = [] then
+        invalid_arg (Printf.sprintf "Arch.make: level %s has no partitions" l.level_name);
+      List.iter
+        (fun p ->
+          if p.capacity_words < 0 then
+            invalid_arg (Printf.sprintf "Arch.make: negative capacity in %s" p.part_name);
+          if (not l.unbounded) && p.capacity_words = 0 then
+            invalid_arg (Printf.sprintf "Arch.make: zero capacity in bounded level %s" l.level_name))
+        l.partitions)
+    levels;
+  { arch_name = name; levels; mac_energy; mac_throughput }
+
+let num_levels t = List.length t.levels
+let level t i = List.nth t.levels i
+let dram_index t = num_levels t - 1
+let total_fanout t = List.fold_left (fun acc l -> acc * l.fanout) 1 t.levels
+
+let accepts_operand p ~role =
+  match p.accepts with `All -> true | `Roles rs -> List.mem role rs
+
+let stores l ~role = List.exists (accepts_operand ~role) l.partitions
+
+let partition_for l ~role = List.find_opt (accepts_operand ~role) l.partitions
+
+let pp ppf t =
+  let pp_partition ppf p =
+    let accepts =
+      match p.accepts with `All -> "all" | `Roles rs -> String.concat "/" rs
+    in
+    Format.fprintf ppf "%s[%s] %d words (r %.2f / w %.2f pJ, %.0f w/cyc)" p.part_name accepts
+      p.capacity_words p.read_energy p.write_energy p.bandwidth
+  in
+  let pp_level ppf l =
+    Format.fprintf ppf "%-6s fanout=%-4d %s@,        %a" l.level_name l.fanout
+      (if l.multicast then "multicast" else "unicast")
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,        ") pp_partition)
+      l.partitions
+  in
+  Format.fprintf ppf "@[<v>%s (MAC %.2f pJ)@,%a@]" t.arch_name t.mac_energy
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_level)
+    (List.rev t.levels)

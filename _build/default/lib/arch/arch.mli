@@ -1,0 +1,56 @@
+(** Spatial-accelerator architecture description.
+
+    An architecture is a stack of memory levels from the innermost storage
+    (closest to the MACs) out to DRAM. Between a level and its children sits
+    a spatial fanout: the number of child instances the level feeds (vector
+    lanes, vector MACs per PE, PEs on the grid). A level is split into
+    partitions, each accepting either every operand (unified buffers) or a
+    set of operand *roles* (per-datatype buffers, e.g. Simba's weight /
+    ifmap / ofmap buffers). An operand not accepted anywhere at a level
+    bypasses it (e.g. weights skip Simba's L2). *)
+
+type partition = {
+  part_name : string;
+  capacity_words : int;  (** 0 is allowed only at the DRAM level (unbounded) *)
+  accepts : [ `All | `Roles of string list ];
+  read_energy : float;  (** pJ per word *)
+  write_energy : float;  (** pJ per word *)
+  bandwidth : float;  (** words per cycle, aggregate *)
+}
+
+type level = {
+  level_name : string;
+  partitions : partition list;
+  fanout : int;  (** number of child instances this level feeds, >= 1 *)
+  multicast : bool;  (** NoC below this level can broadcast a word *)
+  noc_hop_energy : float;  (** pJ per word per destination *)
+  unbounded : bool;  (** true only for DRAM: capacity checks are skipped *)
+}
+
+type t = {
+  arch_name : string;
+  levels : level list;  (** innermost first, DRAM last *)
+  mac_energy : float;  (** pJ per multiply-accumulate *)
+  mac_throughput : int;  (** MACs each leaf compute instance retires/cycle *)
+}
+
+val make : name:string -> levels:level list -> mac_energy:float -> ?mac_throughput:int -> unit -> t
+(** Validates (at least two levels, outermost unbounded, positive fanouts)
+    and builds. *)
+
+val num_levels : t -> int
+val level : t -> int -> level
+(** [level t i] with 0 the innermost. *)
+
+val dram_index : t -> int
+val total_fanout : t -> int
+(** Product of all fanouts: the peak number of parallel compute lanes. *)
+
+val accepts_operand : partition -> role:string -> bool
+val stores : level -> role:string -> bool
+(** Whether some partition of the level accepts the role. *)
+
+val partition_for : level -> role:string -> partition option
+(** First partition accepting the role. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(* Reference points (16-bit words, pJ): register 0.06, 512 B SRAM ~0.6,
+   32 KB SRAM ~3.5, 512 KB SRAM ~13, 3 MB SRAM ~28, DRAM 200. The sqrt
+   law below passes near these points; see DESIGN.md §2 for why only the
+   ratios matter for reproduction. *)
+
+let width_scale bits = float_of_int bits /. 16.0
+
+let mac ~bits = 1.0 *. width_scale bits
+
+let sram_read ~capacity_words ~bits =
+  let kb = float_of_int (capacity_words * bits / 8) /. 1024.0 in
+  let base = 0.45 +. (0.55 *. Float.sqrt (Float.max kb 0.03)) in
+  base *. width_scale bits
+
+let sram_write ~capacity_words ~bits = 1.1 *. sram_read ~capacity_words ~bits
+
+let register_read ~bits = 0.06 *. width_scale bits
+let register_write ~bits = 0.06 *. width_scale bits
+
+let dram_access ~bits = 200.0 *. width_scale bits
+
+let noc_hop ~bits = 0.9 *. width_scale bits
+
+let noc_tag_check = 0.12

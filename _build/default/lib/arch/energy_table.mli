@@ -1,0 +1,29 @@
+(** Per-component access-energy model.
+
+    Stand-in for Accelergy + Cacti + Aladdin at 45 nm (see DESIGN.md §2):
+    absolute picojoules are synthetic, but the relative magnitudes follow the
+    published ratios (register ≪ small SRAM ≪ large SRAM ≪ DRAM, with DRAM
+    roughly 200× a MAC), which is what drives mapping choice. All values are
+    per access of one word of the stated width. *)
+
+val mac : bits:int -> float
+(** Energy of one multiply-accumulate at the given operand width. A 16-bit
+    MAC is the normalization point (1.0 pJ). *)
+
+val sram_read : capacity_words:int -> bits:int -> float
+val sram_write : capacity_words:int -> bits:int -> float
+(** SRAM access energy grows with the square root of capacity (wordline /
+    bitline scaling), linear in word width. *)
+
+val register_read : bits:int -> float
+val register_write : bits:int -> float
+
+val dram_access : bits:int -> float
+(** Off-chip access; identical cost charged for reads and writes. *)
+
+val noc_hop : bits:int -> float
+(** Per-destination word-delivery energy over the on-chip network. *)
+
+val noc_tag_check : float
+(** Per-packet destination-tag comparison at a PE (Eyeriss-style NoC,
+    Section V-A of the paper). *)

@@ -1,0 +1,181 @@
+let sram name ~capacity_words ~bits ~accepts ~bandwidth : Arch.partition =
+  {
+    part_name = name;
+    capacity_words;
+    accepts;
+    read_energy = Energy_table.sram_read ~capacity_words ~bits;
+    write_energy = Energy_table.sram_write ~capacity_words ~bits;
+    bandwidth;
+  }
+
+let dram_level ~bits ~bandwidth : Arch.level =
+  {
+    level_name = "DRAM";
+    partitions =
+      [
+        {
+          part_name = "DRAM";
+          capacity_words = 0;
+          accepts = `All;
+          read_energy = Energy_table.dram_access ~bits;
+          write_energy = Energy_table.dram_access ~bits;
+          bandwidth;
+        };
+      ];
+    fanout = 1;
+    multicast = false;
+    noc_hop_energy = 0.0;
+    unbounded = true;
+  }
+
+let conventional =
+  let l1 : Arch.level =
+    {
+      level_name = "L1";
+      partitions = [ sram "L1" ~capacity_words:256 ~bits:16 ~accepts:`All ~bandwidth:8.0 ];
+      fanout = 1;
+      multicast = false;
+      noc_hop_energy = 0.0;
+      unbounded = false;
+    }
+  in
+  let l2 : Arch.level =
+    {
+      level_name = "L2";
+      partitions = [ sram "L2" ~capacity_words:1_625_088 ~bits:16 ~accepts:`All ~bandwidth:64.0 ];
+      fanout = 1024;
+      multicast = true;
+      noc_hop_energy = Energy_table.noc_hop ~bits:16 +. Energy_table.noc_tag_check;
+      unbounded = false;
+    }
+  in
+  Arch.make ~name:"conventional-32x32" ~levels:[ l1; l2; dram_level ~bits:16 ~bandwidth:16.0 ]
+    ~mac_energy:(Energy_table.mac ~bits:16) ()
+
+let simba_like =
+  let reg : Arch.level =
+    {
+      level_name = "Reg";
+      partitions =
+        [
+          {
+            (* one 8-bit register per lane; the level instance is the
+               register row of one vector MAC *)
+            part_name = "Wreg";
+            capacity_words = 8;
+            accepts = `Roles [ "weight" ];
+            read_energy = Energy_table.register_read ~bits:8;
+            write_energy = Energy_table.register_write ~bits:8;
+            bandwidth = 64.0;
+          };
+        ];
+      fanout = 8;
+      (* vector lanes fed by each register file row *)
+      multicast = true;
+      noc_hop_energy = 0.02;
+      unbounded = false;
+    }
+  in
+  let l1 : Arch.level =
+    {
+      level_name = "L1";
+      partitions =
+        [
+          sram "Wbuf" ~capacity_words:32_768 ~bits:8 ~accepts:(`Roles [ "weight" ]) ~bandwidth:64.0;
+          sram "Ibuf" ~capacity_words:8_192 ~bits:8 ~accepts:(`Roles [ "ifmap" ]) ~bandwidth:64.0;
+          sram "Obuf" ~capacity_words:1_024 ~bits:24 ~accepts:(`Roles [ "ofmap" ]) ~bandwidth:8.0;
+        ];
+      fanout = 8;
+      (* vector MACs per PE *)
+      multicast = true;
+      noc_hop_energy = 0.05;
+      unbounded = false;
+    }
+  in
+  let l2 : Arch.level =
+    {
+      level_name = "L2";
+      partitions =
+        [
+          sram "L2" ~capacity_words:262_144 ~bits:16
+            ~accepts:(`Roles [ "ifmap"; "ofmap" ])
+            ~bandwidth:32.0;
+        ];
+      fanout = 16;
+      (* 4x4 PE grid *)
+      multicast = true;
+      noc_hop_energy = Energy_table.noc_hop ~bits:16 +. Energy_table.noc_tag_check;
+      unbounded = false;
+    }
+  in
+  Arch.make ~name:"simba-like" ~levels:[ reg; l1; l2; dram_level ~bits:16 ~bandwidth:16.0 ]
+    ~mac_energy:(Energy_table.mac ~bits:8) ()
+
+let diannao_like =
+  let buffers : Arch.level =
+    {
+      level_name = "Buf";
+      partitions =
+        [
+          sram "NBin" ~capacity_words:1_024 ~bits:16 ~accepts:(`Roles [ "ifmap" ]) ~bandwidth:64.0;
+          sram "SB" ~capacity_words:16_384 ~bits:16 ~accepts:(`Roles [ "weight" ]) ~bandwidth:64.0;
+          sram "NBout" ~capacity_words:1_024 ~bits:16 ~accepts:(`Roles [ "ofmap" ]) ~bandwidth:16.0;
+        ];
+      fanout = 256;
+      (* NFU multiplier array *)
+      multicast = true;
+      noc_hop_energy = 0.05;
+      unbounded = false;
+    }
+  in
+  Arch.make ~name:"diannao-like" ~levels:[ buffers; dram_level ~bits:16 ~bandwidth:16.0 ]
+    ~mac_energy:(Energy_table.mac ~bits:16) ()
+
+let toy ?(l1_words = 8) ?(l2_words = 64) ?(pes = 4) () =
+  let l1 : Arch.level =
+    {
+      level_name = "L1";
+      partitions = [ sram "L1" ~capacity_words:l1_words ~bits:16 ~accepts:`All ~bandwidth:4.0 ];
+      fanout = 1;
+      multicast = false;
+      noc_hop_energy = 0.0;
+      unbounded = false;
+    }
+  in
+  let l2 : Arch.level =
+    {
+      level_name = "L2";
+      partitions = [ sram "L2" ~capacity_words:l2_words ~bits:16 ~accepts:`All ~bandwidth:8.0 ];
+      fanout = pes;
+      multicast = true;
+      noc_hop_energy = Energy_table.noc_hop ~bits:16;
+      unbounded = false;
+    }
+  in
+  Arch.make ~name:"toy" ~levels:[ l1; l2; dram_level ~bits:16 ~bandwidth:4.0 ] ~mac_energy:1.0 ()
+
+let deep ~on_chip_levels =
+  if on_chip_levels < 1 then invalid_arg "Presets.deep: need at least one on-chip level";
+  let level i : Arch.level =
+    let capacity_words = 256 * int_of_float (64.0 ** float_of_int i) in
+    {
+      level_name = Printf.sprintf "L%d" (i + 1);
+      partitions = [ sram (Printf.sprintf "L%d" (i + 1)) ~capacity_words ~bits:16 ~accepts:`All ~bandwidth:16.0 ];
+      fanout = 4;
+      multicast = true;
+      noc_hop_energy = Energy_table.noc_hop ~bits:16;
+      unbounded = false;
+    }
+  in
+  Arch.make
+    ~name:(Printf.sprintf "deep-%d" on_chip_levels)
+    ~levels:(List.init on_chip_levels level @ [ dram_level ~bits:16 ~bandwidth:16.0 ])
+    ~mac_energy:(Energy_table.mac ~bits:16) ()
+
+let all =
+  [
+    ("conventional", conventional);
+    ("simba", simba_like);
+    ("diannao", diannao_like);
+    ("toy", toy ());
+  ]

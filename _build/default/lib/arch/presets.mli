@@ -1,0 +1,35 @@
+(** The evaluated accelerator configurations (paper Table IV), plus a
+    DianNao-like machine for the overhead study (Section V-D) and a tiny toy
+    machine used by tests and the worked examples of the paper's figures.
+
+    Operand roles used by the per-datatype partitions are ["weight"],
+    ["ifmap"] and ["ofmap"]; bind workload operand names to these roles via
+    the cost-model binding (identity for the convolution catalog). *)
+
+val conventional : Arch.t
+(** Eyeriss-like conventional machine: 32x32 grid of single-MAC PEs with a
+    512 B unified L1 each, a 3.1 MB unified L2, 16-bit datapath. *)
+
+val simba_like : Arch.t
+(** Simba-like machine: 4x4 PEs; each PE has 8 vector MACs of width 8 with a
+    per-lane weight register; per-PE weight (32 KB), ifmap (8 KB) and ofmap
+    (3 KB) buffers; a 512 KB L2 holding only ifmap and ofmap (weights stream
+    from DRAM to the PE buffers). *)
+
+val diannao_like : Arch.t
+(** DianNao-like machine: one 256-multiplier NFU fed by NBin (ifmap), SB
+    (weights) and NBout (ofmap) scratchpads, 16-bit datapath. *)
+
+val toy : ?l1_words:int -> ?l2_words:int -> ?pes:int -> unit -> Arch.t
+(** Two on-chip levels with unified buffers; defaults: 8-word L1 (the Fig 5
+    example), 64-word L2, 4 PEs. *)
+
+val deep : on_chip_levels:int -> Arch.t
+(** Synthetic hierarchy for the scalability study: [on_chip_levels] unified
+    memory levels (capacities growing 64x per level from 256 words, each
+    with a 4-way spatial fanout below it) under DRAM. The mapping space
+    grows exponentially with every added level; Sunstone's per-level pruned
+    search should not. *)
+
+val all : (string * Arch.t) list
+(** Named presets for the CLI. *)

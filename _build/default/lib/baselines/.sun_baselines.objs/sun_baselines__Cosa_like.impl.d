@@ -1,0 +1,1 @@
+lib/baselines/cosa_like.ml: Array Float Fun Hashtbl List Mapper Sun_arch Sun_mapping Sun_tensor Sun_util

@@ -1,0 +1,1 @@
+lib/baselines/cosa_like.mli: Mapper Sun_arch Sun_cost Sun_tensor

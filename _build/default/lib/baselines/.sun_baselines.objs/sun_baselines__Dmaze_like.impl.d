@@ -1,0 +1,1 @@
+lib/baselines/dmaze_like.ml: Array Float Fun List Mapper Sun_arch Sun_core Sun_cost Sun_mapping Sun_tensor Sun_util

@@ -1,0 +1,1 @@
+lib/baselines/mapper.ml: Float Sun_cost Sun_mapping

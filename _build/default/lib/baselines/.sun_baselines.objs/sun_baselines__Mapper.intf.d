@@ -1,0 +1,1 @@
+lib/baselines/mapper.mli: Sun_arch Sun_cost Sun_mapping Sun_tensor

@@ -1,0 +1,1 @@
+lib/baselines/space_size.ml: Dmaze_like List Mapper Sun_arch Sun_core Sun_search Sun_tensor Sun_util

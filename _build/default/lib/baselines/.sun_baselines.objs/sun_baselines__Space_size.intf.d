@@ -1,0 +1,1 @@
+lib/baselines/space_size.mli: Dmaze_like Sun_arch Sun_tensor

@@ -1,0 +1,1 @@
+lib/baselines/timeloop_like.ml: Float Mapper Sun_cost Sun_search Sun_tensor Sun_util

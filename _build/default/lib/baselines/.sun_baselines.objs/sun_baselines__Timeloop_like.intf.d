@@ -1,0 +1,1 @@
+lib/baselines/timeloop_like.mli: Mapper Sun_arch Sun_cost Sun_tensor

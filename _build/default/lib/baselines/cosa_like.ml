@@ -1,0 +1,164 @@
+module W = Sun_tensor.Workload
+module A = Sun_arch.Arch
+module M = Sun_mapping.Mapping
+module Factor = Sun_util.Factor
+module Listx = Sun_util.Listx
+
+type config = { seed : int; utilization_weight : float }
+
+let default = { seed = 7; utilization_weight = 1.0 }
+
+(* Flatten a dimension into its prime factors, largest first. *)
+let prime_factors n =
+  List.concat_map
+    (fun (p, k) -> List.init k (fun _ -> p))
+    (Factor.prime_factorization n)
+  |> List.sort (fun a b -> compare b a)
+
+let run ?(config = default) ?(binding = Fun.id) w arch =
+  let timer = Sun_util.Stopwatch.start () in
+  let dims = W.dim_names w in
+  let num_levels = A.num_levels arch in
+  let out = W.output w in
+  let remaining = Hashtbl.create 8 in
+  List.iter (fun (d, b) -> Hashtbl.replace remaining d b) w.W.dims;
+  (* per-operand linearized buffer budgets (see the temporal phase below) *)
+  let op_budget lvl_idx (op : W.operand) =
+    let lvl = A.level arch lvl_idx in
+    if lvl.A.unbounded then infinity
+    else
+      match A.partition_for lvl ~role:(binding op.W.name) with
+      | Some p -> Float.log2 (float_of_int (max p.A.capacity_words 1))
+      | None -> 0.0 (* bypassed level: nothing may land here for this op *)
+  in
+  let ops = Array.of_list w.W.operands in
+  let budgets = Array.init num_levels (fun l -> Array.map (op_budget l) ops) in
+  let op_assigned = Array.make_matrix num_levels (Array.length ops) 0.0 in
+  let fits_op_budgets l d logp =
+    let ok = ref true in
+    Array.iteri
+      (fun oi op ->
+        if W.is_indexing op d && op_assigned.(l).(oi) +. logp > budgets.(l).(oi) then ok := false)
+      ops;
+    !ok
+  in
+  let charge_ops l d logp =
+    Array.iteri
+      (fun oi op ->
+        if W.is_indexing op d then op_assigned.(l).(oi) <- op_assigned.(l).(oi) +. logp)
+      ops
+  in
+  (* --- spatial one-shot: pack prime factors, output-indexing dims first,
+     until each fanout is full (the MIP's utilization objective). A factor
+     is charged against the budgets of its own level only; that it also
+     occupies every level above is the nonlinearity the relaxation drops,
+     and where the rounded mapping can still overflow. --- *)
+  let spatial = Hashtbl.create 8 in
+  let rng = Sun_util.Rng.create config.seed in
+  let dim_preference =
+    let indexing, reduction = List.partition (W.is_indexing out) dims in
+    Sun_util.Rng.shuffle rng indexing @ reduction
+  in
+  List.iter
+    (fun lvl_idx ->
+      let fanout = (A.level arch lvl_idx).A.fanout in
+      if fanout > 1 then begin
+        let budget = ref fanout in
+        List.iter
+          (fun d ->
+            List.iter
+              (fun p ->
+                let logp = Float.log2 (float_of_int p) in
+                if p <= !budget && fits_op_budgets lvl_idx d logp then begin
+                  budget := !budget / p;
+                  charge_ops lvl_idx d logp;
+                  Hashtbl.replace spatial (d, lvl_idx)
+                    (p * try Hashtbl.find spatial (d, lvl_idx) with Not_found -> 1);
+                  Hashtbl.replace remaining d (Hashtbl.find remaining d / p)
+                end)
+              (prime_factors (Hashtbl.find remaining d)))
+          dim_preference
+      end)
+    (Listx.range num_levels);
+  (* --- temporal relaxation: per-level log-capacity weights; each prime
+     factor goes to the level with the largest remaining deficit. This is
+     the linearization: it never checks the joint footprint of the operands
+     sharing a buffer, so the rounded result can overflow. --- *)
+  (* CoSA's objective maximizes on-chip reuse/utilization: the relaxation
+     crowds factors into the buffered levels proportionally to their
+     log-capacity and leaves DRAM only a small share — which is precisely
+     what makes the capacity-blind rounding overflow a partition. *)
+  let weight lvl_idx =
+    let lvl = A.level arch lvl_idx in
+    if lvl.A.unbounded then 2.0 /. config.utilization_weight
+    else
+      let cap =
+        List.fold_left (fun acc (p : A.partition) -> max acc p.A.capacity_words) 1 lvl.A.partitions
+      in
+      Float.log2 (float_of_int (cap + 2))
+  in
+  let weights = List.map weight (Listx.range num_levels) in
+  let weight_sum = List.fold_left ( +. ) 0.0 weights in
+  let total_log =
+    List.fold_left
+      (fun acc d -> acc +. Float.log2 (float_of_int (Hashtbl.find remaining d)))
+      0.0 dims
+  in
+  let target = Array.of_list (List.map (fun wt -> total_log *. wt /. weight_sum) weights) in
+  (* the MIP's buffer constraints, linearized per operand: each level
+     grants every operand a log-capacity budget, charged as each temporal
+     prime factor of an indexing dimension lands there. Three deliberate
+     linearization gaps mirror CoSA's published failure mode: spatial
+     factors are not charged (they belong to the utilization objective),
+     sliding-window halos are ignored, and tiles accumulate bottom-up
+     (factors below a level also occupy it) only approximately. The rounded
+     mapping can therefore overflow a real partition. *)
+  let assigned = Array.make num_levels 0.0 in
+  let temporal = Hashtbl.create 8 in
+  let charge l d logp =
+    charge_ops l d logp;
+    assigned.(l) <- assigned.(l) +. logp
+  in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun p ->
+          let logp = Float.log2 (float_of_int p) in
+          let best_lvl = ref (-1) and best_deficit = ref neg_infinity in
+          for l = 0 to num_levels - 1 do
+            let deficit = target.(l) -. assigned.(l) in
+            if fits_op_budgets l d logp && deficit > !best_deficit then begin
+              best_deficit := deficit;
+              best_lvl := l
+            end
+          done;
+          (* every budget exhausted: spill to DRAM *)
+          let l = if !best_lvl >= 0 then !best_lvl else num_levels - 1 in
+          charge l d logp;
+          Hashtbl.replace temporal (d, l)
+            (p * try Hashtbl.find temporal (d, l) with Not_found -> 1))
+        (prime_factors (Hashtbl.find remaining d)))
+    dims;
+  (* --- fixed order heuristic: reduction loops innermost per level --- *)
+  let order =
+    let indexing, reduction = List.partition (W.is_indexing out) dims in
+    indexing @ reduction
+  in
+  let level lvl_idx =
+    {
+      M.temporal =
+        List.map
+          (fun d -> (d, try Hashtbl.find temporal (d, lvl_idx) with Not_found -> 1))
+          dims;
+      order;
+      spatial =
+        List.map
+          (fun d -> (d, try Hashtbl.find spatial (d, lvl_idx) with Not_found -> 1))
+          dims;
+    }
+  in
+  let mapping =
+    match M.make w (List.init num_levels level) with Ok m -> Some m | Error _ -> None
+  in
+  Mapper.of_mapping ~tool:"cosa-like" ~examined:1
+    ~wall_seconds:(Sun_util.Stopwatch.elapsed_s timer) ~binding w arch mapping

@@ -1,0 +1,27 @@
+(** CoSA-style mapper (Huang et al., ISCA 2021): one-shot scheduling by
+    constrained optimization. CoSA approximates the non-linear mapping
+    problem as a mixed-integer program in log space and emits a single
+    mapping without search.
+
+    We reproduce the approach and its published failure mode: each
+    dimension's prime factors are distributed over the memory levels
+    proportionally to log-capacity weights of a continuous relaxation, then
+    rounded to integers. The relaxation is oblivious to the *joint*
+    footprint of the operands sharing a buffer (and to halo terms), so the
+    rounded mapping frequently overflows a partition — the "invalid 60% of
+    the time" behaviour of the paper's Fig 8. *)
+
+type config = {
+  seed : int;  (** tie-breaking in the greedy rounding *)
+  utilization_weight : float;
+      (** relative preference for pushing factors toward spatial slots *)
+}
+
+val default : config
+
+val run :
+  ?config:config ->
+  ?binding:Sun_cost.Model.binding ->
+  Sun_tensor.Workload.t ->
+  Sun_arch.Arch.t ->
+  Mapper.outcome

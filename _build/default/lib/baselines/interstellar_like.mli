@@ -1,0 +1,27 @@
+(** Interstellar-style mapper (Yang et al., ASPLOS 2020): the spatial
+    unrolling is preset to the input/output channel dimensions (C, K), as
+    prescribed in that paper, with other dimensions admitted only when C x K
+    cannot fill the array; tiling is then searched exhaustively over
+    maximal-throughput candidates.
+
+    The reproduced weakness (paper Section V-B2): the CK restriction
+    sometimes forces mappings that reuse the output both temporally and
+    spatially, violating Sunstone's Unrolling Principle and costing EDP. *)
+
+type config = {
+  unroll_dims : Sun_tensor.Workload.dim list;  (** default [\["C"; "K"\]] *)
+  min_pe_utilization : float;  (** below this, other dims may be unrolled *)
+  max_order_candidates : int;
+}
+
+val default : config
+
+val run :
+  ?config:config ->
+  ?binding:Sun_cost.Model.binding ->
+  Sun_tensor.Workload.t ->
+  Sun_arch.Arch.t ->
+  Mapper.outcome
+(** Fails (invalid) when the preset dimensions do not exist in the workload
+    and no fallback fills the array — non-DNN workloads are out of scope
+    for this tool, as in the paper. *)

@@ -1,0 +1,32 @@
+(** Common result shape for every mapper (Sunstone and the prior-art
+    reimplementations), consumed by the experiment harness. *)
+
+type outcome = {
+  tool : string;
+  mapping : Sun_mapping.Mapping.t option;
+      (** the returned mapping; [None] when the tool found nothing at all *)
+  cost : Sun_cost.Model.cost option;  (** [Some] only for valid mappings *)
+  valid : bool;
+      (** [false] when nothing was returned or the returned mapping violates
+          the architecture (CoSA-style rounding overflow, dMaze-style
+          threshold failure) *)
+  examined : int;  (** search-space points the tool touched *)
+  wall_seconds : float;
+}
+
+val of_mapping :
+  tool:string ->
+  examined:int ->
+  wall_seconds:float ->
+  ?binding:Sun_cost.Model.binding ->
+  Sun_tensor.Workload.t ->
+  Sun_arch.Arch.t ->
+  Sun_mapping.Mapping.t option ->
+  outcome
+(** Evaluates the mapping (if any) and fills the validity/cost fields. *)
+
+val failure : tool:string -> examined:int -> wall_seconds:float -> outcome
+
+val edp : outcome -> float
+(** EDP of a valid outcome, [infinity] otherwise — convenient for
+    comparisons and geometric means. *)

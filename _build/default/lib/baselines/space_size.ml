@@ -1,0 +1,107 @@
+module W = Sun_tensor.Workload
+module A = Sun_arch.Arch
+module Factor = Sun_util.Factor
+module Mapspace = Sun_search.Mapspace
+module Listx = Sun_util.Listx
+
+type entry = { tool : string; tile_dims : int; unroll_dims : int; space : float }
+
+let ndims w = List.length (W.dim_names w)
+
+let factorial n =
+  let rec go acc k = if k <= 1 then acc else go (acc *. float_of_int k) (k - 1) in
+  go 1.0 n
+
+let timeloop w arch =
+  let space = Mapspace.size (Mapspace.create w arch) in
+  { tool = "timeloop"; tile_dims = ndims w; unroll_dims = ndims w; space }
+
+let cosa w arch = { (timeloop w arch) with tool = "cosa" }
+
+let marvel w arch =
+  let n = ndims w in
+  let levels = A.num_levels arch in
+  (* off-chip: one split boundary (DRAM vs on-chip) per dim, ordered at DRAM *)
+  let off_chip =
+    List.fold_left (fun acc (_, b) -> acc *. float_of_int (Factor.count_splits b 2)) 1.0 w.W.dims
+    *. factorial n
+  in
+  (* on-chip: the remaining temporal and spatial slots *)
+  let spatial_slots =
+    List.length (List.filter (fun i -> (A.level arch i).A.fanout > 1) (Listx.range levels))
+  in
+  let on_chip_slots = levels - 1 + spatial_slots in
+  let on_chip =
+    List.fold_left
+      (fun acc (_, b) -> acc *. float_of_int (Factor.count_splits b on_chip_slots))
+      1.0 w.W.dims
+    *. (factorial n ** float_of_int (levels - 1))
+  in
+  { tool = "marvel"; tile_dims = n; unroll_dims = n; space = off_chip +. on_chip }
+
+let interstellar w arch =
+  let n = ndims w in
+  let levels = A.num_levels arch in
+  (* temporal splits over the memory levels, full orders, but spatial
+     choices limited to divisors of C and K *)
+  let temporal =
+    List.fold_left
+      (fun acc (_, b) -> acc *. float_of_int (Factor.count_splits b levels))
+      1.0 w.W.dims
+  in
+  let spatial_choices =
+    List.fold_left
+      (fun acc d ->
+        match List.assoc_opt d w.W.dims with
+        | Some b -> acc *. float_of_int (Factor.count_divisors b)
+        | None -> acc)
+      1.0 [ "C"; "K" ]
+  in
+  let orders = factorial n ** float_of_int (levels - 1) in
+  {
+    tool = "interstellar";
+    tile_dims = n;
+    unroll_dims = 2;
+    space = temporal *. spatial_choices *. orders;
+  }
+
+(* Space accounting ignores the feasibility thresholds (they depend on the
+   layer's size relative to the buffers); what is counted is the
+   high-utilization / high-throughput space the tool walks. *)
+let dmaze_space_config =
+  {
+    Dmaze_like.fast with
+    Dmaze_like.l1_min_utilization = 0.0;
+    l2_min_utilization = 0.0;
+    pe_min_utilization = 0.0;
+  }
+
+let dmaze ?(config = dmaze_space_config) w arch =
+  let outcome = Dmaze_like.run ~config w arch in
+  {
+    tool = "dmaze";
+    tile_dims = ndims w;
+    unroll_dims = ndims w;
+    space = float_of_int outcome.Mapper.examined;
+  }
+
+let sunstone w arch =
+  match Sun_core.Optimizer.optimize w arch with
+  | Ok r ->
+    (* "reuse dimensions" per level = the axes of the operand reused there;
+       a compound sliding-window axis counts once (conv: 4 of 7) *)
+    let reuse_dims =
+      List.fold_left
+        (fun acc (op : W.operand) -> max acc (List.length op.W.indices))
+        0 w.W.operands
+    in
+    {
+      tool = "sunstone";
+      tile_dims = reuse_dims;
+      unroll_dims = reuse_dims;
+      space = float_of_int r.Sun_core.Optimizer.stats.Sun_core.Optimizer.examined;
+    }
+  | Error _ -> { tool = "sunstone"; tile_dims = 0; unroll_dims = 0; space = 0.0 }
+
+let table w arch =
+  [ timeloop w arch; cosa w arch; marvel w arch; interstellar w arch; dmaze w arch; sunstone w arch ]

@@ -1,0 +1,36 @@
+(** Search-space size accounting per tool (paper Table I).
+
+    Analytic counts follow each tool's published space construction;
+    Sunstone's and dMazeRunner's entries are *measured* (nodes their
+    directed searches actually touch), matching how the paper contrasts
+    constructed-space sizes with pruned-space sizes. *)
+
+type entry = {
+  tool : string;
+  tile_dims : int;  (** dimensions used to build each temporal-level tile *)
+  unroll_dims : int;  (** dimensions considered at each spatial level *)
+  space : float;  (** space size for the given workload/architecture *)
+}
+
+val timeloop : Sun_tensor.Workload.t -> Sun_arch.Arch.t -> entry
+(** Full map-space: all splits of all dimensions across every temporal and
+    spatial slot, crossed with every per-level loop order. *)
+
+val cosa : Sun_tensor.Workload.t -> Sun_arch.Arch.t -> entry
+(** Same constructed space as Timeloop; the MIP explores it implicitly. *)
+
+val marvel : Sun_tensor.Workload.t -> Sun_arch.Arch.t -> entry
+(** Decoupled off-chip / on-chip subspaces: sizes add instead of multiply. *)
+
+val interstellar : Sun_tensor.Workload.t -> Sun_arch.Arch.t -> entry
+(** Spatial unrolling fixed to the channel dimensions. *)
+
+val dmaze :
+  ?config:Dmaze_like.config -> Sun_tensor.Workload.t -> Sun_arch.Arch.t -> entry
+(** Measured: candidates the utilization-pruned enumeration touches. *)
+
+val sunstone : Sun_tensor.Workload.t -> Sun_arch.Arch.t -> entry
+(** Measured: nodes Sunstone's trie/tile-tree/unrolling passes examine. *)
+
+val table : Sun_tensor.Workload.t -> Sun_arch.Arch.t -> entry list
+(** All six rows, Timeloop first, Sunstone last. *)

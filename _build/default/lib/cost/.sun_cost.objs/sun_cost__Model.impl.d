@@ -1,0 +1,1 @@
+lib/cost/model.ml: Array Float Format Fun Hashtbl List Option Printf Sun_arch Sun_mapping Sun_tensor

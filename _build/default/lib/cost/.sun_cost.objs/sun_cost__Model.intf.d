@@ -1,0 +1,1 @@
+lib/cost/model.mli: Format Sun_arch Sun_mapping Sun_tensor

@@ -1,0 +1,499 @@
+module W = Sun_tensor.Workload
+module A = Sun_arch.Arch
+module M = Sun_mapping.Mapping
+
+type binding = string -> string
+
+type transfer = {
+  operand : string;
+  from_level : int;
+  to_level : int;
+  reads : float;
+  fills : float;
+  noc_deliveries : float;
+}
+
+type cost = {
+  energy_pj : float;
+  cycles : float;
+  edp : float;
+  macs : float;
+  transfers : transfer list;
+  breakdown : (string * float) list;
+  spatial_utilization : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Context: everything derivable from (workload, arch, binding) alone   *)
+(* ------------------------------------------------------------------ *)
+
+type part_ref = {
+  gid : int;  (** global partition id *)
+  part : A.partition;
+}
+
+type op_info = {
+  op : W.operand;
+  is_output : bool;
+  axes : (int * int) array array;  (** per tensor axis: (dim id, coeff) terms *)
+  indexing : bool array;  (** per dim id *)
+  sliding : bool array;  (** per dim id: inside a compound axis *)
+  part_at : part_ref option array;  (** per level *)
+  storing : int array;  (** storing level indices, ascending *)
+}
+
+type ctx = {
+  w : W.t;
+  arch : A.t;
+  binding : binding;
+  ndims : int;
+  dim_of : (string, int) Hashtbl.t;
+  bounds : int array;
+  nlevels : int;
+  levels : A.level array;
+  macs : float;
+  operands : op_info array;
+  part_names : string array;  (** by gid *)
+  part_level : int array;  (** by gid *)
+  parts : A.partition array;  (** by gid *)
+  nparts : int;
+}
+
+let context ?(binding = Fun.id) w arch =
+  let dims = W.dim_names w in
+  let ndims = List.length dims in
+  let dim_of = Hashtbl.create 8 in
+  List.iteri (fun i d -> Hashtbl.replace dim_of d i) dims;
+  let bounds = Array.of_list (List.map (fun d -> W.bound w d) dims) in
+  let levels = Array.of_list arch.A.levels in
+  let nlevels = Array.length levels in
+  (* global partition table *)
+  let parts = ref [] and part_names = ref [] and part_level = ref [] in
+  let gid_of = Hashtbl.create 8 in
+  Array.iteri
+    (fun li (lvl : A.level) ->
+      List.iter
+        (fun (p : A.partition) ->
+          let gid = List.length !parts in
+          Hashtbl.replace gid_of (li, p.A.part_name) gid;
+          parts := !parts @ [ p ];
+          part_names := !part_names @ [ p.A.part_name ];
+          part_level := !part_level @ [ li ])
+        lvl.A.partitions)
+    levels;
+  let nparts = List.length !parts in
+  let op_info (op : W.operand) =
+    let axes =
+      Array.of_list
+        (List.map
+           (fun idx ->
+             match idx with
+             | W.Dim d -> [| (Hashtbl.find dim_of d, 1) |]
+             | W.Affine terms ->
+               Array.of_list (List.map (fun (d, c) -> (Hashtbl.find dim_of d, c)) terms))
+           op.W.indices)
+    in
+    let indexing = Array.make ndims false in
+    Array.iter (fun terms -> Array.iter (fun (d, _) -> indexing.(d) <- true) terms) axes;
+    let sliding = Array.make ndims false in
+    Array.iter
+      (fun terms -> if Array.length terms > 1 then Array.iter (fun (d, _) -> sliding.(d) <- true) terms)
+      axes;
+    let role = binding op.W.name in
+    let part_at =
+      Array.map
+        (fun (lvl : A.level) ->
+          match A.partition_for lvl ~role with
+          | Some p ->
+            let li = ref (-1) in
+            Array.iteri (fun i l -> if l == lvl then li := i) levels;
+            Some { gid = Hashtbl.find gid_of (!li, p.A.part_name); part = p }
+          | None -> None)
+        levels
+    in
+    let storing =
+      Array.of_list
+        (List.concat
+           (List.init nlevels (fun i -> if part_at.(i) <> None then [ i ] else [])))
+    in
+    { op; is_output = op.W.kind = `Output; axes; indexing; sliding; part_at; storing }
+  in
+  {
+    w;
+    arch;
+    binding;
+    ndims;
+    dim_of;
+    bounds;
+    nlevels;
+    levels;
+    macs = W.macs w;
+    operands = Array.of_list (List.map op_info w.W.operands);
+    part_names = Array.of_list !part_names;
+    part_level = Array.of_list !part_level;
+    parts = Array.of_list !parts;
+    nparts;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Mapping conversion                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type mlay = {
+  t : int array array;  (** temporal factor [level].(dim) *)
+  s : int array array;
+  order : int array array;  (** dim ids, outermost first *)
+  cum : int array array;  (** tile extent at/below level: [level].(dim) *)
+}
+
+let convert ctx (m : M.t) =
+  let n = ctx.nlevels in
+  let t = Array.make_matrix n ctx.ndims 1 in
+  let s = Array.make_matrix n ctx.ndims 1 in
+  let order = Array.make n [||] in
+  for l = 0 to n - 1 do
+    let lm = m.M.levels.(l) in
+    List.iter (fun (d, f) -> t.(l).(Hashtbl.find ctx.dim_of d) <- f) lm.M.temporal;
+    List.iter (fun (d, f) -> s.(l).(Hashtbl.find ctx.dim_of d) <- f) lm.M.spatial;
+    order.(l) <- Array.of_list (List.map (Hashtbl.find ctx.dim_of) lm.M.order)
+  done;
+  let cum = Array.make_matrix n ctx.ndims 1 in
+  for l = 0 to n - 1 do
+    for d = 0 to ctx.ndims - 1 do
+      cum.(l).(d) <- (if l = 0 then 1 else cum.(l - 1).(d)) * t.(l).(d) * s.(l).(d)
+    done
+  done;
+  { t; s; order; cum }
+
+let axis_extent extents terms =
+  let acc = ref 1 in
+  Array.iter (fun (d, c) -> acc := !acc + (c * (extents.(d) - 1))) terms;
+  !acc
+
+let footprint (info : op_info) extents =
+  let acc = ref 1.0 in
+  Array.iter (fun terms -> acc := !acc *. float_of_int (axis_extent extents terms)) info.axes;
+  !acc
+
+let spatial_product lay l =
+  Array.fold_left (fun acc f -> acc * f) 1 lay.s.(l)
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let validate_lay ctx lay =
+  let violation = ref None in
+  let set msg = if !violation = None then violation := Some msg in
+  for l = 0 to ctx.nlevels - 1 do
+    let lvl = ctx.levels.(l) in
+    let sp = spatial_product lay l in
+    if sp > lvl.A.fanout then
+      set
+        (Printf.sprintf "level %s: spatial unrolling %d exceeds fanout %d" lvl.A.level_name sp
+           lvl.A.fanout)
+  done;
+  if !violation = None then begin
+    let used = Array.make ctx.nparts 0.0 in
+    Array.iter
+      (fun info ->
+        for l = 0 to ctx.nlevels - 1 do
+          match info.part_at.(l) with
+          | Some { gid; _ } -> used.(gid) <- used.(gid) +. footprint info lay.cum.(l)
+          | None -> ()
+        done)
+      ctx.operands;
+    for gid = 0 to ctx.nparts - 1 do
+      let l = ctx.part_level.(gid) in
+      if not ctx.levels.(l).A.unbounded then begin
+        let p = ctx.parts.(gid) in
+        if used.(gid) > float_of_int p.A.capacity_words +. 1e-9 then
+          set
+            (Printf.sprintf "partition %s at %s: footprint %.0f exceeds capacity %d"
+               ctx.part_names.(gid) ctx.levels.(l).A.level_name used.(gid) p.A.capacity_words)
+      end
+    done
+  end;
+  match !violation with None -> Ok () | Some msg -> Error msg
+
+let validate_ctx ctx m =
+  if M.num_levels m <> ctx.nlevels then
+    Error
+      (Printf.sprintf "mapping has %d levels, architecture has %d" (M.num_levels m) ctx.nlevels)
+  else validate_lay ctx (convert ctx m)
+
+let level_fill_fraction_ctx ctx m ~level =
+  let lay = convert ctx m in
+  let lvl = ctx.levels.(level) in
+  let worst = ref 0.0 in
+  List.iter
+    (fun (p : A.partition) ->
+      if p.A.capacity_words > 0 then begin
+        let used = ref 0.0 in
+        Array.iter
+          (fun info ->
+            match info.part_at.(level) with
+            | Some { part; _ } when part.A.part_name = p.A.part_name ->
+              used := !used +. footprint info lay.cum.(level)
+            | _ -> ())
+          ctx.operands;
+        worst := Float.max !worst (!used /. float_of_int p.A.capacity_words)
+      end)
+    lvl.A.partitions;
+  !worst
+
+(* ------------------------------------------------------------------ *)
+(* Access counting                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Traffic of [info] between producer storing level [lp] and consumer
+   storing level [lc]: refills are the temporal loops strictly above [lc]
+   scanned innermost-first with full/partial reuse absorption; spatial
+   factors above [lc] either enlarge the served footprint (indexing dims)
+   or broadcast/replicate (non-indexing). *)
+let chain_pair ctx lay (info : op_info) ~lc ~lp =
+  let top = ctx.nlevels - 1 in
+  let cum = Array.copy lay.cum.(lc) in
+  let reads_mult = ref 1.0 and fills_mult = ref 1.0 in
+  for j = lc + 1 to top do
+    let multicast = ctx.levels.(j).A.multicast in
+    let srow = lay.s.(j) in
+    for d = 0 to ctx.ndims - 1 do
+      let f = srow.(d) in
+      if f > 1 then
+        if info.indexing.(d) then cum.(d) <- cum.(d) * f
+        else if j <= lp then begin
+          fills_mult := !fills_mult *. float_of_int f;
+          if not multicast then reads_mult := !reads_mult *. float_of_int f
+        end
+        else begin
+          reads_mult := !reads_mult *. float_of_int f;
+          fills_mult := !fills_mult *. float_of_int f
+        end
+    done
+  done;
+  (* temporal reuse scan, innermost loop first *)
+  let stopped = ref false and outer = ref 1.0 in
+  for j = lc + 1 to top do
+    let ord = lay.order.(j) and trow = lay.t.(j) in
+    for i = Array.length ord - 1 downto 0 do
+      let d = ord.(i) in
+      let b = trow.(d) in
+      if b > 1 then
+        if !stopped then outer := !outer *. float_of_int b
+        else if not info.indexing.(d) then () (* fully reused across this loop *)
+        else if info.sliding.(d) then begin
+          (* sliding-window partial reuse: fetch the union of the windows *)
+          cum.(d) <- cum.(d) * b;
+          stopped := true
+        end
+        else begin
+          stopped := true;
+          outer := !outer *. float_of_int b
+        end
+    done
+  done;
+  let fp = footprint info cum in
+  let reads = !outer *. fp *. !reads_mult in
+  let fills = !outer *. fp *. !fills_mult in
+  (reads, fills)
+
+(* Per-MAC streaming from the nearest storing level [l0]; unrolled
+   non-indexing dims below [l0] share one read across lanes when the
+   interconnect multicasts. *)
+let mac_streaming ctx lay (info : op_info) ~l0 =
+  let denom = ref 1.0 in
+  for j = 0 to l0 do
+    if ctx.levels.(j).A.multicast then begin
+      let srow = lay.s.(j) in
+      for d = 0 to ctx.ndims - 1 do
+        if srow.(d) > 1 && not info.indexing.(d) then
+          denom := !denom *. float_of_int srow.(d)
+      done
+    end
+  done;
+  ctx.macs /. !denom
+
+(* ------------------------------------------------------------------ *)
+(* Energy and latency assembly                                          *)
+(* ------------------------------------------------------------------ *)
+
+let evaluate_lay ctx lay =
+  let energy = Array.make ctx.nparts 0.0 in
+  let words = Array.make ctx.nparts 0.0 in
+  let noc_energy = ref 0.0 in
+  let transfers = ref [] in
+  Array.iter
+    (fun info ->
+      let storing = info.storing in
+      let nst = Array.length storing in
+      if nst = 0 then invalid_arg (Printf.sprintf "operand %s stored nowhere" info.op.W.name);
+      (* MAC streaming from the innermost storing level *)
+      let l0 = storing.(0) in
+      let { gid; part } = Option.get info.part_at.(l0) in
+      let reads = mac_streaming ctx lay info ~l0 in
+      let per_word =
+        if info.is_output then part.A.read_energy +. part.A.write_energy else part.A.read_energy
+      in
+      energy.(gid) <- energy.(gid) +. (reads *. per_word);
+      words.(gid) <- words.(gid) +. (reads *. if info.is_output then 2.0 else 1.0);
+      transfers :=
+        {
+          operand = info.op.W.name;
+          from_level = l0;
+          to_level = -1;
+          reads;
+          fills = 0.0;
+          noc_deliveries = 0.0;
+        }
+        :: !transfers;
+      (* chain transfers between consecutive storing levels *)
+      for i = 0 to nst - 2 do
+        let lc = storing.(i) and lp = storing.(i + 1) in
+        let reads, fills = chain_pair ctx lay info ~lc ~lp in
+        let rp = Option.get info.part_at.(lp) in
+        let rc = Option.get info.part_at.(lc) in
+        let dir = if info.is_output then 2.0 else 1.0 in
+        let prod_per_word =
+          if info.is_output then (rp.part.A.read_energy +. rp.part.A.write_energy) /. 2.0
+          else rp.part.A.read_energy
+        in
+        let cons_per_word =
+          if info.is_output then (rc.part.A.read_energy +. rc.part.A.write_energy) /. 2.0
+          else rc.part.A.write_energy
+        in
+        energy.(rp.gid) <- energy.(rp.gid) +. (dir *. reads *. prod_per_word);
+        energy.(rc.gid) <- energy.(rc.gid) +. (dir *. fills *. cons_per_word);
+        words.(rp.gid) <- words.(rp.gid) +. (dir *. reads);
+        words.(rc.gid) <- words.(rc.gid) +. (dir *. fills);
+        for j = lc + 1 to lp do
+          noc_energy := !noc_energy +. (dir *. fills *. ctx.levels.(j).A.noc_hop_energy)
+        done;
+        transfers :=
+          {
+            operand = info.op.W.name;
+            from_level = lp;
+            to_level = lc;
+            reads;
+            fills;
+            noc_deliveries = fills;
+          }
+          :: !transfers
+      done)
+    ctx.operands;
+  let mac_energy = ctx.macs *. ctx.arch.A.mac_energy in
+  let total_energy =
+    Array.fold_left ( +. ) 0.0 energy +. !noc_energy +. mac_energy
+  in
+  (* latency *)
+  let total_spatial =
+    let p = ref 1.0 in
+    for l = 0 to ctx.nlevels - 1 do
+      p := !p *. float_of_int (spatial_product lay l)
+    done;
+    !p
+  in
+  let compute_cycles = ctx.macs /. (total_spatial *. float_of_int ctx.arch.A.mac_throughput) in
+  let inst_used = Array.make ctx.nlevels 1.0 in
+  for l = ctx.nlevels - 2 downto 0 do
+    inst_used.(l) <- inst_used.(l + 1) *. float_of_int (spatial_product lay (l + 1))
+  done;
+  let bw_cycles = ref 0.0 in
+  for gid = 0 to ctx.nparts - 1 do
+    let p = ctx.parts.(gid) in
+    let l = ctx.part_level.(gid) in
+    bw_cycles := Float.max !bw_cycles (words.(gid) /. (p.A.bandwidth *. inst_used.(l)))
+  done;
+  let cycles = Float.max compute_cycles !bw_cycles in
+  (* breakdown by partition name *)
+  let breakdown = ref [] in
+  let add name v =
+    let rec go = function
+      | [] -> [ (name, v) ]
+      | (n, x) :: rest when n = name -> (n, x +. v) :: rest
+      | kv :: rest -> kv :: go rest
+    in
+    breakdown := go !breakdown
+  in
+  for gid = 0 to ctx.nparts - 1 do
+    if energy.(gid) <> 0.0 then add ctx.part_names.(gid) energy.(gid)
+  done;
+  add "NoC" !noc_energy;
+  add "MAC" mac_energy;
+  {
+    energy_pj = total_energy;
+    cycles;
+    edp = total_energy *. cycles;
+    macs = ctx.macs;
+    transfers = List.rev !transfers;
+    breakdown = !breakdown;
+    spatial_utilization = total_spatial /. float_of_int (A.total_fanout ctx.arch);
+  }
+
+let evaluate_ctx ctx m =
+  if M.num_levels m <> ctx.nlevels then
+    Error
+      (Printf.sprintf "mapping has %d levels, architecture has %d" (M.num_levels m) ctx.nlevels)
+  else begin
+    let lay = convert ctx m in
+    match validate_lay ctx lay with Error _ as e -> e | Ok () -> Ok (evaluate_lay ctx lay)
+  end
+
+let energy_lower_bound_ctx ctx ~partial_levels m =
+  let lay = convert ctx m in
+  let energy = ref (ctx.macs *. ctx.arch.A.mac_energy) in
+  Array.iter
+    (fun info ->
+      let storing = info.storing in
+      let nst = Array.length storing in
+      if nst > 0 && storing.(0) < partial_levels then begin
+        let l0 = storing.(0) in
+        let { part; _ } = Option.get info.part_at.(l0) in
+        let reads = mac_streaming ctx lay info ~l0 in
+        let per_word =
+          if info.is_output then part.A.read_energy +. part.A.write_energy else part.A.read_energy
+        in
+        energy := !energy +. (reads *. per_word)
+      end;
+      for i = 0 to nst - 2 do
+        let lc = storing.(i) and lp = storing.(i + 1) in
+        if lp < partial_levels then begin
+          let reads, fills = chain_pair ctx lay info ~lc ~lp in
+          let rp = Option.get info.part_at.(lp) in
+          let rc = Option.get info.part_at.(lc) in
+          let dir = if info.is_output then 2.0 else 1.0 in
+          energy :=
+            !energy
+            +. (dir *. reads *. rp.part.A.read_energy)
+            +. (dir *. fills *. rc.part.A.write_energy)
+        end
+      done)
+    ctx.operands;
+  !energy
+
+(* ------------------------------------------------------------------ *)
+(* Convenience wrappers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let validate ?binding w arch m = validate_ctx (context ?binding w arch) m
+
+let level_fill_fraction ?binding w arch m ~level =
+  level_fill_fraction_ctx (context ?binding w arch) m ~level
+
+let evaluate ?binding w arch m = evaluate_ctx (context ?binding w arch) m
+
+let evaluate_exn ?binding w arch m =
+  match evaluate ?binding w arch m with
+  | Ok c -> c
+  | Error msg -> invalid_arg ("Model.evaluate_exn: " ^ msg)
+
+let energy_lower_bound ?binding w arch ~partial_levels m =
+  energy_lower_bound_ctx (context ?binding w arch) ~partial_levels m
+
+let pp_cost ppf c =
+  let pp_item ppf (name, pj) = Format.fprintf ppf "%s: %.3e pJ" name pj in
+  Format.fprintf ppf
+    "@[<v>energy %.4e pJ, cycles %.4e, EDP %.4e, util %.2f%%@,%a@]" c.energy_pj c.cycles c.edp
+    (c.spatial_utilization *. 100.0)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_item)
+    c.breakdown

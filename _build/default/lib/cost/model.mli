@@ -1,0 +1,91 @@
+(** Analytical cost model for a mapping on an architecture.
+
+    This plays the role Timeloop's hardware-validated model plays in the
+    paper (Section V-A): per-component access counts multiplied by
+    per-access energies, with double buffering assumed to overlap transfers
+    and compute so that latency is the maximum of the compute-bound and the
+    per-buffer bandwidth-bound cycle counts. All mappers in this repository
+    — Sunstone and every baseline — are scored with this one model, which is
+    what makes their comparison meaningful.
+
+    Access counting follows the reuse algebra of Sections II-D and III:
+    refills of a buffer are the product of the temporal loop bounds above
+    it, except that trailing (innermost-first) loops over non-indexing
+    dimensions of an operand are absorbed (full temporal reuse), one
+    trailing loop over a sliding-window dimension is absorbed by enlarging
+    the fetched extent (partial reuse), spatially unrolled non-indexing
+    dimensions are broadcast over a multicasting NoC, and spatially unrolled
+    indexing dimensions enlarge the served footprint. Operands bypass levels
+    whose partitions do not accept their role (e.g. weights bypass Simba's
+    L2). *)
+
+type binding = string -> string
+(** Maps an operand name to an architecture role (e.g. ["a" -> "ifmap"]).
+    The default binding is the identity. *)
+
+type transfer = {
+  operand : string;
+  from_level : int;  (** producer memory level *)
+  to_level : int;  (** consumer memory level; [-1] denotes the MACs *)
+  reads : float;  (** words read out of [from_level] *)
+  fills : float;  (** words delivered into [to_level] instances (total) *)
+  noc_deliveries : float;  (** word-deliveries charged to the NoC *)
+}
+
+type cost = {
+  energy_pj : float;
+  cycles : float;
+  edp : float;  (** [energy_pj *. cycles] *)
+  macs : float;
+  transfers : transfer list;
+  breakdown : (string * float) list;
+      (** energy per component: one entry per partition plus ["MAC"] and
+          ["NoC"]; entries sum to [energy_pj] *)
+  spatial_utilization : float;  (** used lanes / peak lanes, in (0, 1] *)
+}
+
+type ctx
+(** Precomputed evaluation context for one (workload, architecture,
+    binding) triple: integer-indexed dimensions, operand axes, storage
+    chains and partition lookups. Searches that score many mappings of the
+    same problem should create one context and reuse it. *)
+
+val context :
+  ?binding:binding -> Sun_tensor.Workload.t -> Sun_arch.Arch.t -> ctx
+
+val validate_ctx : ctx -> Sun_mapping.Mapping.t -> (unit, string) result
+val evaluate_ctx : ctx -> Sun_mapping.Mapping.t -> (cost, string) result
+val energy_lower_bound_ctx : ctx -> partial_levels:int -> Sun_mapping.Mapping.t -> float
+val level_fill_fraction_ctx : ctx -> Sun_mapping.Mapping.t -> level:int -> float
+
+val validate :
+  ?binding:binding -> Sun_tensor.Workload.t -> Sun_arch.Arch.t -> Sun_mapping.Mapping.t ->
+  (unit, string) result
+(** Checks, beyond [Mapping.make]'s structural rules: the mapping has as
+    many levels as the architecture; every buffer partition fits the summed
+    footprints of the operands it stores; every spatial level's unrolling
+    product fits its fanout. The error string names the first violation. *)
+
+val level_fill_fraction :
+  ?binding:binding -> Sun_tensor.Workload.t -> Sun_arch.Arch.t -> Sun_mapping.Mapping.t ->
+  level:int -> float
+(** Occupied fraction of the level's total capacity (max over partitions);
+    used by the utilization-threshold baselines (dMazeRunner). *)
+
+val evaluate :
+  ?binding:binding -> Sun_tensor.Workload.t -> Sun_arch.Arch.t -> Sun_mapping.Mapping.t ->
+  (cost, string) result
+(** Validates, then computes the full cost. *)
+
+val evaluate_exn :
+  ?binding:binding -> Sun_tensor.Workload.t -> Sun_arch.Arch.t -> Sun_mapping.Mapping.t -> cost
+
+val energy_lower_bound :
+  ?binding:binding -> Sun_tensor.Workload.t -> Sun_arch.Arch.t -> partial_levels:int ->
+  Sun_mapping.Mapping.t -> float
+(** Energy charged by levels [0 .. partial_levels-1] plus the MACs, for a
+    mapping whose upper levels are placeholders. Monotone in the sense that
+    completing the mapping can only add energy — the alpha-beta bound used
+    by Sunstone's bottom-up search. *)
+
+val pp_cost : Format.formatter -> cost -> unit

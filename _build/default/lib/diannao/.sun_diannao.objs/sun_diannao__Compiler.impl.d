@@ -1,0 +1,1 @@
+lib/diannao/compiler.ml: Array Float Isa List Seq Sun_mapping Sun_tensor

@@ -1,0 +1,1 @@
+lib/diannao/compiler.mli: Isa Seq Sun_mapping Sun_tensor

@@ -1,0 +1,1 @@
+lib/diannao/isa.mli: Format

@@ -1,0 +1,1 @@
+lib/diannao/simulator.ml: Compiler Format Isa List Seq Sun_arch Sun_tensor

@@ -1,0 +1,1 @@
+lib/diannao/simulator.mli: Compiler Format Isa Sun_tensor

@@ -1,0 +1,1 @@
+lib/diannao/tuner.ml: Compiler Float Isa List Simulator Sun_arch Sun_core Sun_cost Sun_mapping Sun_tensor Sun_util

@@ -1,0 +1,1 @@
+lib/diannao/tuner.mli: Compiler Simulator Sun_mapping Sun_tensor

@@ -1,0 +1,199 @@
+module W = Sun_tensor.Workload
+module M = Sun_mapping.Mapping
+
+type program = {
+  instructions : unit -> Isa.instruction Seq.t;
+  passes : int;
+  tile_macs : float;
+  out_tile_words : float;
+  reorder_words : (string * float) list;
+  buffer_of : string -> Isa.buffer;
+}
+
+let default_placement w =
+  let out = (W.output w).W.name in
+  let inputs = List.map (fun (op : W.operand) -> op.W.name) (W.inputs w) in
+  fun name ->
+    if name = out then Isa.NBout
+    else if name = "weight" || name = "w" then Isa.SB
+    else if name = "ifmap" then Isa.NBin
+    else
+      (* positional fallback: first input streams through NBin, the rest
+         share SB *)
+      match inputs with first :: _ when first = name -> Isa.NBin | _ -> Isa.SB
+
+(* words moved by a refill of [op] when only dimension [d] advanced and [d]
+   sits in a sliding-window axis: the tile shifts by its own step, so only
+   the non-overlapping rows are new. *)
+let sliding_refill_words tile (op : W.operand) d =
+  let fp = W.footprint tile op in
+  let axis =
+    List.find_opt
+      (function W.Affine terms when List.mem_assoc d terms -> true | _ -> false)
+      op.W.indices
+  in
+  match axis with
+  | Some (W.Affine terms) ->
+    let extent = W.axis_extent tile (W.Affine terms) in
+    let step = List.assoc d terms * tile d in
+    if step >= extent then (fp, false)
+    else (fp *. float_of_int step /. float_of_int extent, true)
+  | _ -> (fp, false)
+
+(* Length of a contiguous DRAM run of the operand's tile under row-major
+   layout: trailing full axes stay contiguous, and the innermost cut axis
+   contributes its tile extent. *)
+let contiguous_run tile full (op : W.operand) =
+  let rec scan = function
+    | [] -> 1
+    | axis :: outer_axes ->
+      let t = W.axis_extent tile axis in
+      if t = W.axis_extent full axis then t * scan outer_axes else t
+  in
+  scan (List.rev op.W.indices)
+
+(* DMA descriptors below this burst length (half a 256-bit instruction's
+   worth of 16-bit words) cannot keep the memory busy; the tensor must be
+   re-laid-out in DRAM instead (Section V-D's reordering). *)
+let reorder_burst_threshold = 8
+
+let compile ?placement w m =
+  if M.num_levels m <> 2 then invalid_arg "Diannao.Compiler.compile: expected a 2-level mapping";
+  let placement = match placement with Some p -> p | None -> default_placement w in
+  let dims = W.dim_names w in
+  let tile d = M.tile_at m ~level:0 d in
+  let tile_macs =
+    List.fold_left (fun acc d -> acc *. float_of_int (tile d)) 1.0 dims
+  in
+  let loops =
+    (* DRAM-level loops, outermost first *)
+    List.filter_map
+      (fun d ->
+        let b = M.temporal_factor m ~level:1 d in
+        if b > 1 then Some (d, b) else None)
+      m.M.levels.(1).M.order
+  in
+  let passes = List.fold_left (fun acc (_, b) -> acc * b) 1 loops in
+  let out = W.output w in
+  let tile_fn d = tile d in
+  (* after a re-layout the tile is one burst; otherwise bursts follow the
+     row-major contiguous runs *)
+  let run_of op =
+    let run = contiguous_run tile_fn (W.bound w) op in
+    if run < reorder_burst_threshold then max_int else run
+  in
+  let bursts_of op words = (words + run_of op - 1) / run_of op in
+  let load_ops changed first =
+    List.concat_map
+      (fun (op : W.operand) ->
+        if op.W.kind = `Output then []
+        else begin
+          let touched = List.filter (fun d -> W.is_indexing op d) changed in
+          if (not first) && touched = [] then []
+          else
+            match touched with
+            | [ d ] when (not first) && List.mem d (W.sliding_dims op) ->
+              let words, partial = sliding_refill_words tile_fn op d in
+              let words = int_of_float (Float.ceil words) in
+              [
+                Isa.Load
+                  {
+                    buffer = placement op.W.name;
+                    words;
+                    bursts = bursts_of op words;
+                    sliding_refill = partial;
+                  };
+              ]
+            | _ ->
+              let words = int_of_float (Float.ceil (W.footprint tile_fn op)) in
+              [
+                Isa.Load
+                  {
+                    buffer = placement op.W.name;
+                    words;
+                    bursts = bursts_of op words;
+                    sliding_refill = false;
+                  };
+              ]
+        end)
+      w.W.operands
+  in
+  let out_words = int_of_float (Float.ceil (W.footprint tile_fn out)) in
+  let out_bursts = bursts_of out out_words in
+  let instructions () =
+    (* odometer over the DRAM loops; emits the per-pass instruction group *)
+    let bounds = Array.of_list (List.map snd loops) in
+    let names = Array.of_list (List.map fst loops) in
+    let n = Array.length bounds in
+    let counters = Array.make n 0 in
+    let finished = ref false in
+    let first = ref true in
+    let rec advance i =
+      (* returns the list of loop dims that changed, innermost-inclusive *)
+      if i < 0 then begin
+        finished := true;
+        []
+      end
+      else if counters.(i) + 1 < bounds.(i) then begin
+        counters.(i) <- counters.(i) + 1;
+        [ names.(i) ]
+      end
+      else begin
+        counters.(i) <- 0;
+        names.(i) :: advance (i - 1)
+      end
+    in
+    let rec pass () =
+      if !finished then Seq.Nil
+      else begin
+        let changed =
+          if !first then Array.to_list names
+          else begin
+            let c = advance (n - 1) in
+            if !finished then []
+            else c
+          end
+        in
+        if !finished && not !first then Seq.Nil
+        else begin
+          let was_first = !first in
+          first := false;
+          let loads = load_ops changed was_first in
+          let output_evicted =
+            was_first || List.exists (fun d -> W.is_indexing out d) changed
+          in
+          let stores =
+            if output_evicted && not was_first then
+              [ Isa.Store { words = out_words; bursts = out_bursts } ]
+            else []
+          in
+          let group = stores @ loads @ [ Isa.Compute { macs = tile_macs } ] in
+          Seq.Cons (group, pass)
+        end
+      end
+    in
+    let groups () = pass () in
+    Seq.append
+      (Seq.concat_map List.to_seq groups)
+      (Seq.return (Isa.Store { words = out_words; bursts = out_bursts }))
+  in
+  (* re-layout analysis: a tensor whose contiguous runs are shorter than
+     the burst threshold must be re-laid-out once in DRAM. Weights (SB) are
+     laid out offline by the compiler at no runtime cost. *)
+  let reorder_words =
+    List.filter_map
+      (fun (op : W.operand) ->
+        let run = contiguous_run tile_fn (W.bound w) op in
+        if run < reorder_burst_threshold && placement op.W.name <> Isa.SB then
+          Some (op.W.name, W.operand_size w op)
+        else None)
+      w.W.operands
+  in
+  {
+    instructions;
+    passes;
+    tile_macs;
+    out_tile_words = float_of_int out_words;
+    reorder_words;
+    buffer_of = placement;
+  }

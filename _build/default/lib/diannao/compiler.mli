@@ -1,0 +1,37 @@
+(** Compiler from a (workload, 2-level mapping) pair to a DianNao
+    instruction stream (Section V-D).
+
+    The DRAM-level loop nest is walked with an odometer; at each processing
+    pass the compiler emits loads only for the operand tiles invalidated by
+    the loop indices that changed (buffer-resident tiles are reused without
+    instructions), one compute instruction for the FSM pass, and a store
+    whenever the resident output tile is evicted. A load refreshing only the
+    sliding-window halo moves just the new rows.
+
+    The compiler also reports which operands must be re-laid-out in DRAM so
+    that each pass's tile is a contiguous burst: any operand tiled along an
+    axis other than its innermost one (Section V-D's data-reordering
+    overhead). *)
+
+type program = {
+  instructions : unit -> Isa.instruction Seq.t;
+      (** regenerable stream; forcing it is cheap per element *)
+  passes : int;  (** number of compute passes *)
+  tile_macs : float;  (** MACs per pass *)
+  out_tile_words : float;  (** resident output-tile size *)
+  reorder_words : (string * float) list;
+      (** operands needing a one-time DRAM re-layout, with their sizes *)
+  buffer_of : string -> Isa.buffer;  (** operand-name placement *)
+}
+
+val default_placement : Sun_tensor.Workload.t -> string -> Isa.buffer
+(** ifmap-like inputs to NBin, weight-like to SB, the output to NBout; by
+    operand name when the conv names are used, positional otherwise. *)
+
+val compile :
+  ?placement:(string -> Isa.buffer) ->
+  Sun_tensor.Workload.t ->
+  Sun_mapping.Mapping.t ->
+  program
+(** The mapping must have exactly two levels (scratchpads, DRAM). Raises
+    [Invalid_argument] otherwise. *)

@@ -1,0 +1,21 @@
+type buffer = NBin | SB | NBout
+
+type instruction =
+  | Load of { buffer : buffer; words : int; bursts : int; sliding_refill : bool }
+  | Store of { words : int; bursts : int }
+  | Compute of { macs : float }
+
+let instruction_count = function
+  | Load { bursts; _ } | Store { bursts; _ } -> max 1 bursts
+  | Compute _ -> 1
+
+let instruction_bits = 256
+
+let buffer_name = function NBin -> "NBin" | SB -> "SB" | NBout -> "NBout"
+
+let pp ppf = function
+  | Load { buffer; words; bursts; sliding_refill } ->
+    Format.fprintf ppf "LOAD  %-5s %d words / %d bursts%s" (buffer_name buffer) words bursts
+      (if sliding_refill then " (sliding refill)" else "")
+  | Store { words; bursts } -> Format.fprintf ppf "STORE NBout %d words / %d bursts" words bursts
+  | Compute { macs } -> Format.fprintf ppf "COMPUTE %.0f MACs" macs

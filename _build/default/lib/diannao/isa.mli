@@ -1,0 +1,30 @@
+(** DianNao-style instruction set (Chen et al., ASPLOS 2014).
+
+    The accelerator executes 256-bit control instructions that either move a
+    block between DRAM and one of the three scratchpads (NBin for inputs,
+    SB for synapses/weights, NBout for outputs) or fire the NFU's FSM over
+    the resident tiles. On-chip data is processed without further
+    instructions — instructions are only needed per off-chip transfer and
+    per compute pass, which is why tensor workloads compile to far fewer
+    instructions than MAC operations (Section V-D). *)
+
+type buffer = NBin | SB | NBout
+
+type instruction =
+  | Load of { buffer : buffer; words : int; bursts : int; sliding_refill : bool }
+      (** fill a scratchpad tile from DRAM with [bursts] DMA descriptors
+          (one per contiguous run of the strided tile); [sliding_refill]
+          marks a partial (halo-overlap) refill that moves only the new
+          rows *)
+  | Store of { words : int; bursts : int }  (** drain an NBout tile to DRAM *)
+  | Compute of { macs : float }  (** one FSM pass over the resident tiles *)
+
+val instruction_count : instruction -> int
+(** Control words issued: [bursts] for transfers, 1 for a compute pass. *)
+
+val instruction_bits : int
+(** 256, as in DianNao. *)
+
+val buffer_name : buffer -> string
+
+val pp : Format.formatter -> instruction -> unit

@@ -1,0 +1,15 @@
+(** Layout-aware dataflow tuning for the DianNao-like machine.
+
+    The analytical scheduler minimizes buffer/DRAM traffic, but the ISA
+    simulator also charges instruction fetches and DRAM re-layouts that
+    depend on tile shape (contiguous-run lengths). Starting from a seed
+    mapping, the tuner hill-climbs single-prime factor moves between the
+    two levels and per-level order swaps, scoring each candidate with the
+    full simulator — the role a production compiler's layout pass plays. *)
+
+val tune :
+  Sun_tensor.Workload.t ->
+  Sun_mapping.Mapping.t ->
+  Sun_mapping.Mapping.t * Compiler.program * Simulator.result
+(** Best mapping found (possibly the seed), its program and simulation. The
+    seed must be a valid 2-level mapping of the workload. *)

@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Array Hashtbl List Printf Sun_mapping Sun_tensor Sun_util Tensor

@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Sun_mapping Sun_tensor Tensor

@@ -1,0 +1,1 @@
+lib/exec/tensor.ml: Array Float List Sun_tensor Sun_util

@@ -1,0 +1,1 @@
+lib/exec/tensor.mli: Sun_tensor Sun_util

@@ -1,0 +1,104 @@
+module W = Sun_tensor.Workload
+module M = Sun_mapping.Mapping
+
+type bindings = (string * Tensor.t) list
+
+let random_inputs ?(seed = 42) w =
+  let rng = Sun_util.Rng.create seed in
+  List.map
+    (fun (op : W.operand) -> (op.W.name, Tensor.random rng (Tensor.shape_of_operand w op)))
+    (W.inputs w)
+
+let lookup w bindings (op : W.operand) =
+  match List.assoc_opt op.W.name bindings with
+  | Some t ->
+    if t.Tensor.dims <> Tensor.shape_of_operand w op then
+      invalid_arg (Printf.sprintf "Executor: input %s has the wrong shape" op.W.name);
+    t
+  | None -> invalid_arg (Printf.sprintf "Executor: missing input %s" op.W.name)
+
+(* coordinates of an operand given the per-dimension point values *)
+let coords (op : W.operand) point =
+  Array.of_list
+    (List.map
+       (fun idx ->
+         match idx with
+         | W.Dim d -> (point : (W.dim * int ref) list) |> fun p -> !(List.assoc d p)
+         | W.Affine terms ->
+           List.fold_left (fun acc (d, c) -> acc + (c * !(List.assoc d point))) 0 terms)
+       op.W.indices)
+
+let execute_points w bindings iterate =
+  let out_op = W.output w in
+  let out = Tensor.create (Tensor.shape_of_operand w out_op) in
+  let inputs = List.map (fun op -> (op, lookup w bindings op)) (W.inputs w) in
+  let point = List.map (fun d -> (d, ref 0)) (W.dim_names w) in
+  iterate point (fun () ->
+      let product =
+        List.fold_left (fun acc (op, t) -> acc *. Tensor.get t (coords op point)) 1.0 inputs
+      in
+      Tensor.add out (coords out_op point) product);
+  out
+
+let reference w bindings =
+  execute_points w bindings (fun point body ->
+      let rec loop = function
+        | [] -> body ()
+        | (d, cell) :: rest ->
+          for v = 0 to W.bound w d - 1 do
+            cell := v;
+            loop rest
+          done
+      in
+      loop point)
+
+(* Flattened loop nest of a mapping, outermost first: per level from the
+   top, temporal loops in order then spatial loops. Each loop carries the
+   span of one iteration step (the product of the same dimension's inner
+   loops), so a dimension's value is the weighted digit sum of its loops. *)
+type loop = { dim : W.dim; bound : int; mutable stride : int }
+
+let nest_of w m =
+  ignore w;
+  let acc = ref [] in
+  (* innermost-to-outermost accumulation *)
+  for level = 0 to M.num_levels m - 1 do
+    let lm = m.M.levels.(level) in
+    List.iter
+      (fun (dim, bound) -> if bound > 1 then acc := { dim; bound; stride = 0 } :: !acc)
+      lm.M.spatial;
+    List.iter
+      (fun dim ->
+        let bound = match List.assoc_opt dim lm.M.temporal with Some b -> b | None -> 1 in
+        if bound > 1 then acc := { dim; bound; stride = 0 } :: !acc)
+      (List.rev lm.M.order)
+  done;
+  let outer_first = !acc in
+  (* strides: product of inner loops of the same dimension *)
+  let inner_span = Hashtbl.create 8 in
+  List.iter
+    (fun loop ->
+      let span = try Hashtbl.find inner_span loop.dim with Not_found -> 1 in
+      loop.stride <- span;
+      Hashtbl.replace inner_span loop.dim (span * loop.bound))
+    (List.rev outer_first);
+  outer_first
+
+let run_mapping w m bindings =
+  (match M.make w (Array.to_list m.M.levels) with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Executor.run_mapping: " ^ msg));
+  let nest = nest_of w m in
+  execute_points w bindings (fun point body ->
+      let cells = List.map (fun loop -> (loop, List.assoc loop.dim point)) nest in
+      let rec walk = function
+        | [] -> body ()
+        | (loop, cell) :: rest ->
+          let base = !cell in
+          for v = 0 to loop.bound - 1 do
+            cell := base + (v * loop.stride);
+            walk rest
+          done;
+          cell := base
+      in
+      walk cells)

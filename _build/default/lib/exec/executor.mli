@@ -1,0 +1,28 @@
+(** Reference executor: actually runs a tensor workload on dense data.
+
+    Two evaluation paths must agree bit-for-bit in visit counts (and to
+    floating-point tolerance in values) for every valid mapping:
+
+    - {!reference} walks the operation space in canonical order;
+    - {!run_mapping} walks the mapped loop nest (temporal and spatial loops
+      flattened in nest order), exactly the traversal the accelerator
+      performs.
+
+    Agreement is the functional-correctness argument for the mapping IR:
+    tiling, reordering and unrolling are pure traversal choices and cannot
+    change the computed tensor. The property test in the suite runs random
+    mappings of small workloads through both paths. *)
+
+type bindings = (string * Tensor.t) list
+(** Input operand name -> data. *)
+
+val random_inputs : ?seed:int -> Sun_tensor.Workload.t -> bindings
+
+val reference : Sun_tensor.Workload.t -> bindings -> Tensor.t
+(** Direct evaluation of the algebraic definition. Raises
+    [Invalid_argument] if an input is missing or mis-shaped. *)
+
+val run_mapping : Sun_tensor.Workload.t -> Sun_mapping.Mapping.t -> bindings -> Tensor.t
+(** Evaluation in mapped order. The mapping must be structurally valid for
+    the workload ([Mapping.make] rules); buffer capacities are irrelevant
+    to functional behaviour and are not checked here. *)

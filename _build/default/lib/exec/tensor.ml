@@ -1,0 +1,37 @@
+module W = Sun_tensor.Workload
+
+type t = { dims : int array; data : float array }
+
+let size t = Array.length t.data
+
+let create dims =
+  let n = Array.fold_left ( * ) 1 dims in
+  { dims; data = Array.make n 0.0 }
+
+let random rng dims =
+  let n = Array.fold_left ( * ) 1 dims in
+  { dims; data = Array.init n (fun _ -> Sun_util.Rng.float rng 1.0) }
+
+let flat_index t coords =
+  let acc = ref 0 in
+  Array.iteri
+    (fun i c ->
+      assert (c >= 0 && c < t.dims.(i));
+      acc := (!acc * t.dims.(i)) + c)
+    coords;
+  !acc
+
+let get t coords = t.data.(flat_index t coords)
+
+let add t coords v =
+  let i = flat_index t coords in
+  t.data.(i) <- t.data.(i) +. v
+
+let equal ?(eps = 1e-9) a b =
+  a.dims = b.dims
+  && Array.for_all2
+       (fun x y -> Float.abs (x -. y) <= eps *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y)))
+       a.data b.data
+
+let shape_of_operand w (op : W.operand) =
+  Array.of_list (List.map (W.axis_extent (W.bound w)) op.W.indices)

@@ -1,0 +1,25 @@
+(** Dense row-major tensors for the reference executor. *)
+
+type t = { dims : int array; data : float array }
+
+val create : int array -> t
+(** Zero-filled. *)
+
+val random : Sun_util.Rng.t -> int array -> t
+(** Entries uniform in [0, 1). *)
+
+val size : t -> int
+
+val get : t -> int array -> float
+val add : t -> int array -> float -> unit
+(** In-place accumulation at a coordinate. *)
+
+val flat_index : t -> int array -> int
+
+val equal : ?eps:float -> t -> t -> bool
+(** Same shape and element-wise agreement within [eps] (default 1e-9
+    relative to magnitude). *)
+
+val shape_of_operand : Sun_tensor.Workload.t -> Sun_tensor.Workload.operand -> int array
+(** Axis sizes the operand spans over the full problem (sliding-window axes
+    get their padded extent). *)

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Buffer List Printf Runners String Sun_arch Sun_baselines Sun_core Sun_cost Sun_diannao Sun_search Sun_tensor Sun_util Sun_workloads

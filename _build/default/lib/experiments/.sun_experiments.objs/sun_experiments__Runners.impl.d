@@ -1,0 +1,1 @@
+lib/experiments/runners.ml: Float List Sun_arch Sun_baselines Sun_core Sun_cost Sun_tensor Sun_util

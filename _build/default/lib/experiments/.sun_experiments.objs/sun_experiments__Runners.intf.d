@@ -1,0 +1,1 @@
+lib/experiments/runners.mli: Sun_arch Sun_baselines Sun_core Sun_tensor

@@ -1,0 +1,434 @@
+module W = Sun_tensor.Workload
+module Catalog = Sun_tensor.Catalog
+module Reuse = Sun_tensor.Reuse
+module Presets = Sun_arch.Presets
+module Model = Sun_cost.Model
+module Opt = Sun_core.Optimizer
+module Mapper = Sun_baselines.Mapper
+module Space_size = Sun_baselines.Space_size
+module Table_fmt = Sun_util.Table_fmt
+module Resnet18 = Sun_workloads.Resnet18
+module Inception = Sun_workloads.Inception
+module Non_dnn = Sun_workloads.Non_dnn
+
+let buf_add buf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  let buf = Buffer.create 1024 in
+  buf_add buf "Table I: optimization-space size per tool";
+  buf_add buf "Workload: Inception-v3 example layer (K192 C128 17x17 R3S3), conventional accelerator";
+  buf_add buf "";
+  let entries = Space_size.table Inception.example_layer Presets.conventional in
+  let rows =
+    List.map
+      (fun (e : Space_size.entry) ->
+        [
+          e.Space_size.tool;
+          string_of_int e.Space_size.tile_dims;
+          string_of_int e.Space_size.unroll_dims;
+          Table_fmt.si e.Space_size.space;
+        ])
+      entries
+  in
+  buf_add buf "%s"
+    (Table_fmt.render ~header:[ "tool"; "tile dims"; "unroll dims"; "space size" ] ~rows);
+  (match
+     ( List.find_opt (fun (e : Space_size.entry) -> e.Space_size.tool = "timeloop") entries,
+       List.find_opt (fun (e : Space_size.entry) -> e.Space_size.tool = "sunstone") entries )
+   with
+  | Some tl, Some sun when sun.Space_size.space > 0.0 ->
+    buf_add buf "";
+    buf_add buf "Timeloop space / Sunstone space = %s (paper: ~10^7x smaller)"
+      (Table_fmt.si (tl.Space_size.space /. sun.Space_size.space))
+  | _ -> ());
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  let buf = Buffer.create 512 in
+  buf_add buf "Table III: inferred reuse for 1-D convolution (K4 C4 P7 R3)";
+  let w = Catalog.conv1d ~k:4 ~c:4 ~p:7 ~r:3 () in
+  let table = Reuse.analyze w in
+  let rows =
+    List.map
+      (fun (e : Reuse.entry) ->
+        let dims ds = if ds = [] then "-" else String.concat ", " (List.map String.lowercase_ascii ds) in
+        [
+          e.Reuse.operand.W.name;
+          dims e.Reuse.indexed_by;
+          dims e.Reuse.reused_by;
+          dims e.Reuse.partially_reused_by;
+        ])
+      table
+  in
+  buf_add buf "%s"
+    (Table_fmt.render ~header:[ "tensor"; "indexed by"; "reused by"; "partially reused by" ] ~rows);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+let table6 ?(layers = 4) () =
+  let buf = Buffer.create 1024 in
+  buf_add buf "Table VI: effect of optimization order (ResNet-18 layers, conventional accelerator)";
+  buf_add buf "";
+  let selected = Sun_util.Listx.take layers (Resnet18.representative ()) in
+  let configs =
+    [
+      ("bottom-up / unroll->tile->order", { Opt.default_config with Opt.intra = Opt.Unrolling_first });
+      ("bottom-up / tile->unroll->order", { Opt.default_config with Opt.intra = Opt.Tiling_first });
+      ("bottom-up / order->tile->unroll", { Opt.default_config with Opt.intra = Opt.Ordering_first });
+      ( "top-down  / unroll->tile->order",
+        { Opt.default_config with Opt.direction = Opt.Top_down; Opt.intra = Opt.Unrolling_first } );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, config) ->
+        let space, edp =
+          List.fold_left
+            (fun (space, edp) (l : Resnet18.layer) ->
+              match Opt.optimize ~config l.Resnet18.workload Presets.conventional with
+              | Ok r -> (space + r.Opt.stats.Opt.examined, edp +. r.Opt.cost.Model.edp)
+              | Error _ -> (space, edp))
+            (0, 0.0) selected
+        in
+        [ name; string_of_int space; Table_fmt.si edp ])
+      configs
+  in
+  buf_add buf "%s" (Table_fmt.render ~header:[ "order of optimization"; "space size"; "EDP sum" ] ~rows);
+  buf_add buf "";
+  buf_add buf
+    "Expected shape: the three bottom-up variants reach the same EDP; top-down examines ~10-100x more.";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+let render_suite buf ~title rows =
+  buf_add buf "%s" title;
+  let tool_names =
+    match rows with [] -> [] | r :: _ -> List.map fst r.Runners.outcomes
+  in
+  let edp_rows =
+    List.map
+      (fun (r : Runners.row) ->
+        r.Runners.workload_name :: List.map (fun (_, o) -> Runners.edp_cell o) r.Runners.outcomes)
+      rows
+  in
+  buf_add buf "%s" (Table_fmt.render ~header:("EDP" :: tool_names) ~rows:edp_rows);
+  buf_add buf "";
+  let time_rows =
+    List.map
+      (fun (r : Runners.row) ->
+        r.Runners.workload_name :: List.map (fun (_, o) -> Runners.time_cell o) r.Runners.outcomes)
+      rows
+  in
+  buf_add buf "%s" (Table_fmt.render ~header:("time-to-solution" :: tool_names) ~rows:time_rows);
+  buf_add buf "";
+  List.iter
+    (fun tool ->
+      if tool <> "sunstone" then begin
+        let ratio = Runners.geomean_ratio_vs ~baseline:"sunstone" ~tool rows in
+        let speed = Runners.speedup_vs ~baseline:"sunstone" ~tool rows in
+        let invalid = Runners.invalid_count ~tool rows in
+        buf_add buf "%-12s EDP vs sunstone: %s   time vs sunstone: %s   invalid: %d/%d" tool
+          (match ratio with Some r -> Printf.sprintf "%.2fx" r | None -> "n/a")
+          (match speed with Some s -> Printf.sprintf "%.1fx" s | None -> "n/a")
+          invalid (List.length rows)
+      end)
+    tool_names
+
+let fig6 () =
+  let buf = Buffer.create 2048 in
+  let workloads =
+    List.map (fun (i : Non_dnn.instance) -> (i.Non_dnn.instance_name, i.Non_dnn.workload)) Non_dnn.all
+  in
+  let rows =
+    Runners.run_suite
+      ~tools:[ Runners.sunstone (); Runners.timeloop_fast; Runners.timeloop_slow ]
+      ~workloads ~arch:Presets.conventional
+  in
+  render_suite buf
+    ~title:"Fig 6: non-DNN workloads (MTTKRP r32, TTMc r8, SDDMM r512) on the conventional accelerator"
+    rows;
+  Buffer.contents buf
+
+let fig7 ?(batch = 16) () =
+  let buf = Buffer.create 2048 in
+  let workloads =
+    List.map
+      (fun (l : Inception.layer) -> (l.Inception.layer_name, l.Inception.workload))
+      (Inception.weight_update_layers ~batch ())
+  in
+  let rows =
+    Runners.run_suite
+      ~tools:
+        [
+          Runners.sunstone ();
+          Runners.timeloop_fast;
+          Runners.timeloop_slow;
+          Runners.dmaze_fast;
+          Runners.dmaze_slow;
+          Runners.interstellar;
+        ]
+      ~workloads ~arch:Presets.conventional
+  in
+  render_suite buf
+    ~title:
+      (Printf.sprintf "Fig 7: Inception-v3 weight update (batch %d) on the conventional accelerator"
+         batch)
+    rows;
+  Buffer.contents buf
+
+let fig8 ?(batch = 16) () =
+  let buf = Buffer.create 2048 in
+  let workloads =
+    List.map (fun (l : Resnet18.layer) -> (l.Resnet18.layer_name, l.Resnet18.workload))
+      (Resnet18.layers ~batch ())
+  in
+  let rows =
+    Runners.run_suite
+      ~tools:[ Runners.sunstone (); Runners.timeloop_fast; Runners.timeloop_slow; Runners.cosa ]
+      ~workloads ~arch:Presets.simba_like
+  in
+  render_suite buf
+    ~title:(Printf.sprintf "Fig 8: ResNet-18 inference (batch %d) on the Simba-like accelerator" batch)
+    rows;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+let fig9 () =
+  let buf = Buffer.create 2048 in
+  buf_add buf "Fig 9: tiling/unrolling overheads on a DianNao-like accelerator (ResNet-18)";
+  buf_add buf "";
+  let layers = Resnet18.layers () in
+  let arch = Presets.diannao_like in
+  let results =
+    List.filter_map
+      (fun (l : Resnet18.layer) ->
+        match Opt.optimize l.Resnet18.workload arch with
+        | Error _ -> None
+        | Ok r ->
+          (* the compiler's layout pass: tune the analytic schedule against
+             the simulated instruction/reorder overheads *)
+          let _, program, opt = Sun_diannao.Tuner.tune l.Resnet18.workload r.Opt.mapping in
+          let naive = Sun_diannao.Simulator.naive l.Resnet18.workload in
+          Some (l, program, opt, naive))
+      layers
+  in
+  (* Fig 9a: naive vs optimized *)
+  let module S = Sun_diannao.Simulator in
+  let rows9a =
+    List.map
+      (fun ((l : Resnet18.layer), _, opt, naive) ->
+        let n = S.total naive.S.energy and o = S.total opt.S.energy in
+        [ l.Resnet18.layer_name; Table_fmt.si n; Table_fmt.si o; Printf.sprintf "%.1fx" (n /. o) ])
+      results
+  in
+  let weighted f =
+    List.fold_left
+      (fun acc ((l : Resnet18.layer), p, o, n) -> acc +. (float_of_int l.Resnet18.count *. f (l, p, o, n)))
+      0.0 results
+  in
+  let total_naive = weighted (fun (_, _, _, n) -> S.total n.S.energy) in
+  let total_opt = weighted (fun (_, _, o, _) -> S.total o.S.energy) in
+  buf_add buf "%s"
+    (Table_fmt.render
+       ~header:[ "layer"; "naive energy (pJ)"; "optimized (pJ)"; "saving" ]
+       ~rows:
+         (rows9a
+         @ [
+             [
+               "TOTAL (weighted)";
+               Table_fmt.si total_naive;
+               Table_fmt.si total_opt;
+               Printf.sprintf "%.1fx" (total_naive /. total_opt);
+             ];
+           ]));
+  buf_add buf "";
+  (* Fig 9b: energy breakdown *)
+  let rows9b =
+    List.map
+      (fun ((l : Resnet18.layer), program, opt, _) ->
+        let e = opt.S.energy in
+        let t = S.total e in
+        let pct v = Printf.sprintf "%.1f%%" (100.0 *. v /. t) in
+        [
+          l.Resnet18.layer_name;
+          pct e.S.dram;
+          pct e.S.nbin;
+          pct e.S.sb;
+          pct e.S.nbout;
+          pct e.S.mac;
+          pct e.S.instruction_fetch;
+          pct e.S.reorder;
+          string_of_int opt.S.events.S.instructions;
+          string_of_int program.Sun_diannao.Compiler.passes;
+        ])
+      results
+  in
+  buf_add buf "%s"
+    (Table_fmt.render
+       ~header:[ "layer"; "DRAM"; "NBin"; "SB"; "NBout"; "MAC"; "instr"; "reorder"; "#instr"; "#passes" ]
+       ~rows:rows9b);
+  buf_add buf "";
+  let total_instr =
+    weighted (fun (_, _, o, _) -> float_of_int o.S.events.S.instructions)
+  in
+  let instr_pct = weighted (fun (_, _, o, _) -> o.S.energy.S.instruction_fetch) /. total_opt in
+  let reorder_pct = weighted (fun (_, _, o, _) -> o.S.energy.S.reorder) /. total_opt in
+  buf_add buf "Network totals: %.2fM instructions; instruction overhead %.1f%%; reorder overhead %.2f%%"
+    (total_instr /. 1e6) (100.0 *. instr_pct) (100.0 *. reorder_pct);
+  buf_add buf "(paper: 4.1M instructions, ~5%% instruction and ~0.2%% reorder overhead, 2.9x saving)";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+let ablation ?(layers = 3) () =
+  let buf = Buffer.create 2048 in
+  buf_add buf "Ablation: Sunstone design choices (ResNet-18 layers, conventional + Simba)";
+  buf_add buf "";
+  let selected = Sun_util.Listx.take layers (Resnet18.representative ~batch:16 ()) in
+  let variants =
+    [
+      ("default (beam 12)", Opt.default_config);
+      ("no alpha-beta", { Opt.default_config with Opt.alpha_beta = false });
+      ("no refinement", { Opt.default_config with Opt.refine = false });
+      ("beam 1 (greedy)", { Opt.default_config with Opt.beam_width = 1 });
+      ("beam 4", { Opt.default_config with Opt.beam_width = 4 });
+      ("beam 32", { Opt.default_config with Opt.beam_width = 32 });
+      ("no utilization floor", { Opt.default_config with Opt.min_spatial_utilization = 0.0 });
+    ]
+  in
+  let run_on arch_name arch =
+    buf_add buf "-- %s --" arch_name;
+    let rows =
+      List.map
+        (fun (name, config) ->
+          let edp, examined, secs =
+            List.fold_left
+              (fun (edp, ex, secs) (l : Resnet18.layer) ->
+                match Opt.optimize ~config l.Resnet18.workload arch with
+                | Ok r ->
+                  ( edp +. r.Opt.cost.Model.edp,
+                    ex + r.Opt.stats.Opt.examined,
+                    secs +. r.Opt.stats.Opt.wall_seconds )
+                | Error _ -> (edp, ex, secs))
+              (0.0, 0, 0.0) selected
+          in
+          [ name; Table_fmt.si edp; string_of_int examined; Table_fmt.seconds secs ])
+        variants
+    in
+    buf_add buf "%s"
+      (Table_fmt.render ~header:[ "variant"; "EDP sum"; "examined"; "time" ] ~rows);
+    buf_add buf ""
+  in
+  run_on "conventional" Presets.conventional;
+  run_on "simba-like" Presets.simba_like;
+  buf_add buf
+    "Reading: on the flat conventional machine every variant converges (the per-level candidate";
+  buf_add buf
+    "sets are small and good); on the 4-level Simba hierarchy the beam matters (greedy loses";
+  buf_add buf
+    "~8%%, saturating by width ~12), local refinement recovers ~6%%, and alpha-beta only fires";
+  buf_add buf "once the incumbent is tight enough to dominate committed partial energies.";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+let versatility () =
+  let buf = Buffer.create 2048 in
+  buf_add buf
+    "Versatility: every Table II workload family under one scheduler (conventional accelerator)";
+  buf_add buf "";
+  let fc = Catalog.matmul ~name:"fc/resnet-head" ~m:512 ~n:1000 ~k:512 () in
+  let conv = (List.nth (Resnet18.layers ~batch:16 ()) 1).Resnet18.workload in
+  let extras =
+    [ ("conv/resnet-conv2", conv); ("fc/resnet-head", fc) ]
+    @ List.map
+        (fun (i : Non_dnn.instance) -> (i.Non_dnn.instance_name, i.Non_dnn.workload))
+        (Non_dnn.mmc_suite @ Non_dnn.tcl_suite)
+  in
+  let rows =
+    List.map
+      (fun (name, w) ->
+        let reuse = Sun_tensor.Reuse.analyze w in
+        let reused_ops =
+          String.concat "," (List.filter_map
+            (fun (e : Sun_tensor.Reuse.entry) ->
+              if e.Sun_tensor.Reuse.reused_by <> [] then Some e.Sun_tensor.Reuse.operand.W.name
+              else None)
+            reuse)
+        in
+        match Opt.optimize w Presets.conventional with
+        | Ok r ->
+          [
+            name;
+            string_of_int (List.length w.W.dims);
+            reused_ops;
+            Table_fmt.si r.Opt.cost.Model.edp;
+            Printf.sprintf "%.0f%%" (100.0 *. r.Opt.cost.Model.spatial_utilization);
+            Table_fmt.seconds r.Opt.stats.Opt.wall_seconds;
+          ]
+        | Error _ -> [ name; "-"; reused_ops; "UNMAPPABLE"; "-"; "-" ])
+      extras
+  in
+  buf_add buf "%s"
+    (Table_fmt.render
+       ~header:[ "workload"; "dims"; "reusable operands"; "EDP"; "PE util"; "time" ]
+       ~rows);
+  buf_add buf "";
+  buf_add buf
+    "Every family is scheduled by the same reuse algebra; no per-workload heuristics involved.";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+let scalability () =
+  let buf = Buffer.create 2048 in
+  buf_add buf "Scalability: adding memory/spatial levels (synthetic deep hierarchies, conv2d K64 C64 56x56)";
+  buf_add buf "";
+  let w = Catalog.conv2d ~n:1 ~k:64 ~c:64 ~p:56 ~q:56 ~r:3 ~s:3 () in
+  let rows =
+    List.map
+      (fun on_chip ->
+        let arch = Presets.deep ~on_chip_levels:on_chip in
+        let space = Sun_search.Mapspace.size (Sun_search.Mapspace.create w arch) in
+        match Opt.optimize w arch with
+        | Ok r ->
+          [
+            string_of_int (on_chip + 1);
+            Table_fmt.si space;
+            string_of_int r.Opt.stats.Opt.examined;
+            Table_fmt.si r.Opt.cost.Model.edp;
+            Table_fmt.seconds r.Opt.stats.Opt.wall_seconds;
+          ]
+        | Error _ -> [ string_of_int (on_chip + 1); Table_fmt.si space; "-"; "UNMAPPABLE"; "-" ])
+      [ 1; 2; 3; 4 ]
+  in
+  buf_add buf "%s"
+    (Table_fmt.render
+       ~header:[ "memory levels"; "full map-space"; "sunstone examined"; "EDP"; "time" ]
+       ~rows);
+  buf_add buf "";
+  buf_add buf
+    "The full space grows by orders of magnitude per level; Sunstone's examined count and";
+  buf_add buf "time-to-solution grow far slower (the paper's scalability claim, Section I).";
+  Buffer.contents buf
+
+let all =
+  [
+    ("table1", table1);
+    ("table3", table3);
+    ("table6", fun () -> table6 ());
+    ("fig6", fig6);
+    ("fig7", fun () -> fig7 ());
+    ("fig8", fun () -> fig8 ());
+    ("fig9", fig9);
+    ("ablation", fun () -> ablation ());
+    ("versatility", versatility);
+    ("scalability", scalability);
+  ]

@@ -1,0 +1,54 @@
+(** One driver per table and figure of the paper's evaluation (DESIGN.md's
+    per-experiment index). Each driver runs the experiment and renders a
+    plain-text report with the same rows/series the paper plots, plus the
+    summary statistics the paper quotes in prose (speedups, EDP ratios,
+    invalid-mapping counts). *)
+
+val table1 : unit -> string
+(** Search-space sizes per tool for an Inception-v3 example layer. *)
+
+val table3 : unit -> string
+(** Inferred reuse of each tensor in the 1-D convolution example. *)
+
+val table6 : ?layers:int -> unit -> string
+(** Optimization-order ablation: bottom-up intra-level variants vs
+    top-down, space size and achieved EDP over ResNet-18 layers on the
+    conventional (Eyeriss-like) machine. *)
+
+val fig6 : unit -> string
+(** Non-DNN workloads (MTTKRP r32, TTMc r8, SDDMM r512) on the conventional
+    accelerator: EDP (6a) and time-to-solution (6b) for Sunstone vs
+    Timeloop-like fast/slow. *)
+
+val fig7 : ?batch:int -> unit -> string
+(** Inception-v3 weight update on the conventional accelerator: EDP (7a)
+    and time (7b) for Sunstone, TL fast/slow, dMaze fast/slow, INTER, with
+    invalid markers. *)
+
+val fig8 : ?batch:int -> unit -> string
+(** ResNet-18 inference on the Simba-like accelerator: EDP (8a) and time
+    (8b) for Sunstone, TL fast/slow, CoSA, with invalid markers. *)
+
+val fig9 : unit -> string
+(** DianNao overhead study: naive vs dataflow-optimized energy (9a) and the
+    per-component energy breakdown incl. instruction-fetch and reordering
+    overheads (9b) for ResNet-18 layers. *)
+
+val ablation : ?layers:int -> unit -> string
+(** Beyond the paper: sensitivity of Sunstone's own design choices (beam
+    width, alpha-beta, local refinement, utilization floor) on
+    representative ResNet-18 layers over both evaluated machines. *)
+
+val versatility : unit -> string
+(** Beyond Fig 6: all six Table II families — conv, FC, MTTKRP, SDDMM,
+    TTMc, MMc (attention) and TCL — scheduled by the same reuse algebra. *)
+
+val scalability : unit -> string
+(** The Section I scalability claim: synthetic hierarchies with 2-5 memory
+    levels; the full map-space explodes per level while Sunstone's examined
+    count grows slowly. *)
+
+val all : (string * (unit -> string)) list
+(** Drivers in paper order, keyed ["table1"], ["table3"], ["table6"],
+    ["fig6"], ["fig7"], ["fig8"], ["fig9"], plus ["ablation"],
+    ["versatility"] and ["scalability"]. *)

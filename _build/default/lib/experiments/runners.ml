@@ -1,0 +1,108 @@
+module W = Sun_tensor.Workload
+module Opt = Sun_core.Optimizer
+module Mapper = Sun_baselines.Mapper
+module Model = Sun_cost.Model
+module Table_fmt = Sun_util.Table_fmt
+
+type tool = { tool_name : string; run : W.t -> Sun_arch.Arch.t -> Mapper.outcome }
+
+let sunstone_outcome ?config w arch =
+  match Opt.optimize ?config w arch with
+  | Ok r ->
+    {
+      Mapper.tool = "sunstone";
+      mapping = Some r.Opt.mapping;
+      cost = Some r.Opt.cost;
+      valid = true;
+      examined = r.Opt.stats.Opt.examined;
+      wall_seconds = r.Opt.stats.Opt.wall_seconds;
+    }
+  | Error _ -> Mapper.failure ~tool:"sunstone" ~examined:0 ~wall_seconds:0.0
+
+let sunstone ?config () =
+  { tool_name = "sunstone"; run = (fun w arch -> sunstone_outcome ?config w arch) }
+
+let timeloop_fast =
+  {
+    tool_name = "TL-fast";
+    run = (fun w arch -> Sun_baselines.Timeloop_like.run ~config:Sun_baselines.Timeloop_like.fast w arch);
+  }
+
+let timeloop_slow =
+  {
+    tool_name = "TL-slow";
+    run = (fun w arch -> Sun_baselines.Timeloop_like.run ~config:Sun_baselines.Timeloop_like.slow w arch);
+  }
+
+let dmaze_fast =
+  {
+    tool_name = "dMaze-fast";
+    run = (fun w arch -> Sun_baselines.Dmaze_like.run ~config:Sun_baselines.Dmaze_like.fast w arch);
+  }
+
+let dmaze_slow =
+  {
+    tool_name = "dMaze-slow";
+    run = (fun w arch -> Sun_baselines.Dmaze_like.run ~config:Sun_baselines.Dmaze_like.slow w arch);
+  }
+
+let interstellar =
+  { tool_name = "INTER"; run = (fun w arch -> Sun_baselines.Interstellar_like.run w arch) }
+
+let cosa = { tool_name = "CoSA"; run = (fun w arch -> Sun_baselines.Cosa_like.run w arch) }
+
+type row = { workload_name : string; outcomes : (string * Mapper.outcome) list }
+
+let run_suite ~tools ~workloads ~arch =
+  List.map
+    (fun (workload_name, w) ->
+      let outcomes = List.map (fun t -> (t.tool_name, t.run w arch)) tools in
+      { workload_name; outcomes })
+    workloads
+
+let edp_cell (o : Mapper.outcome) =
+  match o.Mapper.cost with
+  | Some c -> Table_fmt.si c.Model.edp
+  | None -> "INVALID"
+
+let time_cell (o : Mapper.outcome) = Table_fmt.seconds o.Mapper.wall_seconds
+
+let paired ~baseline ~tool rows =
+  List.filter_map
+    (fun row ->
+      match (List.assoc_opt baseline row.outcomes, List.assoc_opt tool row.outcomes) with
+      | Some b, Some t -> Some (b, t)
+      | _ -> None)
+    rows
+
+let geomean values =
+  match values with
+  | [] -> None
+  | vs ->
+    let log_sum = List.fold_left (fun acc v -> acc +. Float.log v) 0.0 vs in
+    Some (Float.exp (log_sum /. float_of_int (List.length vs)))
+
+let geomean_ratio_vs ~baseline ~tool rows =
+  paired ~baseline ~tool rows
+  |> List.filter_map (fun (b, t) ->
+         match (b.Mapper.cost, t.Mapper.cost) with
+         | Some cb, Some ct when cb.Model.edp > 0.0 -> Some (ct.Model.edp /. cb.Model.edp)
+         | _ -> None)
+  |> geomean
+
+let speedup_vs ~baseline ~tool rows =
+  paired ~baseline ~tool rows
+  |> List.filter_map (fun (b, t) ->
+         if b.Mapper.wall_seconds > 0.0 && t.Mapper.wall_seconds > 0.0 then
+           Some (t.Mapper.wall_seconds /. b.Mapper.wall_seconds)
+         else None)
+  |> geomean
+
+let invalid_count ~tool rows =
+  List.length
+    (List.filter
+       (fun row ->
+         match List.assoc_opt tool row.outcomes with
+         | Some o -> not o.Mapper.valid
+         | None -> false)
+       rows)

@@ -1,0 +1,49 @@
+(** Shared plumbing for the experiment drivers: run a set of mappers over a
+    set of workloads and collect paper-style rows. *)
+
+type tool = {
+  tool_name : string;
+  run :
+    Sun_tensor.Workload.t -> Sun_arch.Arch.t -> Sun_baselines.Mapper.outcome;
+}
+
+val sunstone : ?config:Sun_core.Optimizer.config -> unit -> tool
+(** Sunstone wrapped in the common mapper interface. *)
+
+val sunstone_outcome :
+  ?config:Sun_core.Optimizer.config ->
+  Sun_tensor.Workload.t ->
+  Sun_arch.Arch.t ->
+  Sun_baselines.Mapper.outcome
+
+val timeloop_fast : tool
+val timeloop_slow : tool
+val dmaze_fast : tool
+val dmaze_slow : tool
+val interstellar : tool
+val cosa : tool
+
+type row = {
+  workload_name : string;
+  outcomes : (string * Sun_baselines.Mapper.outcome) list;  (** tool name -> outcome *)
+}
+
+val run_suite :
+  tools:tool list ->
+  workloads:(string * Sun_tensor.Workload.t) list ->
+  arch:Sun_arch.Arch.t ->
+  row list
+
+val edp_cell : Sun_baselines.Mapper.outcome -> string
+(** EDP formatted, or ["INVALID"]. *)
+
+val time_cell : Sun_baselines.Mapper.outcome -> string
+
+val geomean_ratio_vs : baseline:string -> tool:string -> row list -> float option
+(** Geometric mean over rows (where both are valid) of
+    [EDP tool / EDP baseline]. *)
+
+val speedup_vs : baseline:string -> tool:string -> row list -> float option
+(** Geometric mean of [time tool / time baseline]. *)
+
+val invalid_count : tool:string -> row list -> int

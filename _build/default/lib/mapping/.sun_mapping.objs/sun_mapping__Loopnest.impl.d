@@ -1,0 +1,1 @@
+lib/mapping/loopnest.ml: Array Buffer Hashtbl List Mapping Printf String Sun_tensor

@@ -1,0 +1,1 @@
+lib/mapping/loopnest.mli: Mapping Sun_tensor

@@ -1,0 +1,1 @@
+lib/mapping/mapping.ml: Array Format List Printf String Sun_tensor

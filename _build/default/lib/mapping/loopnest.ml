@@ -1,0 +1,76 @@
+module W = Sun_tensor.Workload
+
+type loop = { dim : W.dim; bound : int; level : int; kind : [ `Temporal | `Spatial ] }
+
+(* Loops outermost-first: for each level from the top down, its temporal
+   loops in order, then the spatial loops distributing its children. *)
+let loops w m =
+  ignore w;
+  let acc = ref [] in
+  for level = Mapping.num_levels m - 1 downto 0 do
+    let lm = m.Mapping.levels.(level) in
+    let spatial =
+      List.filter_map
+        (fun (dim, bound) ->
+          if bound > 1 then Some { dim; bound; level; kind = `Spatial } else None)
+        lm.Mapping.spatial
+    in
+    let temporal =
+      List.filter_map
+        (fun dim ->
+          let bound =
+            match List.assoc_opt dim lm.Mapping.temporal with Some b -> b | None -> 1
+          in
+          if bound > 1 then Some { dim; bound; level; kind = `Temporal } else None)
+        lm.Mapping.order
+    in
+    (* innermost-first accumulation: spatial loops of a level sit inside
+       its temporal loops (they index the children) *)
+    acc := temporal @ spatial @ !acc
+  done;
+  !acc
+
+let loop_count w m = List.length (loops w m)
+
+let body w =
+  let index_str = function
+    | W.Dim d -> String.lowercase_ascii d
+    | W.Affine terms ->
+      String.concat "+"
+        (List.map
+           (fun (d, c) ->
+             if c = 1 then String.lowercase_ascii d
+             else Printf.sprintf "%d*%s" c (String.lowercase_ascii d))
+           terms)
+  in
+  let operand_str (op : W.operand) =
+    Printf.sprintf "%s[%s]" op.W.name (String.concat ", " (List.map index_str op.W.indices))
+  in
+  let out = W.output w in
+  let inputs = W.inputs w in
+  Printf.sprintf "%s += %s" (operand_str out) (String.concat " * " (List.map operand_str inputs))
+
+let emit w m =
+  let buf = Buffer.create 512 in
+  let nest = loops w m in
+  let seen_level = Hashtbl.create 8 in
+  List.iteri
+    (fun depth { dim; bound; level; kind } ->
+      let indent = String.make (2 * depth) ' ' in
+      let keyword = match kind with `Temporal -> "for" | `Spatial -> "parallel_for" in
+      let comment =
+        if Hashtbl.mem seen_level level then ""
+        else begin
+          Hashtbl.add seen_level level ();
+          Printf.sprintf "   // level %d%s" level
+            (match kind with `Spatial -> " fanout" | `Temporal -> "")
+        end
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s%d in 0..%d do%s\n" indent keyword
+           (String.lowercase_ascii dim) level bound comment))
+    nest;
+  Buffer.add_string buf (String.make (2 * List.length nest) ' ');
+  Buffer.add_string buf (body w);
+  Buffer.add_string buf "\n";
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Lower a mapping to the paper's loop-nest presentation (Algorithms 1-5):
+    a nested pseudocode listing with per-level tile comments, spatial loops
+    marked [parallel_for], and the innermost MAC statement written in terms
+    of the workload's operands and index expressions. *)
+
+val emit : Sun_tensor.Workload.t -> Mapping.t -> string
+(** Pseudocode for the full nest. Loops with trip count 1 are omitted.
+    Example output for the paper's Algorithm 2:
+
+    {v
+    for k2 in 0..2 do            // L1 tile boundary
+      for p2 in 0..2 do
+        for k1 in 0..2 do
+          for p1 in 0..7 do
+            for r in 0..3 do
+              ofmap[k, p] += ifmap[c, p+r] * weight[k, c, r]
+    v} *)
+
+val loop_count : Sun_tensor.Workload.t -> Mapping.t -> int
+(** Number of emitted loops (trip count > 1), a rough code-size proxy for
+    the instruction-overhead discussion of Section V-D. *)

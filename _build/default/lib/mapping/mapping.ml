@@ -1,0 +1,113 @@
+module W = Sun_tensor.Workload
+
+type dim = W.dim
+
+type level_mapping = { temporal : (dim * int) list; order : dim list; spatial : (dim * int) list }
+
+type t = { levels : level_mapping array }
+
+let num_levels t = Array.length t.levels
+
+let factor assoc d = match List.assoc_opt d assoc with Some f -> f | None -> 1
+
+let temporal_factor t ~level d = factor t.levels.(level).temporal d
+let spatial_factor t ~level d = factor t.levels.(level).spatial d
+
+let tile_at t ~level d =
+  let acc = ref 1 in
+  for j = 0 to level do
+    acc := !acc * temporal_factor t ~level:j d * spatial_factor t ~level:j d
+  done;
+  !acc
+
+let tile_at_top t d =
+  let acc = ref 1 in
+  for j = 0 to num_levels t - 1 do
+    acc := !acc * temporal_factor t ~level:j d * spatial_factor t ~level:j d
+  done;
+  !acc
+
+let spatial_product t ~level =
+  List.fold_left (fun acc (_, f) -> acc * f) 1 t.levels.(level).spatial
+
+let total_spatial t =
+  let acc = ref 1 in
+  for j = 0 to num_levels t - 1 do
+    acc := !acc * spatial_product t ~level:j
+  done;
+  !acc
+
+let footprint_at (_ : W.t) t ~level op = W.footprint (fun d -> tile_at t ~level d) op
+
+let validate w levels =
+  let dims = W.dim_names w in
+  let check_level i (lm : level_mapping) =
+    let known_factors assoc kind =
+      List.iter
+        (fun (d, f) ->
+          if not (List.mem d dims) then
+            failwith (Printf.sprintf "level %d: unknown dim %s in %s factors" i d kind);
+          if f < 1 then failwith (Printf.sprintf "level %d: %s factor of %s is %d" i kind d f))
+        assoc
+    in
+    known_factors lm.temporal "temporal";
+    known_factors lm.spatial "spatial";
+    let sorted = List.sort String.compare lm.order in
+    if sorted <> List.sort String.compare dims then
+      failwith (Printf.sprintf "level %d: order is not a permutation of the workload dims" i)
+  in
+  List.iteri check_level levels;
+  let t = { levels = Array.of_list levels } in
+  List.iter
+    (fun d ->
+      let placed = tile_at_top t d in
+      let bound = W.bound w d in
+      if placed <> bound then
+        failwith (Printf.sprintf "dim %s: factors multiply to %d, bound is %d" d placed bound))
+    dims;
+  t
+
+let make w levels = try Ok (validate w levels) with Failure msg -> Error msg
+
+let make_exn w levels =
+  match make w levels with Ok t -> t | Error msg -> invalid_arg ("Mapping.make_exn: " ^ msg)
+
+let single_level w ~num_levels =
+  let dims = W.dim_names w in
+  let ones = List.map (fun d -> (d, 1)) dims in
+  let inner = { temporal = ones; order = dims; spatial = ones } in
+  let top = { temporal = List.map (fun (d, b) -> (d, b)) w.W.dims; order = dims; spatial = ones } in
+  make_exn w (List.init num_levels (fun i -> if i = num_levels - 1 then top else inner))
+
+let loops_outermost_first t =
+  let acc = ref [] in
+  for level = num_levels t - 1 downto 0 do
+    let lm = t.levels.(level) in
+    List.iter
+      (fun d ->
+        let b = factor lm.temporal d in
+        if b > 1 then acc := (level, d, b) :: !acc)
+      lm.order
+  done;
+  List.rev !acc
+
+let pp ppf t =
+  let pp_level ppf (i, lm) =
+    let temporal_loops =
+      List.filter_map
+        (fun d ->
+          let b = factor lm.temporal d in
+          if b > 1 then Some (Printf.sprintf "for %s in %d" d b) else None)
+        lm.order
+    in
+    let spatial_loops =
+      List.filter_map (fun (d, f) -> if f > 1 then Some (Printf.sprintf "%s:%d" d f) else None) lm.spatial
+    in
+    let t_str = if temporal_loops = [] then "-" else String.concat ", " temporal_loops in
+    let s_str = if spatial_loops = [] then "" else " | spatial " ^ String.concat " * " spatial_loops in
+    Format.fprintf ppf "L%d: %s%s" i t_str s_str
+  in
+  let indexed = List.rev (Array.to_list (Array.mapi (fun i lm -> (i, lm)) t.levels)) in
+  Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_level) indexed
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,71 @@
+(** Mapping (dataflow) intermediate representation.
+
+    A mapping assigns to each memory level of an architecture: the temporal
+    tiling factors of every problem dimension at that level, the traversal
+    order of those temporal loops, and the spatial unrolling factors of the
+    fanout directly *below* that level. Level 0 is the innermost memory.
+
+    Conventions:
+    - for every dimension [d], the product over levels of
+      [temporal d * spatial d] must equal the workload bound of [d];
+    - [order] lists all workload dimensions outermost-to-innermost; loops
+      with factor 1 are no-ops but keep mappings uniform and printable;
+    - temporal loops at level [l] iterate *within* the data resident in the
+      level-[l] buffer (they are the "L1 loops" of the paper's Algorithm 4),
+      so the resident tile spans the temporal and spatial factors of levels
+      [<= l], and refills of level [l] are driven by the loops of levels
+      strictly above it. *)
+
+type dim = Sun_tensor.Workload.dim
+
+type level_mapping = {
+  temporal : (dim * int) list;
+  order : dim list;  (** outermost first *)
+  spatial : (dim * int) list;
+}
+
+type t = { levels : level_mapping array }
+
+val make : Sun_tensor.Workload.t -> level_mapping list -> (t, string) result
+(** Structural validation: factor lists cover exactly the workload dims with
+    positive factors, orders are permutations of the dims, and per-dimension
+    factor products equal the workload bounds. (Capacity and fanout checks
+    need the architecture and live in the cost model.) *)
+
+val make_exn : Sun_tensor.Workload.t -> level_mapping list -> t
+
+val num_levels : t -> int
+
+val temporal_factor : t -> level:int -> dim -> int
+val spatial_factor : t -> level:int -> dim -> int
+
+val tile_at : t -> level:int -> dim -> int
+(** Extent of [d] inside the level-[l] buffer tile: product of temporal and
+    spatial factors of levels [<= l]. *)
+
+val tile_at_top : t -> dim -> int
+(** Product over all levels; equals the workload bound for valid mappings. *)
+
+val spatial_product : t -> level:int -> int
+(** Product of all spatial factors at the level: parallel instances used. *)
+
+val total_spatial : t -> int
+
+val footprint_at :
+  Sun_tensor.Workload.t -> t -> level:int -> Sun_tensor.Workload.operand -> float
+(** Words of the operand resident in one level-[l] buffer instance. *)
+
+val single_level : Sun_tensor.Workload.t -> num_levels:int -> t
+(** The degenerate mapping placing the whole problem at the outermost level
+    (everything streams from DRAM): temporal factors all at the top, orders
+    in declaration order. Used as a baseline and in tests. *)
+
+val loops_outermost_first : t -> (int * dim * int) list
+(** Flattened temporal loop nest [(level, dim, bound)], outermost first;
+    bound-1 loops are omitted. *)
+
+val pp : Format.formatter -> t -> unit
+(** Timeloop-style rendering: one line per level, e.g.
+    [L2: for K in 4, for P in 2 | spatial K:2 * C:2]. *)
+
+val to_string : t -> string

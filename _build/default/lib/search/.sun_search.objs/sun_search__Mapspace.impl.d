@@ -1,0 +1,1 @@
+lib/search/mapspace.ml: Array Hashtbl List Seq Sun_arch Sun_mapping Sun_tensor Sun_util

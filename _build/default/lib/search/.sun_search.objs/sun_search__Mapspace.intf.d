@@ -1,0 +1,1 @@
+lib/search/mapspace.mli: Seq Sun_arch Sun_mapping Sun_tensor Sun_util

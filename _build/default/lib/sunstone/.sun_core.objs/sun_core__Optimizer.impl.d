@@ -1,0 +1,1 @@
+lib/sunstone/optimizer.ml: Array Buffer Fun Hashtbl List Order_trie String Sun_arch Sun_cost Sun_mapping Sun_tensor Sun_util Tile_tree Unroll

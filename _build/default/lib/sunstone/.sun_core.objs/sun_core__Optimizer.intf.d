@@ -1,0 +1,1 @@
+lib/sunstone/optimizer.mli: Stdlib Sun_arch Sun_cost Sun_mapping Sun_tensor

@@ -1,0 +1,1 @@
+lib/sunstone/order_trie.ml: Hashtbl List String Sun_tensor

@@ -1,0 +1,1 @@
+lib/sunstone/order_trie.mli: Sun_tensor

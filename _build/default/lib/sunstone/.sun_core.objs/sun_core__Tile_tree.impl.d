@@ -1,0 +1,1 @@
+lib/sunstone/tile_tree.ml: Array Hashtbl List Sun_tensor Sun_util

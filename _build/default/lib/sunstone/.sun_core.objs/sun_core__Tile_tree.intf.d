@@ -1,0 +1,1 @@
+lib/sunstone/tile_tree.mli: Sun_tensor

@@ -1,0 +1,1 @@
+lib/sunstone/unroll.ml: List Sun_tensor Tile_tree

@@ -1,0 +1,1 @@
+lib/sunstone/unroll.mli: Sun_tensor

@@ -1,0 +1,616 @@
+module W = Sun_tensor.Workload
+module A = Sun_arch.Arch
+module M = Sun_mapping.Mapping
+module Model = Sun_cost.Model
+module Listx = Sun_util.Listx
+
+type direction = Bottom_up | Top_down
+
+type intra_order = Ordering_first | Tiling_first | Unrolling_first
+
+type config = {
+  direction : direction;
+  intra : intra_order;
+  beam_width : int;
+  alpha_beta : bool;
+  min_spatial_utilization : float;
+  refine : bool;  (** post-search local refinement of the incumbent *)
+  binding : Model.binding;
+}
+
+(* Unrolling-first is Table VI's first row — the smallest space of the
+   bottom-up variants — and lets the spatial level claim extents before the
+   tile frontier saturates the same reuse dimensions. *)
+let default_config =
+  {
+    direction = Bottom_up;
+    intra = Unrolling_first;
+    beam_width = 12;
+    alpha_beta = true;
+    min_spatial_utilization = 0.5;
+    refine = true;
+    binding = Fun.id;
+  }
+
+type stats = { examined : int; evaluated : int; pruned_alpha_beta : int; wall_seconds : float }
+
+type result = { mapping : M.t; cost : Model.cost; stats : stats }
+
+(* ------------------------------------------------------------------ *)
+(* Shared machinery                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type search_state = {
+  w : W.t;
+  arch : A.t;
+  cfg : config;
+  ctx : Model.ctx;
+  dims : W.dim list;
+  mutable fits : (float * W.operand list) list array;
+      (** per level: (capacity, operands stored) per partition *)
+  mutable examined : int;
+  mutable evaluated : int;
+  mutable pruned : int;
+  mutable best : (M.t * Model.cost) option;
+}
+
+let ones dims = List.map (fun d -> (d, 1)) dims
+
+let fill dims assoc =
+  List.map (fun d -> match List.assoc_opt d assoc with Some f -> (d, f) | None -> (d, 1)) dims
+
+let copy_levels levels = Array.map (fun lm -> lm) levels
+
+let initial_levels st =
+  Array.init (A.num_levels st.arch) (fun _ ->
+      { M.temporal = ones st.dims; order = st.dims; spatial = ones st.dims })
+
+(* Per level: the partitions to check and the operands each one holds,
+   resolved once so the tile-tree fit test is a tight loop. *)
+let fit_table st =
+  Array.init (A.num_levels st.arch) (fun level ->
+      let lvl = A.level st.arch level in
+      if lvl.A.unbounded then []
+      else
+        List.map
+          (fun (p : A.partition) ->
+            let ops =
+              List.filter
+                (fun (op : W.operand) ->
+                  match A.partition_for lvl ~role:(st.cfg.binding op.W.name) with
+                  | Some p' -> p'.A.part_name = p.A.part_name
+                  | None -> false)
+                st.w.W.operands
+            in
+            (float_of_int p.A.capacity_words +. 1e-9, ops))
+          lvl.A.partitions)
+
+(* Does a tile with the given extents fit every partition of the level? *)
+let extents_fit st ~level extent =
+  List.for_all
+    (fun (cap, ops) ->
+      Sun_util.Listx.sum_by (W.footprint extent) ops <= cap)
+    st.fits.(level)
+
+(* Score a structurally complete mapping; updates the incumbent. *)
+let score st levels =
+  match M.make st.w (Array.to_list levels) with
+  | Error _ -> None
+  | Ok m -> (
+    st.evaluated <- st.evaluated + 1;
+    match Model.evaluate_ctx st.ctx m with
+    | Error _ -> None
+    | Ok cost ->
+      (match st.best with
+      | Some (_, best) when best.Model.edp <= cost.Model.edp -> ()
+      | _ -> st.best <- Some (m, cost));
+      Some cost)
+
+(* The grow dimensions of the Tiling / Unrolling Principles: the indexing
+   dimensions of the operand temporally reused at the boundary. With no
+   reused operand the principles give no restriction. *)
+let grow_dims_of st = function
+  | Some op_name -> W.indexing_dims (W.find_operand st.w op_name)
+  | None -> st.dims
+
+let operand_choices (o : Order_trie.candidate) =
+  match o.Order_trie.reused_operands with [] -> [ None ] | ops -> List.map (fun x -> Some x) ops
+
+(* ------------------------------------------------------------------ *)
+(* Bottom-up                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Complete a prefix by dumping every unplaced factor at DRAM. *)
+let complete_at_top st levels =
+  let completed = copy_levels levels in
+  let top = A.num_levels st.arch - 1 in
+  let m = { M.levels = completed } in
+  let residual =
+    List.map (fun d -> (d, W.bound st.w d / M.tile_at m ~level:top d)) st.dims
+  in
+  let top_lm = completed.(top) in
+  let temporal =
+    List.map
+      (fun (d, f) ->
+        let cur = match List.assoc_opt d top_lm.M.temporal with Some c -> c | None -> 1 in
+        (d, cur * f))
+      residual
+  in
+  completed.(top) <- { top_lm with M.temporal };
+  completed
+
+let min_cycles st = W.macs st.w /. float_of_int (A.total_fanout st.arch * st.arch.A.mac_throughput)
+
+(* Alpha-beta: prune a prefix whose committed-level energy already exceeds
+   the incumbent's total energy (with a little slack for latency trades).
+   Bottom-up this is a sharp test — with high reuse, most of the energy is
+   charged at the lowest levels, so the committed partial energy sits close
+   to the final energy (Section V-C). The hard EDP bound (committed energy
+   at best-case latency) is also applied. *)
+let alpha_beta_prunes st ~fixed_levels levels =
+  st.cfg.alpha_beta
+  &&
+  match st.best with
+  | None -> false
+  | Some (_, best) ->
+    let lb = Model.energy_lower_bound_ctx st.ctx ~partial_levels:fixed_levels { M.levels } in
+    let energy_slack = 1.5 in
+    if lb > best.Model.energy_pj *. energy_slack || lb *. min_cycles st > best.Model.edp then begin
+      st.pruned <- st.pruned + 1;
+      true
+    end
+    else false
+
+(* Candidates for one bottom-up pass at boundary [k]: level-k ordering,
+   level-(k-1) tile, level-k spatial unrolling. *)
+let bottom_up_pass st ~orders ~k prefix_levels =
+  let placed_tbl = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      (* everything already fixed strictly below the new tile, including the
+         spatial factors of levels <= k-1 *)
+      Hashtbl.replace placed_tbl d (M.tile_at { M.levels = prefix_levels } ~level:(k - 1) d))
+    st.dims;
+  let placed d = Hashtbl.find placed_tbl d in
+  let remaining d = W.bound st.w d / placed d in
+  let fanout = (A.level st.arch k).A.fanout in
+  let results = ref [] in
+  let emit_candidate ~tile ~order ~spatial =
+    st.examined <- st.examined + 1;
+    let levels = copy_levels prefix_levels in
+    levels.(k - 1) <- { (levels.(k - 1)) with M.temporal = fill st.dims tile };
+    levels.(k) <- { (levels.(k)) with M.order = order; M.spatial = fill st.dims spatial };
+    results := levels :: !results
+  in
+  (* At capacious levels the maximal-tile frontier can be huge; keep the
+     largest-volume tiles (more volume = fewer refills from above, the same
+     monotonicity the Tiling Principle exploits). *)
+  let cap_frontier frontier =
+    let max_keep = 40 in
+    if List.length frontier <= max_keep then frontier
+    else begin
+      let volume a = List.fold_left (fun acc (_, f) -> acc * f) 1 a in
+      let sorted = List.sort (fun a b -> compare (volume b) (volume a)) frontier in
+      Listx.take max_keep sorted
+    end
+  in
+  (* Distinct orders often share the reused operand, hence the same grow
+     set; tile and unroll candidate sets depend only on that set (plus any
+     already-chosen factors) for a given prefix, so memoize them per pass. *)
+  let tile_memo : (string, Tile_tree.assignment list) Hashtbl.t = Hashtbl.create 8 in
+  let unroll_memo : (string, Tile_tree.assignment list) Hashtbl.t = Hashtbl.create 8 in
+  let memo_key grow chosen =
+    String.concat "," grow ^ "/"
+    ^ String.concat "," (List.map (fun (d, f) -> d ^ string_of_int f) chosen)
+  in
+  let tiles_for grow ~chosen ~remaining =
+    let key = memo_key grow chosen in
+    match Hashtbl.find_opt tile_memo key with
+    | Some tiles -> tiles
+    | None ->
+      let fits assignment =
+        let extent d = placed d * Tile_tree.factor_of assignment d in
+        extents_fit st ~level:(k - 1) extent
+      in
+      let out = Tile_tree.search ~max_steps:20 ~grow_dims:grow ~remaining ~fits () in
+      st.examined <- st.examined + out.Tile_tree.explored;
+      let tiles = cap_frontier out.Tile_tree.frontier in
+      Hashtbl.add tile_memo key tiles;
+      tiles
+  in
+  let unrolls_for grow ~chosen ~remaining =
+    let key = memo_key grow chosen in
+    match Hashtbl.find_opt unroll_memo key with
+    | Some unrolls -> unrolls
+    | None ->
+      let out =
+        Unroll.candidates ~fanout ~dims:grow ~remaining
+          ~min_utilization:st.cfg.min_spatial_utilization ()
+      in
+      st.examined <- st.examined + out.Unroll.explored;
+      Hashtbl.add unroll_memo key out.Unroll.candidates;
+      out.Unroll.candidates
+  in
+  let expand_order_op (o : Order_trie.candidate) op_choice =
+    let grow = grow_dims_of st op_choice in
+    match st.cfg.intra with
+    | Ordering_first | Tiling_first ->
+      let tiles = tiles_for grow ~chosen:[] ~remaining in
+      List.iter
+        (fun tile ->
+          let after_tile d = remaining d / Tile_tree.factor_of tile d in
+          let unrolls = unrolls_for grow ~chosen:tile ~remaining:after_tile in
+          List.iter
+            (fun spatial -> emit_candidate ~tile ~order:o.Order_trie.order ~spatial)
+            unrolls)
+        tiles
+    | Unrolling_first ->
+      let unrolls = unrolls_for grow ~chosen:[] ~remaining in
+      List.iter
+        (fun spatial ->
+          let rem d = remaining d / Tile_tree.factor_of spatial d in
+          let tiles = tiles_for grow ~chosen:spatial ~remaining:rem in
+          List.iter (fun tile -> emit_candidate ~tile ~order:o.Order_trie.order ~spatial) tiles)
+        unrolls
+  in
+  List.iter (fun o -> List.iter (expand_order_op o) (operand_choices o)) orders;
+  !results
+
+(* Spatial unrolling below the innermost memory (e.g. Simba's vector
+   lanes): one candidate set per protected operand. *)
+let lane_pass st prefix_levels =
+  let fanout = (A.level st.arch 0).A.fanout in
+  if fanout <= 1 then [ prefix_levels ]
+  else begin
+    let results = ref [] in
+    List.iter
+      (fun (op : W.operand) ->
+        let grow = W.indexing_dims op in
+        let out =
+          Unroll.candidates ~fanout ~dims:grow
+            ~remaining:(fun d -> W.bound st.w d)
+            ~min_utilization:st.cfg.min_spatial_utilization ()
+        in
+        st.examined <- st.examined + out.Unroll.explored;
+        List.iter
+          (fun spatial ->
+            st.examined <- st.examined + 1;
+            let levels = copy_levels prefix_levels in
+            levels.(0) <- { (levels.(0)) with M.spatial = fill st.dims spatial };
+            results := levels :: !results)
+          out.Unroll.candidates)
+      st.w.W.operands;
+    !results
+  end
+
+let dedup_prefixes prefixes =
+  let seen = Hashtbl.create 64 in
+  let buf = Buffer.create 128 in
+  let canonical levels =
+    Buffer.clear buf;
+    Array.iter
+      (fun lm ->
+        List.iter
+          (fun (_, f) ->
+            Buffer.add_string buf (string_of_int f);
+            Buffer.add_char buf ',')
+          lm.M.temporal;
+        Buffer.add_char buf '|';
+        List.iter
+          (fun d ->
+            Buffer.add_string buf d;
+            Buffer.add_char buf ',')
+          lm.M.order;
+        Buffer.add_char buf '|';
+        List.iter
+          (fun (_, f) ->
+            Buffer.add_string buf (string_of_int f);
+            Buffer.add_char buf ',')
+          lm.M.spatial;
+        Buffer.add_char buf ';')
+      levels;
+    Buffer.contents buf
+  in
+  List.filter
+    (fun levels ->
+      let key = canonical levels in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    prefixes
+
+(* Score prefixes by their naive completion and keep the beam. The naive
+   completion is a poor predictor of how a spatial-unrolling style plays
+   out at the upper levels, so the beam is diversity-preserving: the best
+   prefix of every distinct spatial signature is seated first, and the
+   remaining slots go to the global ranking. *)
+let select_beam st ~fixed_levels prefixes =
+  let scored =
+    List.filter_map
+      (fun levels ->
+        if fixed_levels > 0 && alpha_beta_prunes st ~fixed_levels levels then None
+        else
+          match score st (complete_at_top st levels) with
+          | Some cost -> Some (levels, cost.Model.edp)
+          | None -> None)
+      prefixes
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare a b) scored in
+  let spatial_key levels =
+    let buf = Buffer.create 32 in
+    Array.iter
+      (fun lm ->
+        List.iter
+          (fun (_, f) ->
+            Buffer.add_string buf (string_of_int f);
+            Buffer.add_char buf ',')
+          lm.M.spatial;
+        Buffer.add_char buf ';')
+      levels;
+    Buffer.contents buf
+  in
+  let seen_keys = Hashtbl.create 16 in
+  let diverse, rest =
+    List.partition
+      (fun (levels, _) ->
+        let key = spatial_key levels in
+        if Hashtbl.mem seen_keys key then false
+        else begin
+          Hashtbl.add seen_keys key ();
+          true
+        end)
+      sorted
+  in
+  List.map fst (Listx.take st.cfg.beam_width (diverse @ rest))
+
+let optimize_bottom_up st =
+  let orders = Order_trie.candidates st.w in
+  let top = A.num_levels st.arch - 1 in
+  let start = [ initial_levels st ] in
+  let after_lanes =
+    let cands = List.concat_map (lane_pass st) start in
+    select_beam st ~fixed_levels:0 (dedup_prefixes cands)
+  in
+  let rec run k prefixes =
+    if k > top then prefixes
+    else begin
+      let cands = List.concat_map (bottom_up_pass st ~orders ~k) prefixes in
+      let kept = select_beam st ~fixed_levels:k (dedup_prefixes cands) in
+      run (k + 1) (if kept = [] then prefixes else kept)
+    end
+  in
+  ignore (run 1 (if after_lanes = [] then start else after_lanes))
+
+(* ------------------------------------------------------------------ *)
+(* Top-down (Table VI ablation)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* In the top-down walk the running state per prefix is the aggregate
+   extent [A_{k-1}] still to be laid out below the current boundary; it is
+   carried as the temporal factor of level k-1 in the prefix and split
+   further by the next pass. *)
+let top_down_pass st ~orders ~k prefix_levels =
+  (* invariant: the aggregate extent still to be laid out at level k and
+     below sits as level k's temporal factor; this pass splits it into
+     t_k x s_k x A_{k-1} *)
+  let below d = M.temporal_factor { M.levels = prefix_levels } ~level:k d in
+  let fanout = (A.level st.arch k).A.fanout in
+  let results = ref [] in
+  let emit ~order ~spatial ~tile =
+    st.examined <- st.examined + 1;
+    let levels = copy_levels prefix_levels in
+    let t_k d =
+      below d / (Tile_tree.factor_of spatial d * Tile_tree.factor_of tile d)
+    in
+    levels.(k) <-
+      {
+        M.order;
+        M.spatial = fill st.dims spatial;
+        M.temporal = List.map (fun d -> (d, t_k d)) st.dims;
+      };
+    levels.(k - 1) <- { (levels.(k - 1)) with M.temporal = fill st.dims tile };
+    results := levels :: !results
+  in
+  let expand (o : Order_trie.candidate) op_choice =
+    let grow = grow_dims_of st op_choice in
+    let out_unroll =
+      Unroll.candidates ~fanout ~dims:grow ~remaining:below
+        ~min_utilization:st.cfg.min_spatial_utilization ()
+    in
+    st.examined <- st.examined + out_unroll.Unroll.explored;
+    List.iter
+      (fun spatial ->
+        let rem d = below d / Tile_tree.factor_of spatial d in
+        (* the level-k spatial factor distributes across level-(k-1)
+           instances and does not occupy any single buffer *)
+        let fits assignment =
+          extents_fit st ~level:(k - 1) (fun d -> Tile_tree.factor_of assignment d)
+        in
+        let out = Tile_tree.search ~max_steps:20 ~grow_dims:st.dims ~remaining:rem ~fits () in
+        st.examined <- st.examined + out.Tile_tree.explored;
+        List.iter (fun tile -> emit ~order:o.Order_trie.order ~spatial ~tile) out.Tile_tree.frontier)
+      out_unroll.Unroll.candidates
+  in
+  List.iter (fun o -> List.iter (expand o) (operand_choices o)) orders;
+  !results
+
+(* Split the innermost aggregate over the lane fanout at the end of a
+   top-down walk. *)
+let lane_pass_split st levels =
+  let fanout = (A.level st.arch 0).A.fanout in
+  if fanout <= 1 then [ levels ]
+  else begin
+    let results = ref [] in
+    let below d =
+      match List.assoc_opt d levels.(0).M.temporal with Some f -> f | None -> 1
+    in
+    List.iter
+      (fun (op : W.operand) ->
+        let grow = W.indexing_dims op in
+        let out =
+          Unroll.candidates ~fanout ~dims:grow ~remaining:below
+            ~min_utilization:st.cfg.min_spatial_utilization ()
+        in
+        st.examined <- st.examined + out.Unroll.explored;
+        List.iter
+          (fun spatial ->
+            st.examined <- st.examined + 1;
+            let ls = copy_levels levels in
+            let temporal =
+              List.map (fun d -> (d, below d / Tile_tree.factor_of spatial d)) st.dims
+            in
+            ls.(0) <- { (ls.(0)) with M.spatial = fill st.dims spatial; M.temporal = temporal };
+            results := ls :: !results)
+          out.Unroll.candidates)
+      st.w.W.operands;
+    !results
+  end
+
+(* Completion for a top-down prefix: levels below the boundary keep the
+   aggregate at level k-1, which is already structurally complete. *)
+let optimize_top_down st =
+  let orders = Order_trie.candidates st.w in
+  let top = A.num_levels st.arch - 1 in
+  let start =
+    let levels = initial_levels st in
+    levels.(top) <-
+      { (levels.(top)) with M.temporal = List.map (fun (d, b) -> (d, b)) st.w.W.dims };
+    [ levels ]
+  in
+  let select prefixes =
+    (* rank by energy: the spatial unrolling of the inner passes is still
+       unassigned, so every prefix shares the same (serial) cycle count and
+       EDP cannot discriminate *)
+    let scored =
+      List.filter_map
+        (fun levels ->
+          match score st (copy_levels levels) with
+          | Some cost -> Some (levels, cost.Model.energy_pj)
+          | None -> None)
+        prefixes
+    in
+    let sorted = List.sort (fun (_, a) (_, b) -> compare a b) scored in
+    List.map fst (Listx.take st.cfg.beam_width sorted)
+  in
+  let rec run k prefixes =
+    if k < 1 then prefixes
+    else begin
+      let cands = List.concat_map (top_down_pass st ~orders ~k) prefixes in
+      let kept = select (dedup_prefixes cands) in
+      run (k - 1) (if kept = [] then prefixes else kept)
+    end
+  in
+  let final = run top start in
+  (* split the innermost aggregate over the lane fanout *)
+  List.iter
+    (fun levels -> List.iter (fun ls -> ignore (score st ls)) (lane_pass_split st levels))
+    final
+
+(* ------------------------------------------------------------------ *)
+(* Local refinement                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Hill-climb around the incumbent: move one prime factor of one dimension
+   between two temporal levels, or swap two adjacent loops in a level's
+   order; accept any EDP improvement and repeat to a (bounded) fixpoint.
+   This recovers the few-percent mappings that sit just outside the
+   per-level reuse-dimension restriction. *)
+let refine st =
+  let nlevels = A.num_levels st.arch in
+  let primes_of f = List.map fst (Sun_util.Factor.prime_factorization f) in
+  let factor assoc d = match List.assoc_opt d assoc with Some f -> f | None -> 1 in
+  let set assoc d f = (d, f) :: List.remove_assoc d assoc in
+  let try_improve levels =
+    st.examined <- st.examined + 1;
+    ignore (score st levels)
+  in
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !rounds < 8 do
+    incr rounds;
+    let before = match st.best with Some (_, c) -> c.Model.edp | None -> infinity in
+    (match st.best with
+    | None -> ()
+    | Some (m, _) ->
+      let base = m.M.levels in
+      (* factor moves between temporal levels *)
+      for l = 0 to nlevels - 1 do
+        List.iter
+          (fun d ->
+            List.iter
+              (fun p ->
+                for l' = 0 to nlevels - 1 do
+                  if l' <> l then begin
+                    let levels = Array.map (fun x -> x) base in
+                    levels.(l) <-
+                      { (levels.(l)) with
+                        M.temporal = set levels.(l).M.temporal d (factor levels.(l).M.temporal d / p) };
+                    levels.(l') <-
+                      { (levels.(l')) with
+                        M.temporal = set levels.(l').M.temporal d (factor levels.(l').M.temporal d * p) };
+                    try_improve levels
+                  end
+                done)
+              (primes_of (factor base.(l).M.temporal d)))
+          st.dims
+      done;
+      (* adjacent order swaps *)
+      for l = 0 to nlevels - 1 do
+        let ord = Array.of_list base.(l).M.order in
+        for i = 0 to Array.length ord - 2 do
+          let ord' = Array.copy ord in
+          let tmp = ord'.(i) in
+          ord'.(i) <- ord'.(i + 1);
+          ord'.(i + 1) <- tmp;
+          let levels = Array.map (fun x -> x) base in
+          levels.(l) <- { (levels.(l)) with M.order = Array.to_list ord' };
+          try_improve levels
+        done
+      done);
+    let after = match st.best with Some (_, c) -> c.Model.edp | None -> infinity in
+    if after >= before *. 0.9999 then continue_ := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let optimize ?(config = default_config) w arch =
+  let timer = Sun_util.Stopwatch.start () in
+  let st =
+    {
+      w;
+      arch;
+      cfg = config;
+      ctx = Model.context ~binding:config.binding w arch;
+      dims = W.dim_names w;
+      fits = [||];
+      examined = 0;
+      evaluated = 0;
+      pruned = 0;
+      best = None;
+    }
+  in
+  st.fits <- fit_table st;
+  (match config.direction with
+  | Bottom_up -> optimize_bottom_up st
+  | Top_down -> optimize_top_down st);
+  if config.refine then refine st;
+  let wall_seconds = Sun_util.Stopwatch.elapsed_s timer in
+  match st.best with
+  | None -> Error "no valid mapping found (does a unit tile fit the innermost buffers?)"
+  | Some (mapping, cost) ->
+    Ok
+      {
+        mapping;
+        cost;
+        stats =
+          {
+            examined = st.examined;
+            evaluated = st.evaluated;
+            pruned_alpha_beta = st.pruned;
+            wall_seconds;
+          };
+      }

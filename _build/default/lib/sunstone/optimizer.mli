@@ -1,0 +1,56 @@
+(** The Sunstone scheduler: level-by-level dataflow optimization.
+
+    Bottom-up (the paper's default, Section V-A): starting at the innermost
+    memory boundary and moving outward, each pass chooses the loop ordering
+    of the level above the boundary (from the pruned ordering trie), the
+    tile of the level below it (from the tiling-tree frontier over the
+    reused operand's indexing dimensions), and the spatial unrolling of the
+    fanout between them (maximal unrollings of the same reuse dimensions).
+    Partial schedules are scored by completing them naively at DRAM and
+    keeping the best [beam_width]; alpha-beta pruning discards prefixes
+    whose committed-level energy already exceeds the best complete schedule
+    found.
+
+    Top-down (the Table VI ablation) runs the same per-level machinery from
+    DRAM inward; because on-chip capacities are large, its per-pass frontier
+    is far bigger and the partial-energy bound is weaker, which is exactly
+    the effect Table VI reports. *)
+
+type direction = Bottom_up | Top_down
+
+type intra_order = Ordering_first | Tiling_first | Unrolling_first
+(** Order in which the three per-level sub-optimizations are enumerated;
+    the candidate set is the same but the examined-node count differs
+    (Table VI, rows 1-3). *)
+
+type config = {
+  direction : direction;
+  intra : intra_order;
+  beam_width : int;  (** prefixes kept between passes *)
+  alpha_beta : bool;
+  min_spatial_utilization : float;  (** "high throughput" floor, 0..1 *)
+  refine : bool;
+      (** hill-climb the incumbent afterwards (single-factor moves between
+          levels and adjacent order swaps) to recover mappings just outside
+          the per-level reuse-dimension restriction *)
+  binding : Sun_cost.Model.binding;
+}
+
+val default_config : config
+(** Bottom-up, unrolling-first (Table VI row 1), beam 12, alpha-beta on,
+    utilization floor 0.5, refinement on, identity binding. *)
+
+type stats = {
+  examined : int;  (** candidate nodes generated across all passes *)
+  evaluated : int;  (** complete mappings scored with the cost model *)
+  pruned_alpha_beta : int;
+  wall_seconds : float;
+}
+
+type result = { mapping : Sun_mapping.Mapping.t; cost : Sun_cost.Model.cost; stats : stats }
+
+val optimize :
+  ?config:config -> Sun_tensor.Workload.t -> Sun_arch.Arch.t -> (result, string) Stdlib.result
+(** Returns the best mapping found, its cost, and search statistics. Errors
+    only when no valid mapping exists (e.g. a single tile element does not
+    fit the innermost buffer). *)

@@ -1,0 +1,47 @@
+(** Loop-ordering search space as a pruned trie (Section IV-A, Fig 4).
+
+    Nodes are partially determined loop orders, innermost loops first; each
+    node is annotated with the operands the suffix reuses. Children extend
+    the suffix outward by one loop. Pruning applies:
+
+    - {b Ordering Principle 3}: a child whose added loop offers no reuse
+      beyond its parent is not extended further — outer loop order beyond
+      the reuse-determining suffix does not change any access count, so the
+      suffix is completed canonically;
+    - {b subsumption}: among siblings, a node whose reuse signature is
+      strictly contained in another sibling's is dropped (Fig 4's xxxC
+      pruned in favour of xxCR).
+
+    The reuse annotation mirrors the cost model's refill scan exactly: a
+    loop over a non-indexing dimension of an operand fully reuses it as
+    long as every loop inside is also non-indexing for it; one loop over a
+    sliding-window dimension adds partial reuse and terminates the chain. *)
+
+type dim = Sun_tensor.Workload.dim
+
+type reuse_kind = Full | Partial
+
+type signature = (string * reuse_kind) list
+(** Sorted (operand-name, kind) pairs reused by a suffix. *)
+
+type candidate = {
+  order : dim list;  (** complete loop order, outermost first *)
+  suffix : dim list;  (** the reuse-determining innermost loops, innermost first *)
+  signature : signature;
+  reused_operands : string list;  (** operands with [Full] reuse, sorted *)
+}
+
+type stats = { nodes_visited : int; nodes_pruned : int }
+
+val suffix_signature : Sun_tensor.Workload.t -> dim list -> signature
+(** Signature of a suffix given innermost-first; exposed for tests. *)
+
+val candidates : Sun_tensor.Workload.t -> candidate list
+(** The pruned set of representative loop orders for one memory level of
+    the given workload. Deterministic: dimensions are considered in
+    workload declaration order. *)
+
+val candidates_with_stats : Sun_tensor.Workload.t -> candidate list * stats
+
+val all_orders_count : Sun_tensor.Workload.t -> int
+(** |dims|! — the unpruned ordering space, for space-size comparisons. *)

@@ -1,0 +1,40 @@
+(** Tiling search tree with Tiling-Principle pruning (Section IV-B, Fig 5).
+
+    Starting from the all-ones tile, each tree edge enlarges one growable
+    dimension to the next divisor of its remaining extent. A node with a
+    fitting child is pruned (the child offers strictly more reuse — the
+    Tiling Principle); nodes that fit but cannot be enlarged in any growable
+    dimension are the frontier of candidate tiles.
+
+    The same monotone search is reused for spatial-unrolling candidates (see
+    {!Unroll}), where "fits" means the unrolled product stays within the
+    fanout. *)
+
+type dim = Sun_tensor.Workload.dim
+
+type assignment = (dim * int) list
+(** Factors for the growable dimensions; absent dimensions are 1. *)
+
+val factor_of : assignment -> dim -> int
+
+type outcome = {
+  frontier : assignment list;  (** maximal fitting tiles, deterministic order *)
+  explored : int;  (** nodes visited, for space-size accounting *)
+}
+
+val search :
+  ?max_steps:int ->
+  grow_dims:dim list ->
+  remaining:(dim -> int) ->
+  fits:(assignment -> bool) ->
+  unit ->
+  outcome
+(** [search ~grow_dims ~remaining ~fits ()] walks the tree. Factors assigned
+    to a dimension are always divisors of [remaining d]. If even the
+    all-ones root does not fit, the frontier is empty.
+
+    [max_steps] (default unlimited) thins each dimension's divisor ladder to
+    at most that many geometrically spaced rungs (always keeping 1 and the
+    full extent) — dimensions in the tens of thousands (the non-DNN tensor
+    workloads) otherwise make the walk quadratically expensive for no
+    meaningful gain in tile choice. *)

@@ -1,0 +1,28 @@
+(** Spatial-unrolling candidates under the Spatial Unrolling Principle
+    (Section III-B).
+
+    Given the operand [op] temporally reused at the level above the fanout,
+    only the *indexing* dimensions of [op] are unrolled — unrolling a
+    non-indexing dimension would spatially reuse the already-optimized
+    operand. Candidates are the maximal assignments ("high throughput"
+    pruning): no factor can be raised to its next divisor without exceeding
+    the fanout. *)
+
+type dim = Sun_tensor.Workload.dim
+
+type outcome = { candidates : (dim * int) list list; explored : int }
+
+val candidates :
+  fanout:int ->
+  dims:dim list ->
+  remaining:(dim -> int) ->
+  ?min_utilization:float ->
+  unit ->
+  outcome
+(** [candidates ~fanout ~dims ~remaining ()] are the maximal unrollings of
+    [dims] with product within [fanout], each factor dividing its remaining
+    extent. [min_utilization] (fraction of [fanout], default 0) additionally
+    filters candidates that underuse the array; when every maximal
+    assignment falls below the threshold the unfiltered frontier is
+    returned (the best spatial reuse available), and the all-ones
+    assignment only when [fanout = 1] or [dims] is empty. *)

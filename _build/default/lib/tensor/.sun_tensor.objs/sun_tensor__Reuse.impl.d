@@ -1,0 +1,1 @@
+lib/tensor/reuse.ml: Format List String Workload

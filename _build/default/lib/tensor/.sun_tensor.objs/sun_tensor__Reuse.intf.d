@@ -1,0 +1,1 @@
+lib/tensor/reuse.mli: Format Workload

@@ -1,0 +1,1 @@
+lib/tensor/workload.ml: Format Hashtbl List Printf String Sun_util

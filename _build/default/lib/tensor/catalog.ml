@@ -1,0 +1,97 @@
+open Workload
+
+let input name indices = { name; kind = `Input; indices }
+let out name indices = { name; kind = `Output; indices }
+
+let conv1d ?(name = "conv1d") ~k ~c ~p ~r () =
+  make ~name
+    ~dims:[ ("K", k); ("C", c); ("P", p); ("R", r) ]
+    ~operands:
+      [
+        input "ifmap" [ Dim "C"; Affine [ ("P", 1); ("R", 1) ] ];
+        input "weight" [ Dim "K"; Dim "C"; Dim "R" ];
+        out "ofmap" [ Dim "K"; Dim "P" ];
+      ]
+
+let conv2d ?(name = "conv2d") ?(stride = 1) ~n ~k ~c ~p ~q ~r ~s () =
+  make ~name
+    ~dims:[ ("N", n); ("K", k); ("C", c); ("P", p); ("Q", q); ("R", r); ("S", s) ]
+    ~operands:
+      [
+        input "ifmap"
+          [ Dim "N"; Dim "C"; Affine [ ("P", stride); ("R", 1) ]; Affine [ ("Q", stride); ("S", 1) ] ];
+        input "weight" [ Dim "K"; Dim "C"; Dim "R"; Dim "S" ];
+        out "ofmap" [ Dim "N"; Dim "K"; Dim "P"; Dim "Q" ];
+      ]
+
+let conv2d_weight_update ?(name = "conv2d_wu") ~n ~k ~c ~p ~q ~r ~s () =
+  make ~name
+    ~dims:[ ("N", n); ("K", k); ("C", c); ("P", p); ("Q", q); ("R", r); ("S", s) ]
+    ~operands:
+      [
+        input "ifmap" [ Dim "N"; Dim "C"; Affine [ ("P", 1); ("R", 1) ]; Affine [ ("Q", 1); ("S", 1) ] ];
+        input "dofmap" [ Dim "N"; Dim "K"; Dim "P"; Dim "Q" ];
+        out "dweight" [ Dim "K"; Dim "C"; Dim "R"; Dim "S" ];
+      ]
+
+let matmul ?(name = "matmul") ~m ~n ~k () =
+  make ~name
+    ~dims:[ ("M", m); ("N", n); ("K", k) ]
+    ~operands:
+      [ input "a" [ Dim "M"; Dim "K" ]; input "b" [ Dim "K"; Dim "N" ]; out "out" [ Dim "M"; Dim "N" ] ]
+
+let mttkrp ?(name = "mttkrp") ~i ~j ~k ~l () =
+  make ~name
+    ~dims:[ ("I", i); ("J", j); ("K", k); ("L", l) ]
+    ~operands:
+      [
+        input "a" [ Dim "I"; Dim "K"; Dim "L" ];
+        input "b" [ Dim "K"; Dim "J" ];
+        input "c" [ Dim "L"; Dim "J" ];
+        out "out" [ Dim "I"; Dim "J" ];
+      ]
+
+let sddmm ?(name = "sddmm") ~i ~j ~k () =
+  make ~name
+    ~dims:[ ("I", i); ("J", j); ("K", k) ]
+    ~operands:
+      [
+        input "a" [ Dim "I"; Dim "J" ];
+        input "b" [ Dim "I"; Dim "K" ];
+        input "c" [ Dim "K"; Dim "J" ];
+        out "out" [ Dim "I"; Dim "J" ];
+      ]
+
+let ttmc ?(name = "ttmc") ~i ~j ~k ~l ~m () =
+  make ~name
+    ~dims:[ ("I", i); ("J", j); ("K", k); ("L", l); ("M", m) ]
+    ~operands:
+      [
+        input "a" [ Dim "I"; Dim "J"; Dim "K" ];
+        input "b" [ Dim "J"; Dim "L" ];
+        input "c" [ Dim "K"; Dim "M" ];
+        out "out" [ Dim "I"; Dim "L"; Dim "M" ];
+      ]
+
+let mmc ?(name = "mmc") ~i ~j ~k ~l () =
+  make ~name
+    ~dims:[ ("I", i); ("J", j); ("K", k); ("L", l) ]
+    ~operands:
+      [
+        input "a" [ Dim "I"; Dim "J" ];
+        input "b" [ Dim "J"; Dim "K" ];
+        input "c" [ Dim "K"; Dim "L" ];
+        out "out" [ Dim "I"; Dim "L" ];
+      ]
+
+let tcl ?(name = "tcl") ~i ~j ~k ~l ~m ~n () =
+  make ~name
+    ~dims:[ ("I", i); ("J", j); ("K", k); ("L", l); ("M", m); ("N", n) ]
+    ~operands:
+      [
+        input "a" [ Dim "I"; Dim "J"; Dim "K" ];
+        input "b" [ Dim "I"; Dim "L" ];
+        input "c" [ Dim "J"; Dim "M" ];
+        input "d" [ Dim "K"; Dim "N" ];
+        out "out" [ Dim "L"; Dim "M"; Dim "N" ];
+      ]

@@ -1,0 +1,50 @@
+(** Constructors for the tensor-algebra workload families of Table II.
+
+    Dimension naming follows the paper: convolutions use N (batch), K
+    (output channels), C (input channels), P/Q (output feature map), R/S
+    (filter); the decomposition kernels use I, J, K, L, M. *)
+
+val conv1d : ?name:string -> k:int -> c:int -> p:int -> r:int -> unit -> Workload.t
+(** ofmap[k,p] += ifmap[c,p+r] * weight[k,c,r] — the paper's running
+    example (Section II-D). *)
+
+val conv2d :
+  ?name:string ->
+  ?stride:int ->
+  n:int ->
+  k:int ->
+  c:int ->
+  p:int ->
+  q:int ->
+  r:int ->
+  s:int ->
+  unit ->
+  Workload.t
+(** ofmap[n,k,p,q] += ifmap[n,c,p*stride+r,q*stride+s] * weight[k,c,r,s]. *)
+
+val conv2d_weight_update :
+  ?name:string -> n:int -> k:int -> c:int -> p:int -> q:int -> r:int -> s:int -> unit -> Workload.t
+(** The backward-weights pass of [conv2d] used by Fig 7: the *weight
+    gradient* is the output, indexed [k,c,r,s]; ifmap and the output-gradient
+    are the inputs. The loop nest has the same seven dimensions with a
+    different reuse pattern. *)
+
+val matmul : ?name:string -> m:int -> n:int -> k:int -> unit -> Workload.t
+(** out[m,n] += a[m,k] * b[k,n] — fully connected layers. *)
+
+val mttkrp : ?name:string -> i:int -> j:int -> k:int -> l:int -> unit -> Workload.t
+(** out[i,j] += a[i,k,l] * b[k,j] * c[l,j] — CP decomposition bottleneck. *)
+
+val sddmm : ?name:string -> i:int -> j:int -> k:int -> unit -> Workload.t
+(** out[i,j] += a[i,j] * b[i,k] * c[k,j] — sampled dense-dense matmul. *)
+
+val ttmc : ?name:string -> i:int -> j:int -> k:int -> l:int -> m:int -> unit -> Workload.t
+(** out[i,l,m] += a[i,j,k] * b[j,l] * c[k,m] — Tucker decomposition. *)
+
+val mmc : ?name:string -> i:int -> j:int -> k:int -> l:int -> unit -> Workload.t
+(** out[i,l] += a[i,j] * b[j,k] * c[k,l] — matrix-multiply chain
+    (attention). *)
+
+val tcl : ?name:string -> i:int -> j:int -> k:int -> l:int -> m:int -> n:int -> unit -> Workload.t
+(** out[l,m,n] += a[i,j,k] * b[i,l] * c[j,m] * d[k,n] — tensor contraction
+    layer. *)

@@ -1,0 +1,43 @@
+type entry = {
+  operand : Workload.operand;
+  indexed_by : Workload.dim list;
+  reused_by : Workload.dim list;
+  partially_reused_by : Workload.dim list;
+}
+
+type t = entry list
+
+let analyze (w : Workload.t) =
+  let analyze_operand op =
+    {
+      operand = op;
+      indexed_by = Workload.indexing_dims op;
+      reused_by = Workload.non_indexing_dims w op;
+      partially_reused_by = Workload.sliding_dims op;
+    }
+  in
+  List.map analyze_operand w.operands
+
+let entry t name = List.find (fun e -> e.operand.Workload.name = name) t
+
+let reusers_of_dim t d =
+  List.filter_map
+    (fun e -> if List.mem d e.reused_by then Some e.operand.Workload.name else None)
+    t
+
+let reuse_dims w op =
+  ignore w;
+  Workload.indexing_dims op
+
+let pp ppf t =
+  let dims ppf ds =
+    if ds = [] then Format.pp_print_string ppf "-"
+    else Format.pp_print_string ppf (String.concat ", " ds)
+  in
+  let row e =
+    Format.fprintf ppf "@,%-8s  indexed by: %a;  reused by: %a;  partially reused by: %a"
+      e.operand.Workload.name dims e.indexed_by dims e.reused_by dims e.partially_reused_by
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter row t;
+  Format.fprintf ppf "@]"

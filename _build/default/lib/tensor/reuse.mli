@@ -1,0 +1,34 @@
+(** Automatic reuse inference (Section IV, Table III).
+
+    From a workload description alone, derive for each operand which loop
+    dimensions fully reuse it (its non-indexing dimensions) and which
+    partially reuse it through a sliding window (dimensions inside a
+    compound index). This table drives both the ordering trie and the
+    tiling/unrolling principles. *)
+
+type entry = {
+  operand : Workload.operand;
+  indexed_by : Workload.dim list;
+  reused_by : Workload.dim list;  (** full temporal reuse (Principle 1) *)
+  partially_reused_by : Workload.dim list;  (** sliding-window overlap *)
+}
+
+type t = entry list
+
+val analyze : Workload.t -> t
+(** One entry per operand, operands in workload order. *)
+
+val entry : t -> string -> entry
+(** Lookup by operand name. Raises [Not_found]. *)
+
+val reusers_of_dim : t -> Workload.dim -> string list
+(** Names of operands fully reused when iterating over the dimension. *)
+
+val reuse_dims : Workload.t -> Workload.operand -> Workload.dim list
+(** The "reuse dimensions" of the Tiling/Unrolling principles for a level at
+    which [operand] is the temporally reused operand: its *indexing*
+    dimensions — the only dimensions worth enlarging in the tile below or
+    unrolling spatially (Section III). *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the Table III layout. *)

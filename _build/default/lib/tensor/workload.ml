@@ -1,0 +1,118 @@
+type dim = string
+
+type index = Dim of dim | Affine of (dim * int) list
+
+type operand = { name : string; kind : [ `Input | `Output ]; indices : index list }
+
+type t = { name : string; dims : (dim * int) list; operands : operand list }
+
+let index_dims = function
+  | Dim d -> [ d ]
+  | Affine terms -> List.map fst terms
+
+let indexing_dims op =
+  Sun_util.Listx.unique String.compare (List.concat_map index_dims op.indices)
+
+let sliding_dims op =
+  let compound = function Dim _ -> [] | Affine terms -> List.map fst terms in
+  let dims = List.concat_map (fun i -> match i with Affine (_ :: _ :: _) -> compound i | _ -> []) op.indices in
+  Sun_util.Listx.unique String.compare dims
+
+let is_indexing op d = List.mem d (indexing_dims op)
+
+let dim_names t = List.map fst t.dims
+
+let bound t d = List.assoc d t.dims
+
+let non_indexing_dims t op =
+  List.filter (fun d -> not (is_indexing op d)) (dim_names t)
+
+let output t =
+  match List.filter (fun op -> op.kind = `Output) t.operands with
+  | [ op ] -> op
+  | _ -> invalid_arg "Workload.output: malformed workload"
+
+let inputs t = List.filter (fun op -> op.kind = `Input) t.operands
+
+let find_operand t name =
+  match List.find_opt (fun (op : operand) -> op.name = name) t.operands with
+  | Some op -> op
+  | None -> raise Not_found
+
+let macs t = List.fold_left (fun acc (_, b) -> acc *. float_of_int b) 1.0 t.dims
+
+let axis_extent tile = function
+  | Dim d -> tile d
+  | Affine terms ->
+    List.fold_left (fun acc (d, coeff) -> acc + (coeff * (tile d - 1))) 1 terms
+
+let footprint tile op =
+  List.fold_left (fun acc idx -> acc *. float_of_int (axis_extent tile idx)) 1.0 op.indices
+
+let operand_size t op = footprint (bound t) op
+
+let make ~name ~dims ~operands =
+  let known = List.map fst dims in
+  List.iter
+    (fun (d, b) ->
+      if b <= 0 then invalid_arg (Printf.sprintf "Workload.make: bound of %s is %d" d b))
+    dims;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (d, _) ->
+      if Hashtbl.mem seen d then invalid_arg (Printf.sprintf "Workload.make: duplicate dim %s" d);
+      Hashtbl.add seen d ())
+    dims;
+  List.iter
+    (fun (op : operand) ->
+      List.iter
+        (fun idx ->
+          List.iter
+            (fun d ->
+              if not (List.mem d known) then
+                invalid_arg (Printf.sprintf "Workload.make: operand %s uses unknown dim %s" op.name d))
+            (index_dims idx);
+          match idx with
+          | Dim _ -> ()
+          | Affine terms ->
+            if terms = [] then invalid_arg "Workload.make: empty affine index";
+            List.iter
+              (fun (d, c) ->
+                if c <= 0 then
+                  invalid_arg (Printf.sprintf "Workload.make: non-positive coefficient on %s" d))
+              terms)
+        op.indices)
+    operands;
+  (match List.filter (fun op -> op.kind = `Output) operands with
+  | [ _ ] -> ()
+  | outs ->
+    invalid_arg (Printf.sprintf "Workload.make: expected 1 output operand, got %d" (List.length outs)));
+  let used =
+    Sun_util.Listx.unique String.compare
+      (List.concat_map (fun op -> List.concat_map index_dims op.indices) operands)
+  in
+  List.iter
+    (fun d ->
+      if not (List.mem d used) then
+        invalid_arg (Printf.sprintf "Workload.make: dim %s indexes no operand" d))
+    known;
+  { name; dims; operands }
+
+let pp_index ppf = function
+  | Dim d -> Format.pp_print_string ppf d
+  | Affine terms ->
+    let term ppf (d, c) = if c = 1 then Format.pp_print_string ppf d else Format.fprintf ppf "%d%s" c d in
+    Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "+") term ppf terms
+
+let pp_operand ppf (op : operand) =
+  Format.fprintf ppf "%s[%a]" op.name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_index)
+    op.indices
+
+let pp ppf t =
+  let dim ppf (d, b) = Format.fprintf ppf "%s:%d" d b in
+  Format.fprintf ppf "@[<v>%s {%a}@,%a@]" t.name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") dim)
+    t.dims
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_operand)
+    t.operands

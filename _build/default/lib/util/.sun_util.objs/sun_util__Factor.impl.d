@@ -1,0 +1,1 @@
+lib/util/factor.ml: List Printf

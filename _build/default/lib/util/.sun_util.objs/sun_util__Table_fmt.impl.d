@@ -1,0 +1,1 @@
+lib/util/table_fmt.ml: Float List Printf String

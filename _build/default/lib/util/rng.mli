@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every stochastic component of the repository (notably the Timeloop-like
+    random-search baseline) draws from this generator so that experiments are
+    reproducible bit-for-bit across runs. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. *)
+
+val split : t -> t
+(** An independent generator derived from the current state. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. Raises [Invalid_argument] on []. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates shuffle. *)

@@ -1,0 +1,12 @@
+(** Wall-clock timing used to report time-to-solution for the mappers. *)
+
+type t
+
+val start : unit -> t
+
+val elapsed_s : t -> float
+(** Seconds since [start]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns the result with its wall-clock
+    duration in seconds. *)

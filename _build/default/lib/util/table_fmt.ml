@@ -1,0 +1,32 @@
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let render ~header ~rows =
+  let ncols = List.length header in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i))) (String.length h) rows)
+      header
+  in
+  let line cells = String.concat "  " (List.map2 pad widths cells) in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line header :: rule :: List.map line rows)
+
+let si v =
+  let a = Float.abs v in
+  if a = 0.0 then "0"
+  else if a >= 1e4 || a < 1e-2 then
+    let exp = int_of_float (Float.floor (Float.log10 a)) in
+    let mant = v /. (10.0 ** float_of_int exp) in
+    Printf.sprintf "%.2fe%d" mant exp
+  else if Float.is_integer v && a < 1e4 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.2f" v
+
+let seconds s = if s < 1.0 then Printf.sprintf "%.1fms" (s *. 1000.0) else Printf.sprintf "%.2fs" s

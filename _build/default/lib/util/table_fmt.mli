@@ -1,0 +1,12 @@
+(** Plain-text table rendering for the experiment harness output. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Column-aligned table with a header rule, ready to print. Rows shorter
+    than the header are right-padded with empty cells. *)
+
+val si : float -> string
+(** Compact engineering formatting: [si 1.2e9 = "1.20e9"], small magnitudes
+    printed plainly. Used for EDP and space-size columns. *)
+
+val seconds : float -> string
+(** Human-readable duration: ms below one second, otherwise seconds. *)

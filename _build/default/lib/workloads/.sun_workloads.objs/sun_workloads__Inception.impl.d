@@ -1,0 +1,1 @@
+lib/workloads/inception.ml: List Sun_tensor

@@ -1,0 +1,1 @@
+lib/workloads/inception.mli: Sun_tensor

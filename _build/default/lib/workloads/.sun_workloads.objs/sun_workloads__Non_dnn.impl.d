@@ -1,0 +1,1 @@
+lib/workloads/non_dnn.ml: List Sun_tensor

@@ -1,0 +1,1 @@
+lib/workloads/non_dnn.mli: Sun_tensor

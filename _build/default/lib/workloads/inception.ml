@@ -1,0 +1,41 @@
+module C = Sun_tensor.Catalog
+
+type layer = { layer_name : string; workload : Sun_tensor.Workload.t }
+
+(* name, k, c, p, q, r, s *)
+let shapes =
+  [
+    ("3x3_stem", 32, 32, 147, 147, 3, 3);
+    ("3x3_early", 64, 32, 147, 147, 3, 3);
+    ("1x1_5b", 64, 192, 35, 35, 1, 1);
+    ("5x5_5b", 64, 48, 35, 35, 5, 5);
+    ("3x3_5b", 96, 64, 35, 35, 3, 3);
+    ("1x7_mid", 128, 128, 17, 17, 1, 7);
+    ("7x1_mid", 128, 128, 17, 17, 7, 1);
+    ("1x7_deep", 192, 192, 17, 17, 1, 7);
+    ("7x1_deep", 192, 192, 17, 17, 7, 1);
+    ("1x3_deep", 384, 384, 8, 8, 1, 3);
+    ("3x1_deep", 384, 384, 8, 8, 3, 1);
+  ]
+
+let conv_layers ?(batch = 1) () =
+  List.map
+    (fun (layer_name, k, c, p, q, r, s) ->
+      {
+        layer_name;
+        workload = C.conv2d ~name:("inception/" ^ layer_name) ~n:batch ~k ~c ~p ~q ~r ~s ();
+      })
+    shapes
+
+let weight_update_layers ?(batch = 16) () =
+  List.map
+    (fun (layer_name, k, c, p, q, r, s) ->
+      {
+        layer_name;
+        workload =
+          C.conv2d_weight_update ~name:("inception-wu/" ^ layer_name) ~n:batch ~k ~c ~p ~q ~r ~s ();
+      })
+    shapes
+
+let example_layer =
+  C.conv2d ~name:"inception/table1-example" ~n:1 ~k:192 ~c:128 ~p:17 ~q:17 ~r:3 ~s:3 ()

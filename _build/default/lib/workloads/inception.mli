@@ -1,0 +1,14 @@
+(** Inception-v3 convolution layers (Szegedy et al., CVPR 2016), including
+    the asymmetric 1x7 / 7x1 / 1x3 / 3x1 factorized convolutions that break
+    the symmetric-filter assumption of dMazeRunner (paper Fig 7).
+
+    [weight_update_layers] are the backward-weights workloads (batch 16 in
+    the paper's Fig 7): the weight gradient is the output operand. *)
+
+type layer = { layer_name : string; workload : Sun_tensor.Workload.t }
+
+val conv_layers : ?batch:int -> unit -> layer list
+val weight_update_layers : ?batch:int -> unit -> layer list
+
+val example_layer : Sun_tensor.Workload.t
+(** The Table I space-size example: a mid-network 17x17 layer. *)

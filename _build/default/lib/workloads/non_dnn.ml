@@ -1,0 +1,61 @@
+module C = Sun_tensor.Catalog
+
+type instance = { instance_name : string; workload : Sun_tensor.Workload.t }
+
+let tensor3_shapes =
+  [ ("nell2", (12096, 9216, 28800)); ("netflix", (480000, 17760, 2160)); ("poisson1", (3072, 3072, 3072)) ]
+
+let matrix_shapes = [ ("bcsstk17", 10944); ("cant", 62400) ]
+
+let mttkrp_suite =
+  List.map
+    (fun (name, (i, k, l)) ->
+      {
+        instance_name = "mttkrp/" ^ name;
+        workload = C.mttkrp ~name:("mttkrp/" ^ name) ~i ~j:32 ~k ~l ();
+      })
+    tensor3_shapes
+
+let ttmc_suite =
+  List.map
+    (fun (name, (i, j, k)) ->
+      {
+        instance_name = "ttmc/" ^ name;
+        workload = C.ttmc ~name:("ttmc/" ^ name) ~i ~j ~k ~l:8 ~m:8 ();
+      })
+    tensor3_shapes
+
+let sddmm_suite =
+  List.map
+    (fun (name, n) ->
+      {
+        instance_name = "sddmm/" ^ name;
+        workload = C.sddmm ~name:("sddmm/" ^ name) ~i:n ~j:n ~k:512 ();
+      })
+    matrix_shapes
+
+let mmc_suite =
+  (* attention-style chains out[i,l] = A[i,j] B[j,k] C[k,l] *)
+  [
+    ( "mmc/bert-base",
+      C.mmc ~name:"mmc/bert-base" ~i:512 ~j:768 ~k:768 ~l:768 () );
+    ( "mmc/gpt2-small",
+      C.mmc ~name:"mmc/gpt2-small" ~i:1024 ~j:768 ~k:768 ~l:768 () );
+  ]
+  |> List.map (fun (instance_name, workload) -> { instance_name; workload })
+
+let tcl_suite =
+  (* contraction layers over the flattened conv activations:
+     AlexNet 256x6x6 -> 64x4x4, VGG-16 512x7x7 -> 128x4x4 (ranks per
+     Kossaifi et al., rounded to composite sizes) *)
+  [
+    ( "tcl/alexnet",
+      C.tcl ~name:"tcl/alexnet" ~i:256 ~j:6 ~k:6 ~l:64 ~m:4 ~n:4 () );
+    ( "tcl/vgg16",
+      C.tcl ~name:"tcl/vgg16" ~i:512 ~j:7 ~k:7 ~l:128 ~m:4 ~n:4 () );
+  ]
+  |> List.map (fun (instance_name, workload) -> { instance_name; workload })
+
+let all = mttkrp_suite @ ttmc_suite @ sddmm_suite
+
+let extended = all @ mmc_suite @ tcl_suite

@@ -1,0 +1,38 @@
+(** Non-DNN tensor-algebra instances for Fig 6: MTTKRP (rank 32), TTMc
+    (rank 8), SDDMM (rank 512) on the conventional accelerator.
+
+    Dataset shapes are dense bounding boxes of the paper's FROSTT /
+    SuiteSparse tensors, rounded to nearby highly composite sizes so that
+    divisor-based tiling has factors to work with (Timeloop users pad the
+    same way; see DESIGN.md §2):
+
+    - nell-2   (12092 x 9184 x 28818)  -> 12096 x 9216 x 28800
+    - netflix  (480189 x 17770 x 2182) -> 480000 x 17760 x 2160
+    - poisson1 (synthetic 3-D Poisson) -> 3072 x 3072 x 3072
+    - bcsstk17 (10974 x 10974)         -> 10944 x 10944
+    - cant     (62451 x 62451)         -> 62400 x 62400 *)
+
+type instance = { instance_name : string; workload : Sun_tensor.Workload.t }
+
+val mttkrp_suite : instance list
+(** nell2 / netflix / poisson1 at rank 32. *)
+
+val ttmc_suite : instance list
+(** nell2 / netflix / poisson1 at rank 8. *)
+
+val sddmm_suite : instance list
+(** bcsstk17 / cant at rank 512. *)
+
+val mmc_suite : instance list
+(** Matrix-multiply chains with Transformer attention shapes
+    (Table II's NLP application): BERT-base and GPT-2-small layer sizes. *)
+
+val tcl_suite : instance list
+(** Tensor contraction layers replacing the first dense layers of AlexNet
+    and VGG-16 (Kossaifi et al.). *)
+
+val all : instance list
+(** The Fig 6 suite: MTTKRP + TTMc + SDDMM. *)
+
+val extended : instance list
+(** [all] plus the MMc and TCL families, for the versatility study. *)

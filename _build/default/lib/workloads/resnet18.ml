@@ -1,0 +1,36 @@
+module C = Sun_tensor.Catalog
+
+type layer = { layer_name : string; workload : Sun_tensor.Workload.t; count : int }
+
+let shapes =
+  (* name, k, c, p(=q), r(=s), stride, occurrences *)
+  [
+    ("conv1", 64, 3, 112, 7, 2, 1);
+    ("conv2_x", 64, 64, 56, 3, 1, 4);
+    ("conv3_1", 128, 64, 28, 3, 2, 1);
+    ("conv3_ds", 128, 64, 28, 1, 2, 1);
+    ("conv3_x", 128, 128, 28, 3, 1, 3);
+    ("conv4_1", 256, 128, 14, 3, 2, 1);
+    ("conv4_ds", 256, 128, 14, 1, 2, 1);
+    ("conv4_x", 256, 256, 14, 3, 1, 3);
+    ("conv5_1", 512, 256, 7, 3, 2, 1);
+    ("conv5_ds", 512, 256, 7, 1, 2, 1);
+    ("conv5_x", 512, 512, 7, 3, 1, 3);
+  ]
+
+let layers ?(batch = 1) () =
+  List.map
+    (fun (layer_name, k, c, p, r, stride, count) ->
+      {
+        layer_name;
+        workload =
+          C.conv2d ~name:("resnet18/" ^ layer_name) ~stride ~n:batch ~k ~c ~p ~q:p ~r ~s:r ();
+        count;
+      })
+    shapes
+
+let representative ?batch () =
+  let all = layers ?batch () in
+  List.filter
+    (fun l -> List.mem l.layer_name [ "conv2_x"; "conv3_x"; "conv4_x"; "conv5_ds" ])
+    all

@@ -1,0 +1,19 @@
+(** ResNet-18 convolution layers (He et al., CVPR 2016), 224x224 input.
+
+    Used by Fig 8 (inference, batch 16, Simba-like accelerator) and the
+    Table VI / Fig 9 studies. Layer shapes are the standard unique
+    convolutions of the network; [count] is how many times the shape occurs
+    so totals can be weighted. *)
+
+type layer = {
+  layer_name : string;
+  workload : Sun_tensor.Workload.t;
+  count : int;  (** occurrences of this shape in the network *)
+}
+
+val layers : ?batch:int -> unit -> layer list
+(** All unique convolution shapes, input-to-output order. Default batch 1. *)
+
+val representative : ?batch:int -> unit -> layer list
+(** A four-layer subset (early / mid / late / downsample) for the costlier
+    ablations. *)

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Gen List QCheck QCheck_alcotest Sun_arch Test

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Float List Printf Sun_arch Sun_baselines Sun_cost Sun_mapping Sun_tensor Sun_workloads

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Float Fun Gen List QCheck QCheck_alcotest String Sun_arch Sun_cost Sun_mapping Sun_search Sun_tensor Sun_util Test

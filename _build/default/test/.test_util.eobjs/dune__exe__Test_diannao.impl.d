@@ -1,0 +1,1 @@
+test/test_diannao.ml: Alcotest Float Gen List QCheck QCheck_alcotest Seq Sun_arch Sun_core Sun_diannao Sun_mapping Sun_tensor Sun_util Test

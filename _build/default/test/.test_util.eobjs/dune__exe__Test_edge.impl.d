@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Float List String Sun_arch Sun_core Sun_cost Sun_mapping Sun_tensor Sun_util

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array List Printf QCheck QCheck_alcotest String Sun_arch Sun_core Sun_exec Sun_mapping Sun_search Sun_tensor Sun_util Test

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List String Sun_arch Sun_baselines Sun_cost Sun_experiments Sun_tensor

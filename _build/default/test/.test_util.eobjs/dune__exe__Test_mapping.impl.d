@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Gen List QCheck QCheck_alcotest String Sun_mapping Sun_tensor Sun_util Test

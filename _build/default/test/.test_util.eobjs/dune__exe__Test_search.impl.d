@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Hashtbl List Printf QCheck QCheck_alcotest Seq Sun_arch Sun_cost Sun_mapping Sun_search Sun_tensor Sun_util Test

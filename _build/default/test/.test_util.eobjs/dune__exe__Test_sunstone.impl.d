@@ -1,0 +1,1 @@
+test/test_sunstone.ml: Alcotest Float Gen List Printf QCheck QCheck_alcotest Seq String Sun_arch Sun_core Sun_cost Sun_mapping Sun_search Sun_tensor Sun_util Test

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Gen List QCheck QCheck_alcotest String Sun_tensor Test

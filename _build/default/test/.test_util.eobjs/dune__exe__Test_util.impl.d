@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Factor Gen Hashtbl List Listx QCheck QCheck_alcotest Rng String Sun_util Table_fmt Test

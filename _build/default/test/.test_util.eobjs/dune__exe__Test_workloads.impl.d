@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Printf Sun_tensor Sun_util Sun_workloads

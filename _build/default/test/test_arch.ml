@@ -1,0 +1,155 @@
+module A = Sun_arch.Arch
+module E = Sun_arch.Energy_table
+module P = Sun_arch.Presets
+
+let expect_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let dram : A.level =
+  {
+    A.level_name = "DRAM";
+    partitions =
+      [
+        {
+          A.part_name = "DRAM";
+          capacity_words = 0;
+          accepts = `All;
+          read_energy = 200.0;
+          write_energy = 200.0;
+          bandwidth = 16.0;
+        };
+      ];
+    fanout = 1;
+    multicast = false;
+    noc_hop_energy = 0.0;
+    unbounded = true;
+  }
+
+let l1 : A.level =
+  {
+    A.level_name = "L1";
+    partitions =
+      [
+        {
+          A.part_name = "L1";
+          capacity_words = 64;
+          accepts = `All;
+          read_energy = 1.0;
+          write_energy = 1.1;
+          bandwidth = 8.0;
+        };
+      ];
+    fanout = 4;
+    multicast = true;
+    noc_hop_energy = 0.5;
+    unbounded = false;
+  }
+
+let test_make_validation () =
+  expect_invalid "single level" (fun () -> A.make ~name:"x" ~levels:[ dram ] ~mac_energy:1.0 ());
+  expect_invalid "bounded top" (fun () -> A.make ~name:"x" ~levels:[ l1; l1 ] ~mac_energy:1.0 ());
+  expect_invalid "zero fanout" (fun () ->
+      A.make ~name:"x" ~levels:[ { l1 with A.fanout = 0 }; dram ] ~mac_energy:1.0 ());
+  expect_invalid "zero capacity in bounded level" (fun () ->
+      A.make ~name:"x"
+        ~levels:
+          [ { l1 with A.partitions = [ { (List.hd l1.A.partitions) with A.capacity_words = 0 } ] }; dram ]
+        ~mac_energy:1.0 ());
+  let ok = A.make ~name:"ok" ~levels:[ l1; dram ] ~mac_energy:1.0 () in
+  Alcotest.(check int) "levels" 2 (A.num_levels ok);
+  Alcotest.(check int) "total fanout" 4 (A.total_fanout ok);
+  Alcotest.(check int) "dram index" 1 (A.dram_index ok)
+
+let test_role_routing () =
+  let weights_only : A.partition =
+    { (List.hd l1.A.partitions) with A.part_name = "WB"; accepts = `Roles [ "weight" ] }
+  in
+  let lvl = { l1 with A.partitions = [ weights_only ] } in
+  Alcotest.(check bool) "stores weight" true (A.stores lvl ~role:"weight");
+  Alcotest.(check bool) "rejects ifmap" false (A.stores lvl ~role:"ifmap");
+  (match A.partition_for lvl ~role:"weight" with
+  | Some p -> Alcotest.(check string) "partition name" "WB" p.A.part_name
+  | None -> Alcotest.fail "expected a partition");
+  Alcotest.(check bool) "unified accepts anything" true
+    (A.stores l1 ~role:"whatever")
+
+(* Table IV encodings *)
+let test_presets_conventional () =
+  let a = P.conventional in
+  Alcotest.(check int) "3 levels" 3 (A.num_levels a);
+  Alcotest.(check int) "32x32 PEs" 1024 (A.level a 1).A.fanout;
+  Alcotest.(check int) "512B L1 = 256 words" 256
+    (List.hd (A.level a 0).A.partitions).A.capacity_words;
+  Alcotest.(check bool) "L2 multicast" true (A.level a 1).A.multicast
+
+let test_presets_simba () =
+  let a = P.simba_like in
+  Alcotest.(check int) "4 levels" 4 (A.num_levels a);
+  Alcotest.(check int) "peak lanes" 1024 (A.total_fanout a);
+  (* weights bypass L2 *)
+  Alcotest.(check bool) "L2 holds ifmap" true (A.stores (A.level a 2) ~role:"ifmap");
+  Alcotest.(check bool) "L2 rejects weight" false (A.stores (A.level a 2) ~role:"weight");
+  (* per-datatype L1 capacities: 32KB/8b, 8KB/8b, 3KB/24b *)
+  let cap role =
+    match A.partition_for (A.level a 1) ~role with
+    | Some p -> p.A.capacity_words
+    | None -> -1
+  in
+  Alcotest.(check int) "weight buffer" 32768 (cap "weight");
+  Alcotest.(check int) "ifmap buffer" 8192 (cap "ifmap");
+  Alcotest.(check int) "ofmap buffer" 1024 (cap "ofmap")
+
+let test_presets_diannao () =
+  let a = P.diannao_like in
+  Alcotest.(check int) "2 levels" 2 (A.num_levels a);
+  Alcotest.(check int) "256 multipliers" 256 (A.level a 0).A.fanout
+
+let test_energy_monotone_in_capacity () =
+  let small = E.sram_read ~capacity_words:256 ~bits:16 in
+  let big = E.sram_read ~capacity_words:1_000_000 ~bits:16 in
+  Alcotest.(check bool) "bigger SRAM costs more" true (big > small);
+  Alcotest.(check bool) "register cheapest" true (E.register_read ~bits:16 < small);
+  Alcotest.(check bool) "DRAM most expensive" true (E.dram_access ~bits:16 > big)
+
+let test_energy_ratios () =
+  (* the published qualitative ratios that drive mapping choice *)
+  let mac = E.mac ~bits:16 in
+  Alcotest.(check bool) "DRAM ~200x MAC" true
+    (E.dram_access ~bits:16 /. mac >= 100.0 && E.dram_access ~bits:16 /. mac <= 400.0);
+  Alcotest.(check bool) "width scales energy" true (E.mac ~bits:8 < E.mac ~bits:16)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"sram energy monotone" ~count:100
+      (make Gen.(tup2 (64 -- 100000) (64 -- 100000)))
+      (fun (a, b) ->
+        let small = min a b and big = max a b in
+        E.sram_read ~capacity_words:small ~bits:16 <= E.sram_read ~capacity_words:big ~bits:16);
+    Test.make ~name:"write costs at least read" ~count:100 (int_range 64 1000000) (fun c ->
+        E.sram_write ~capacity_words:c ~bits:16 >= E.sram_read ~capacity_words:c ~bits:16);
+  ]
+
+let () =
+  Alcotest.run "sun_arch"
+    [
+      ( "arch",
+        [
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "role routing" `Quick test_role_routing;
+        ] );
+      ( "presets (Table IV)",
+        [
+          Alcotest.test_case "conventional" `Quick test_presets_conventional;
+          Alcotest.test_case "simba" `Quick test_presets_simba;
+          Alcotest.test_case "diannao" `Quick test_presets_diannao;
+        ] );
+      ( "energy table",
+        [
+          Alcotest.test_case "capacity monotone" `Quick test_energy_monotone_in_capacity;
+          Alcotest.test_case "published ratios" `Quick test_energy_ratios;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

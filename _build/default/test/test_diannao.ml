@@ -1,0 +1,201 @@
+module W = Sun_tensor.Workload
+module C = Sun_tensor.Catalog
+module P = Sun_arch.Presets
+module M = Sun_mapping.Mapping
+module D = Sun_diannao
+
+let conv = C.conv2d ~n:1 ~k:16 ~c:8 ~p:14 ~q:14 ~r:3 ~s:3 ()
+
+let schedule w =
+  match Sun_core.Optimizer.optimize w P.diannao_like with
+  | Ok r -> r.Sun_core.Optimizer.mapping
+  | Error msg -> Alcotest.failf "schedule failed: %s" msg
+
+let test_placement () =
+  let place = D.Compiler.default_placement conv in
+  Alcotest.(check string) "ifmap to NBin" "NBin" (D.Isa.buffer_name (place "ifmap"));
+  Alcotest.(check string) "weight to SB" "SB" (D.Isa.buffer_name (place "weight"));
+  Alcotest.(check string) "ofmap to NBout" "NBout" (D.Isa.buffer_name (place "ofmap"))
+
+let test_compile_structure () =
+  let m = schedule conv in
+  let program = D.Compiler.compile conv m in
+  Alcotest.(check bool) "passes positive" true (program.D.Compiler.passes > 0);
+  (* one compute per pass *)
+  let computes =
+    Seq.fold_left
+      (fun acc insn -> match insn with D.Isa.Compute _ -> acc + 1 | _ -> acc)
+      0
+      (program.D.Compiler.instructions ())
+  in
+  Alcotest.(check int) "computes = passes" program.D.Compiler.passes computes
+
+let test_mac_conservation () =
+  let m = schedule conv in
+  let program = D.Compiler.compile conv m in
+  let macs =
+    Seq.fold_left
+      (fun acc insn -> match insn with D.Isa.Compute { macs } -> acc +. macs | _ -> acc)
+      0.0
+      (program.D.Compiler.instructions ())
+  in
+  Alcotest.(check (float 1e-6)) "all MACs executed" (W.macs conv) macs
+
+let test_loads_cover_operands () =
+  let m = schedule conv in
+  let program = D.Compiler.compile conv m in
+  let r = D.Simulator.run conv program in
+  (* DRAM must supply at least each input once and receive the output *)
+  let input_words =
+    Sun_util.Listx.sum_by (W.operand_size conv) (W.inputs conv)
+  in
+  Alcotest.(check bool) "reads cover inputs" true
+    (r.D.Simulator.events.D.Simulator.dram_read_words >= input_words -. 1e-6);
+  Alcotest.(check bool) "writes cover output" true
+    (r.D.Simulator.events.D.Simulator.dram_write_words
+    >= W.operand_size conv (W.output conv) -. 1e-6)
+
+let test_reuse_between_passes () =
+  (* with the output-indexing loops outermost and the reduction inside,
+     weights reload per pass but ifmap stays when only K changes *)
+  let dims = W.dim_names conv in
+  let fill assoc =
+    List.map (fun d -> match List.assoc_opt d assoc with Some f -> (d, f) | None -> (d, 1)) dims
+  in
+  let m =
+    M.make_exn conv
+      [
+        { M.temporal = fill [ ("C", 8); ("P", 14); ("Q", 14); ("R", 3); ("S", 3) ]; order = dims; spatial = fill [] };
+        { M.temporal = fill [ ("K", 16) ]; order = [ "K"; "N"; "C"; "P"; "Q"; "R"; "S" ]; spatial = fill [] };
+      ]
+  in
+  let program = D.Compiler.compile conv m in
+  let ifmap_loads =
+    Seq.fold_left
+      (fun acc insn ->
+        match insn with D.Isa.Load { buffer = D.Isa.NBin; _ } -> acc + 1 | _ -> acc)
+      0
+      (program.D.Compiler.instructions ())
+  in
+  (* ifmap loaded once: K is non-indexing for it, so the resident tile
+     survives all 16 passes *)
+  Alcotest.(check int) "ifmap loaded once" 1 ifmap_loads
+
+let test_sliding_refill_smaller () =
+  (* P innermost at DRAM level: consecutive passes overlap in ifmap rows *)
+  let w = C.conv1d ~k:4 ~c:4 ~p:32 ~r:5 () in
+  let dims = W.dim_names w in
+  let fill assoc =
+    List.map (fun d -> match List.assoc_opt d assoc with Some f -> (d, f) | None -> (d, 1)) dims
+  in
+  let m =
+    M.make_exn w
+      [
+        { M.temporal = fill [ ("K", 4); ("C", 4); ("P", 8); ("R", 5) ]; order = dims; spatial = fill [] };
+        { M.temporal = fill [ ("P", 4) ]; order = [ "K"; "C"; "R"; "P" ]; spatial = fill [] };
+      ]
+  in
+  let program = D.Compiler.compile w m in
+  let full_tile = ref 0 and partial = ref 0 in
+  Seq.iter
+    (fun insn ->
+      match insn with
+      | D.Isa.Load { buffer = D.Isa.NBin; words; sliding_refill; _ } ->
+        if sliding_refill then begin
+          incr partial;
+          Alcotest.(check bool) "refill smaller than tile" true (words < !full_tile)
+        end
+        else full_tile := max !full_tile words
+      | _ -> ())
+    (program.D.Compiler.instructions ());
+  Alcotest.(check bool) "some sliding refills happened" true (!partial > 0)
+
+let test_energy_components () =
+  let m = schedule conv in
+  let program = D.Compiler.compile conv m in
+  let r = D.Simulator.run conv program in
+  let e = r.D.Simulator.energy in
+  List.iter
+    (fun (name, v) -> Alcotest.(check bool) (name ^ " >= 0") true (v >= 0.0))
+    [
+      ("dram", e.D.Simulator.dram);
+      ("nbin", e.D.Simulator.nbin);
+      ("sb", e.D.Simulator.sb);
+      ("nbout", e.D.Simulator.nbout);
+      ("mac", e.D.Simulator.mac);
+      ("instr", e.D.Simulator.instruction_fetch);
+      ("reorder", e.D.Simulator.reorder);
+    ];
+  Alcotest.(check bool) "mac energy exact" true
+    (Float.abs (e.D.Simulator.mac -. W.macs conv) < 1e-6)
+
+let test_naive_worse_than_tuned () =
+  let m = schedule conv in
+  let _, _, tuned = D.Tuner.tune conv m in
+  let naive = D.Simulator.naive conv in
+  Alcotest.(check bool) "dataflow optimization pays" true
+    (D.Simulator.total naive.D.Simulator.energy > D.Simulator.total tuned.D.Simulator.energy)
+
+let test_tuner_no_worse_than_seed () =
+  let m = schedule conv in
+  let seed_program = D.Compiler.compile conv m in
+  let seed = D.Simulator.run conv seed_program in
+  let _, _, tuned = D.Tuner.tune conv m in
+  Alcotest.(check bool) "tuner monotone" true
+    (D.Simulator.total tuned.D.Simulator.energy
+    <= D.Simulator.total seed.D.Simulator.energy +. 1e-6)
+
+let test_instruction_counting () =
+  Alcotest.(check int) "load bursts" 7
+    (D.Isa.instruction_count
+       (D.Isa.Load { buffer = D.Isa.NBin; words = 100; bursts = 7; sliding_refill = false }));
+  Alcotest.(check int) "compute is one" 1 (D.Isa.instruction_count (D.Isa.Compute { macs = 5.0 }))
+
+let test_rejects_wrong_levels () =
+  let m3 = M.single_level conv ~num_levels:3 in
+  match D.Compiler.compile conv m3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of 3-level mapping"
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"compiled MACs always conserved" ~count:20
+      (make Gen.(tup4 (1 -- 3) (1 -- 3) (2 -- 5) (1 -- 2)))
+      (fun (k, c, p, r) ->
+        let w = C.conv2d ~n:1 ~k:(4 * k) ~c:(4 * c) ~p:(2 * p) ~q:(2 * p) ~r ~s:r () in
+        match Sun_core.Optimizer.optimize w P.diannao_like with
+        | Error _ -> true
+        | Ok res ->
+          let program = D.Compiler.compile w res.Sun_core.Optimizer.mapping in
+          let macs =
+            Seq.fold_left
+              (fun acc insn -> match insn with D.Isa.Compute { macs } -> acc +. macs | _ -> acc)
+              0.0
+              (program.D.Compiler.instructions ())
+          in
+          Float.abs (macs -. W.macs w) < 1e-6);
+  ]
+
+let () =
+  Alcotest.run "sun_diannao"
+    [
+      ( "compiler",
+        [
+          Alcotest.test_case "placement" `Quick test_placement;
+          Alcotest.test_case "structure" `Quick test_compile_structure;
+          Alcotest.test_case "MAC conservation" `Quick test_mac_conservation;
+          Alcotest.test_case "inter-pass reuse" `Quick test_reuse_between_passes;
+          Alcotest.test_case "sliding refill" `Quick test_sliding_refill_smaller;
+          Alcotest.test_case "rejects wrong level count" `Quick test_rejects_wrong_levels;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "loads cover operands" `Quick test_loads_cover_operands;
+          Alcotest.test_case "energy components" `Quick test_energy_components;
+          Alcotest.test_case "naive is worse" `Quick test_naive_worse_than_tuned;
+          Alcotest.test_case "instruction counting" `Quick test_instruction_counting;
+        ] );
+      ("tuner", [ Alcotest.test_case "no worse than seed" `Quick test_tuner_no_worse_than_seed ]);
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

@@ -1,0 +1,243 @@
+(* Edge cases and failure injection across the stack: degenerate workloads,
+   unmappable problems, single-dimension nests, and boundary behaviour the
+   main suites do not exercise. *)
+
+module W = Sun_tensor.Workload
+module C = Sun_tensor.Catalog
+module A = Sun_arch.Arch
+module P = Sun_arch.Presets
+module M = Sun_mapping.Mapping
+module Model = Sun_cost.Model
+module Opt = Sun_core.Optimizer
+module Trie = Sun_core.Order_trie
+
+(* a one-dimensional "copy with scale" workload *)
+let axpy n =
+  W.make ~name:"axpy" ~dims:[ ("X", n) ]
+    ~operands:
+      [
+        { W.name = "a"; kind = `Input; indices = [ W.Dim "X" ] };
+        { W.name = "out"; kind = `Output; indices = [ W.Dim "X" ] };
+      ]
+
+let test_single_dim_workload () =
+  let w = axpy 64 in
+  let arch = P.toy ~l1_words:16 ~l2_words:64 ~pes:4 () in
+  (* no operand has a non-indexing dimension: the trie degenerates to the
+     canonical order *)
+  let cands = Trie.candidates w in
+  Alcotest.(check int) "one canonical order" 1 (List.length cands);
+  Alcotest.(check (list string)) "no reuse" [] (List.hd cands).Trie.reused_operands;
+  match Opt.optimize w arch with
+  | Ok r -> (
+    match Model.validate w arch r.Opt.mapping with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invalid: %s" e)
+  | Error e -> Alcotest.failf "axpy should map: %s" e
+
+let test_unmappable_problem () =
+  (* the unit tile of the giant-filter conv exceeds a 2-word L1: weight
+     needs R=8 resident even at tile 1 because the full R lives somewhere *)
+  let w =
+    W.make ~name:"wide-row" ~dims:[ ("X", 4); ("Y", 64) ]
+      ~operands:
+        [
+          { W.name = "a"; kind = `Input; indices = [ W.Dim "Y" ] };
+          { W.name = "b"; kind = `Input; indices = [ W.Dim "X" ; W.Dim "Y" ] };
+          { W.name = "out"; kind = `Output; indices = [ W.Dim "X" ] };
+        ]
+  in
+  ignore w;
+  (* an arch whose innermost buffer cannot even hold one word per operand *)
+  let tiny =
+    let l1 : A.level =
+      {
+        A.level_name = "L1";
+        partitions =
+          [
+            {
+              A.part_name = "L1";
+              capacity_words = 2;
+              accepts = `All;
+              read_energy = 1.0;
+              write_energy = 1.0;
+              bandwidth = 1.0;
+            };
+          ];
+        fanout = 1;
+        multicast = false;
+        noc_hop_energy = 0.0;
+        unbounded = false;
+      }
+    in
+    let dram : A.level =
+      {
+        A.level_name = "DRAM";
+        partitions =
+          [
+            {
+              A.part_name = "DRAM";
+              capacity_words = 0;
+              accepts = `All;
+              read_energy = 100.0;
+              write_energy = 100.0;
+              bandwidth = 1.0;
+            };
+          ];
+        fanout = 1;
+        multicast = false;
+        noc_hop_energy = 0.0;
+        unbounded = true;
+      }
+    in
+    A.make ~name:"tiny" ~levels:[ l1; dram ] ~mac_energy:1.0 ()
+  in
+  (* three operands cannot coexist in 2 words *)
+  let mm = C.matmul ~m:4 ~n:4 ~k:4 () in
+  match Opt.optimize mm tiny with
+  | Error _ -> ()
+  | Ok r ->
+    (* if something is returned it must still be valid *)
+    (match Model.validate mm tiny r.Opt.mapping with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "optimizer returned an invalid mapping: %s" e)
+
+let test_prime_dimensions () =
+  (* 17x17 Inception maps have prime feature dims: tiling can only keep or
+     split nothing, and the scheduler must still produce a valid mapping *)
+  let w = C.conv2d ~n:1 ~k:32 ~c:32 ~p:17 ~q:17 ~r:3 ~s:3 () in
+  match Opt.optimize w P.conventional with
+  | Ok r -> (
+    match Model.validate w P.conventional r.Opt.mapping with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invalid: %s" e)
+  | Error e -> Alcotest.failf "prime dims should map: %s" e
+
+let test_dim_of_size_one () =
+  (* 1x1 convolutions: R = S = 1 collapse the sliding window *)
+  let w = C.conv2d ~n:1 ~k:16 ~c:16 ~p:8 ~q:8 ~r:1 ~s:1 () in
+  let ifmap = W.find_operand w "ifmap" in
+  Alcotest.(check (list string)) "no sliding dims when window is 1x1... (P,Q remain)"
+    [ "P"; "Q"; "R"; "S" ] (W.sliding_dims ifmap);
+  match Opt.optimize w P.conventional with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "1x1 conv should map: %s" e
+
+let test_workload_larger_than_chip () =
+  (* nothing fits on chip beyond single elements; only DRAM-heavy mappings
+     exist and they must still be produced and valid *)
+  let w = C.matmul ~m:4096 ~n:4096 ~k:4096 () in
+  let arch = P.toy ~l1_words:16 ~l2_words:64 ~pes:4 () in
+  match Opt.optimize w arch with
+  | Ok r -> (
+    match Model.validate w arch r.Opt.mapping with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invalid: %s" e)
+  | Error e -> Alcotest.failf "should map: %s" e
+
+let test_mapping_with_all_unit_levels () =
+  let w = axpy 8 in
+  let m = M.single_level w ~num_levels:2 in
+  let arch =
+    A.make ~name:"two"
+      ~levels:
+        [
+          {
+            A.level_name = "L1";
+            partitions =
+              [
+                {
+                  A.part_name = "L1";
+                  capacity_words = 32;
+                  accepts = `All;
+                  read_energy = 1.0;
+                  write_energy = 1.0;
+                  bandwidth = 1.0;
+                };
+              ];
+            fanout = 1;
+            multicast = false;
+            noc_hop_energy = 0.0;
+            unbounded = false;
+          };
+          {
+            A.level_name = "DRAM";
+            partitions =
+              [
+                {
+                  A.part_name = "DRAM";
+                  capacity_words = 0;
+                  accepts = `All;
+                  read_energy = 100.0;
+                  write_energy = 100.0;
+                  bandwidth = 1.0;
+                };
+              ];
+            fanout = 1;
+            multicast = false;
+            noc_hop_energy = 0.0;
+            unbounded = true;
+          };
+        ]
+      ~mac_energy:1.0 ()
+  in
+  let c = Model.evaluate_exn w arch m in
+  (* each element read once from DRAM for "a" and written once for "out" *)
+  Alcotest.(check bool) "macs" true (c.Model.macs = 8.0);
+  Alcotest.(check bool) "energy finite" true (Float.is_finite c.Model.energy_pj)
+
+let test_zero_reuse_workload_energy () =
+  (* pure elementwise op: no reuse exists anywhere; the model must not
+     invent any (DRAM reads >= operand size) *)
+  let w = axpy 128 in
+  let arch = P.toy ~l1_words:32 ~l2_words:256 ~pes:4 () in
+  match Opt.optimize w arch with
+  | Error e -> Alcotest.failf "should map: %s" e
+  | Ok r ->
+    let dram_reads =
+      Sun_util.Listx.sum_by
+        (fun (t : Model.transfer) ->
+          if t.Model.from_level = 2 && t.Model.operand = "a" && t.Model.to_level >= 0 then
+            t.Model.reads
+          else 0.0)
+        r.Opt.cost.Model.transfers
+    in
+    Alcotest.(check bool) "input fetched at least once" true (dram_reads >= 128.0)
+
+let test_trie_stats () =
+  let w = C.conv2d ~n:4 ~k:8 ~c:8 ~p:8 ~q:8 ~r:3 ~s:3 () in
+  let cands, stats = Trie.candidates_with_stats w in
+  Alcotest.(check bool) "visited nodes" true (stats.Trie.nodes_visited > 0);
+  Alcotest.(check bool) "pruned nodes" true (stats.Trie.nodes_pruned > 0);
+  Alcotest.(check bool) "far fewer than 7! orders" true
+    (List.length cands * 20 < Trie.all_orders_count w)
+
+let test_mapping_pp_smoke () =
+  let w = axpy 8 in
+  let m = M.single_level w ~num_levels:3 in
+  Alcotest.(check bool) "prints" true (String.length (M.to_string m) > 0);
+  Alcotest.(check bool) "loopnest prints" true
+    (String.length (Sun_mapping.Loopnest.emit w m) > 0)
+
+let () =
+  Alcotest.run "edge cases"
+    [
+      ( "degenerate workloads",
+        [
+          Alcotest.test_case "single dimension" `Quick test_single_dim_workload;
+          Alcotest.test_case "unmappable" `Quick test_unmappable_problem;
+          Alcotest.test_case "prime dimensions" `Quick test_prime_dimensions;
+          Alcotest.test_case "1x1 window" `Quick test_dim_of_size_one;
+          Alcotest.test_case "larger than chip" `Quick test_workload_larger_than_chip;
+        ] );
+      ( "model boundaries",
+        [
+          Alcotest.test_case "all-unit levels" `Quick test_mapping_with_all_unit_levels;
+          Alcotest.test_case "zero-reuse energy" `Quick test_zero_reuse_workload_energy;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "trie stats" `Quick test_trie_stats;
+          Alcotest.test_case "pretty printing" `Quick test_mapping_pp_smoke;
+        ] );
+    ]

@@ -1,0 +1,228 @@
+module W = Sun_tensor.Workload
+module C = Sun_tensor.Catalog
+module M = Sun_mapping.Mapping
+module P = Sun_arch.Presets
+module T = Sun_exec.Tensor
+module E = Sun_exec.Executor
+module Loopnest = Sun_mapping.Loopnest
+
+let conv = C.conv1d ~k:4 ~c:2 ~p:6 ~r:3 ()
+
+(* ----------------------------- tensor ------------------------------ *)
+
+let test_tensor_basics () =
+  let t = T.create [| 2; 3 |] in
+  Alcotest.(check int) "size" 6 (T.size t);
+  T.add t [| 1; 2 |] 5.0;
+  Alcotest.(check (float 0.0)) "get after add" 5.0 (T.get t [| 1; 2 |]);
+  Alcotest.(check (float 0.0)) "others zero" 0.0 (T.get t [| 0; 0 |]);
+  Alcotest.(check int) "row-major flat index" 5 (T.flat_index t [| 1; 2 |])
+
+let test_tensor_equal () =
+  let a = T.create [| 4 |] and b = T.create [| 4 |] in
+  Alcotest.(check bool) "zeros equal" true (T.equal a b);
+  T.add a [| 0 |] 1.0;
+  Alcotest.(check bool) "differ" false (T.equal a b);
+  T.add b [| 0 |] (1.0 +. 1e-12);
+  Alcotest.(check bool) "within eps" true (T.equal a b)
+
+let test_operand_shapes () =
+  let ifmap = W.find_operand conv "ifmap" in
+  Alcotest.(check (array int)) "ifmap padded" [| 2; 8 |] (T.shape_of_operand conv ifmap);
+  let strided = C.conv2d ~stride:2 ~n:1 ~k:1 ~c:1 ~p:4 ~q:4 ~r:3 ~s:3 () in
+  let ifmap2 = W.find_operand strided "ifmap" in
+  Alcotest.(check (array int)) "strided extents" [| 1; 1; 9; 9 |]
+    (T.shape_of_operand strided ifmap2)
+
+(* ---------------------------- executor ----------------------------- *)
+
+(* hand-computed 2x2 matmul ground truth *)
+let test_reference_matmul () =
+  let mm = C.matmul ~m:2 ~n:2 ~k:2 () in
+  let a = T.create [| 2; 2 |] and b = T.create [| 2; 2 |] in
+  (* a = [[1 2];[3 4]], b = [[5 6];[7 8]] *)
+  List.iteri (fun i v -> a.T.data.(i) <- v) [ 1.; 2.; 3.; 4. ];
+  List.iteri (fun i v -> b.T.data.(i) <- v) [ 5.; 6.; 7.; 8. ];
+  let out = E.reference mm [ ("a", a); ("b", b) ] in
+  Alcotest.(check (float 1e-9)) "out[0,0]" 19.0 (T.get out [| 0; 0 |]);
+  Alcotest.(check (float 1e-9)) "out[0,1]" 22.0 (T.get out [| 0; 1 |]);
+  Alcotest.(check (float 1e-9)) "out[1,0]" 43.0 (T.get out [| 1; 0 |]);
+  Alcotest.(check (float 1e-9)) "out[1,1]" 50.0 (T.get out [| 1; 1 |])
+
+let test_reference_conv () =
+  (* 1-D conv with unit weights sums a sliding window *)
+  let w = C.conv1d ~k:1 ~c:1 ~p:4 ~r:2 () in
+  let ifmap = T.create [| 1; 5 |] in
+  List.iteri (fun i v -> ifmap.T.data.(i) <- v) [ 1.; 2.; 3.; 4.; 5. ];
+  let weight = T.create [| 1; 1; 2 |] in
+  weight.T.data.(0) <- 1.0;
+  weight.T.data.(1) <- 1.0;
+  let out = E.reference w [ ("ifmap", ifmap); ("weight", weight) ] in
+  List.iteri
+    (fun p expect -> Alcotest.(check (float 1e-9)) (Printf.sprintf "p=%d" p) expect (T.get out [| 0; p |]))
+    [ 3.; 5.; 7.; 9. ]
+
+let test_missing_input_rejected () =
+  let mm = C.matmul ~m:2 ~n:2 ~k:2 () in
+  match E.reference mm [ ("a", T.create [| 2; 2 |]) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected missing-input error"
+
+let test_wrong_shape_rejected () =
+  let mm = C.matmul ~m:2 ~n:2 ~k:2 () in
+  match E.reference mm [ ("a", T.create [| 3; 2 |]); ("b", T.create [| 2; 2 |]) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected shape error"
+
+(* the headline property: mapped execution == reference, whatever the
+   mapping *)
+let test_mapped_equals_reference_handpicked () =
+  let inputs = E.random_inputs conv in
+  let want = E.reference conv inputs in
+  let dims = W.dim_names conv in
+  let fill assoc =
+    List.map (fun d -> match List.assoc_opt d assoc with Some f -> (d, f) | None -> (d, 1)) dims
+  in
+  let mappings =
+    [
+      M.make_exn conv
+        [
+          { M.temporal = fill [ ("K", 2); ("P", 3); ("R", 3) ]; order = dims; spatial = fill [] };
+          {
+            M.temporal = fill [ ("K", 2); ("C", 2) ];
+            order = [ "P"; "K"; "C"; "R" ];
+            spatial = fill [];
+          };
+          { M.temporal = fill [ ("P", 2) ]; order = dims; spatial = fill [] };
+        ];
+      M.make_exn conv
+        [
+          { M.temporal = fill [ ("R", 3) ]; order = dims; spatial = fill [ ("K", 2) ] };
+          {
+            M.temporal = fill [ ("C", 2); ("P", 6) ];
+            order = [ "C"; "R"; "P"; "K" ];
+            spatial = fill [ ("K", 2) ];
+          };
+          { M.temporal = fill []; order = dims; spatial = fill [] };
+        ];
+    ]
+  in
+  List.iteri
+    (fun i m ->
+      let got = E.run_mapping conv m inputs in
+      Alcotest.(check bool) (Printf.sprintf "mapping %d agrees" i) true (T.equal ~eps:1e-9 want got))
+    mappings
+
+let test_sunstone_mapping_executes_correctly () =
+  let arch = P.toy ~l1_words:64 ~l2_words:512 ~pes:4 () in
+  match Sun_core.Optimizer.optimize conv arch with
+  | Error msg -> Alcotest.failf "optimize failed: %s" msg
+  | Ok r ->
+    let inputs = E.random_inputs conv in
+    let want = E.reference conv inputs in
+    let got = E.run_mapping conv r.Sun_core.Optimizer.mapping inputs in
+    Alcotest.(check bool) "optimizer's mapping computes the right tensor" true
+      (T.equal ~eps:1e-9 want got)
+
+(* ---------------------------- loop nest ----------------------------- *)
+
+let test_loopnest_emission () =
+  let dims = W.dim_names conv in
+  let fill assoc =
+    List.map (fun d -> match List.assoc_opt d assoc with Some f -> (d, f) | None -> (d, 1)) dims
+  in
+  let m =
+    M.make_exn conv
+      [
+        { M.temporal = fill [ ("K", 2); ("P", 3); ("R", 3) ]; order = dims; spatial = fill [] };
+        { M.temporal = fill [ ("K", 2); ("C", 2) ]; order = [ "P"; "K"; "C"; "R" ]; spatial = fill [] };
+        { M.temporal = fill [ ("P", 2) ]; order = dims; spatial = fill [ ("C", 1) ] };
+      ]
+  in
+  let s = Sun_mapping.Loopnest.emit conv m in
+  let contains sub =
+    let n = String.length s and k = String.length sub in
+    let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has MAC statement" true (contains "ofmap[k, p] += ifmap[c, p+r] * weight[k, c, r]");
+  Alcotest.(check bool) "has a loop" true (contains "for k");
+  Alcotest.(check int) "loop count" 6 (Loopnest.loop_count conv m)
+
+let test_loopnest_spatial_marker () =
+  let dims = W.dim_names conv in
+  let fill assoc =
+    List.map (fun d -> match List.assoc_opt d assoc with Some f -> (d, f) | None -> (d, 1)) dims
+  in
+  let m =
+    M.make_exn conv
+      [
+        { M.temporal = fill [ ("P", 6); ("C", 2); ("R", 3) ]; order = dims; spatial = fill [] };
+        { M.temporal = fill []; order = dims; spatial = fill [ ("K", 4) ] };
+        { M.temporal = fill []; order = dims; spatial = fill [] };
+      ]
+  in
+  let s = Sun_mapping.Loopnest.emit conv m in
+  Alcotest.(check bool) "parallel loop marked" true
+    (let sub = "parallel_for k" in
+     let n = String.length s and k = String.length sub in
+     let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+     go 0)
+
+let qcheck_props =
+  let open QCheck in
+  let arch = P.toy ~l1_words:1_000_000 ~l2_words:10_000_000 ~pes:4 () in
+  [
+    Test.make ~name:"random mappings compute the reference tensor" ~count:40
+      (int_range 0 100000)
+      (fun seed ->
+        let w = C.conv1d ~k:4 ~c:2 ~p:6 ~r:3 () in
+        let space = Sun_search.Mapspace.create w arch in
+        let rng = Sun_util.Rng.create seed in
+        let m = Sun_search.Mapspace.sample space rng in
+        let inputs = E.random_inputs ~seed w in
+        let want = E.reference w inputs in
+        let got = E.run_mapping w m inputs in
+        T.equal ~eps:1e-9 want got);
+    Test.make ~name:"mapped matmul equals reference" ~count:40 (int_range 0 100000) (fun seed ->
+        let w = C.matmul ~m:4 ~n:6 ~k:3 () in
+        let space = Sun_search.Mapspace.create w arch in
+        let rng = Sun_util.Rng.create seed in
+        let m = Sun_search.Mapspace.sample space rng in
+        let inputs = E.random_inputs ~seed w in
+        T.equal ~eps:1e-9 (E.reference w inputs) (E.run_mapping w m inputs));
+    Test.make ~name:"mapped mttkrp equals reference" ~count:25 (int_range 0 100000) (fun seed ->
+        let w = C.mttkrp ~i:3 ~j:4 ~k:3 ~l:2 () in
+        let space = Sun_search.Mapspace.create w arch in
+        let rng = Sun_util.Rng.create seed in
+        let m = Sun_search.Mapspace.sample space rng in
+        let inputs = E.random_inputs ~seed w in
+        T.equal ~eps:1e-9 (E.reference w inputs) (E.run_mapping w m inputs));
+  ]
+
+let () =
+  Alcotest.run "sun_exec"
+    [
+      ( "tensor",
+        [
+          Alcotest.test_case "basics" `Quick test_tensor_basics;
+          Alcotest.test_case "equal" `Quick test_tensor_equal;
+          Alcotest.test_case "operand shapes" `Quick test_operand_shapes;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "matmul ground truth" `Quick test_reference_matmul;
+          Alcotest.test_case "conv ground truth" `Quick test_reference_conv;
+          Alcotest.test_case "missing input" `Quick test_missing_input_rejected;
+          Alcotest.test_case "wrong shape" `Quick test_wrong_shape_rejected;
+          Alcotest.test_case "mapped == reference" `Quick test_mapped_equals_reference_handpicked;
+          Alcotest.test_case "optimizer mapping correct" `Quick
+            test_sunstone_mapping_executes_correctly;
+        ] );
+      ( "loop nest",
+        [
+          Alcotest.test_case "emission" `Quick test_loopnest_emission;
+          Alcotest.test_case "spatial marker" `Quick test_loopnest_spatial_marker;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

@@ -1,0 +1,124 @@
+module B = Sun_baselines
+module Runners = Sun_experiments.Runners
+module Figures = Sun_experiments.Figures
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let outcome ?(valid = true) ?(edp_value = 1.0) ?(secs = 1.0) tool =
+  let open B.Mapper in
+  if valid then
+    {
+      tool;
+      mapping = None;
+      cost =
+        Some
+          {
+            Sun_cost.Model.energy_pj = edp_value;
+            cycles = 1.0;
+            edp = edp_value;
+            macs = 1.0;
+            transfers = [];
+            breakdown = [];
+            spatial_utilization = 1.0;
+          };
+      valid = true;
+      examined = 1;
+      wall_seconds = secs;
+    }
+  else { tool; mapping = None; cost = None; valid = false; examined = 1; wall_seconds = secs }
+
+let rows =
+  [
+    {
+      Runners.workload_name = "a";
+      outcomes = [ ("sunstone", outcome ~edp_value:1.0 "sunstone"); ("tl", outcome ~edp_value:2.0 "tl") ];
+    };
+    {
+      Runners.workload_name = "b";
+      outcomes = [ ("sunstone", outcome ~edp_value:1.0 "sunstone"); ("tl", outcome ~edp_value:8.0 "tl") ];
+    };
+    {
+      Runners.workload_name = "c";
+      outcomes = [ ("sunstone", outcome ~edp_value:1.0 "sunstone"); ("tl", outcome ~valid:false "tl") ];
+    };
+  ]
+
+let test_geomean_ratio () =
+  match Runners.geomean_ratio_vs ~baseline:"sunstone" ~tool:"tl" rows with
+  | Some r -> Alcotest.(check (float 1e-9)) "geomean of 2 and 8" 4.0 r
+  | None -> Alcotest.fail "expected ratio"
+
+let test_invalid_count () =
+  Alcotest.(check int) "one invalid" 1 (Runners.invalid_count ~tool:"tl" rows);
+  Alcotest.(check int) "none invalid" 0 (Runners.invalid_count ~tool:"sunstone" rows)
+
+let test_cells () =
+  Alcotest.(check string) "invalid cell" "INVALID" (Runners.edp_cell (outcome ~valid:false "x"));
+  Alcotest.(check bool) "valid cell numeric" true (Runners.edp_cell (outcome ~edp_value:123.0 "x") = "123")
+
+let test_sunstone_tool_runs () =
+  let w = Sun_tensor.Catalog.conv1d ~k:4 ~c:4 ~p:14 ~r:3 () in
+  let arch = Sun_arch.Presets.toy ~l1_words:64 ~l2_words:512 ~pes:4 () in
+  let o = Runners.sunstone_outcome w arch in
+  Alcotest.(check bool) "valid" true o.B.Mapper.valid;
+  Alcotest.(check string) "tool name" "sunstone" o.B.Mapper.tool
+
+let test_run_suite_shape () =
+  let w = Sun_tensor.Catalog.matmul ~m:16 ~n:16 ~k:16 () in
+  let arch = Sun_arch.Presets.toy ~l1_words:64 ~l2_words:512 ~pes:4 () in
+  let rows =
+    Runners.run_suite
+      ~tools:[ Runners.sunstone (); Runners.cosa ]
+      ~workloads:[ ("mm", w) ]
+      ~arch
+  in
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  Alcotest.(check int) "two outcomes" 2 (List.length (List.hd rows).Runners.outcomes)
+
+(* driver smoke tests: the cheap tables run end-to-end and mention their
+   key artifacts *)
+let test_table3_driver () =
+  let s = Figures.table3 () in
+  List.iter
+    (fun needle -> Alcotest.(check bool) ("mentions " ^ needle) true (contains s needle))
+    [ "ofmap"; "ifmap"; "weight"; "partially" ]
+
+let test_table1_driver () =
+  let s = Figures.table1 () in
+  List.iter
+    (fun needle -> Alcotest.(check bool) ("mentions " ^ needle) true (contains s needle))
+    [ "timeloop"; "sunstone"; "dmaze"; "interstellar"; "marvel"; "cosa" ]
+
+let test_table6_driver () =
+  let s = Figures.table6 ~layers:1 () in
+  Alcotest.(check bool) "has bottom-up rows" true (contains s "bottom-up");
+  Alcotest.(check bool) "has top-down row" true (contains s "top-down")
+
+let test_fig9_driver () =
+  let s = Figures.fig9 () in
+  List.iter
+    (fun needle -> Alcotest.(check bool) ("mentions " ^ needle) true (contains s needle))
+    [ "NBin"; "SB"; "NBout"; "instr"; "reorder"; "TOTAL" ]
+
+let () =
+  Alcotest.run "sun_experiments"
+    [
+      ( "runners",
+        [
+          Alcotest.test_case "geomean ratio" `Quick test_geomean_ratio;
+          Alcotest.test_case "invalid count" `Quick test_invalid_count;
+          Alcotest.test_case "cells" `Quick test_cells;
+          Alcotest.test_case "sunstone tool" `Quick test_sunstone_tool_runs;
+          Alcotest.test_case "run_suite" `Quick test_run_suite_shape;
+        ] );
+      ( "figure drivers",
+        [
+          Alcotest.test_case "table 3" `Quick test_table3_driver;
+          Alcotest.test_case "table 1" `Slow test_table1_driver;
+          Alcotest.test_case "table 6 (1 layer)" `Slow test_table6_driver;
+          Alcotest.test_case "fig 9" `Slow test_fig9_driver;
+        ] );
+    ]

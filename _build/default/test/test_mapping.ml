@@ -1,0 +1,165 @@
+module W = Sun_tensor.Workload
+module C = Sun_tensor.Catalog
+module M = Sun_mapping.Mapping
+
+let conv1d = C.conv1d ~k:4 ~c:4 ~p:14 ~r:3 ()
+let dims = [ "K"; "C"; "P"; "R" ]
+let ones = List.map (fun d -> (d, 1)) dims
+
+let lm ?(spatial = ones) ?(order = dims) temporal : M.level_mapping =
+  let full = List.map (fun d -> match List.assoc_opt d temporal with Some f -> (d, f) | None -> (d, 1)) dims in
+  let full_spatial =
+    List.map (fun d -> match List.assoc_opt d spatial with Some f -> (d, f) | None -> (d, 1)) dims
+  in
+  { M.temporal = full; order; spatial = full_spatial }
+
+(* the paper's Algorithm 4 mapping: L1 tile (K2,P7,C2,R3), L2 loops P2 K2 C2 *)
+let algorithm4 =
+  M.make_exn conv1d
+    [
+      lm [ ("K", 2); ("P", 7); ("C", 2); ("R", 3) ];
+      lm ~order:[ "P"; "K"; "C"; "R" ] [ ("K", 2); ("P", 2); ("C", 2) ];
+      lm [];
+    ]
+
+let test_make_ok () =
+  Alcotest.(check int) "levels" 3 (M.num_levels algorithm4);
+  Alcotest.(check int) "tile K at L1" 2 (M.tile_at algorithm4 ~level:0 "K");
+  Alcotest.(check int) "tile K at L2" 4 (M.tile_at algorithm4 ~level:1 "K");
+  Alcotest.(check int) "top tile P" 14 (M.tile_at algorithm4 ~level:2 "P");
+  Alcotest.(check int) "top equals bound" (W.bound conv1d "P") (M.tile_at algorithm4 ~level:2 "P")
+
+let test_make_rejects () =
+  let bad_product =
+    M.make conv1d [ lm [ ("K", 3) ]; lm []; lm [ ("C", 4); ("P", 14); ("R", 3) ] ]
+  in
+  (match bad_product with
+  | Error msg -> Alcotest.(check bool) "names dim" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected product violation");
+  let bad_order =
+    M.make conv1d
+      [
+        { M.temporal = ones; order = [ "K"; "C"; "P" ]; spatial = ones };
+        lm [];
+        lm [ ("K", 4); ("C", 4); ("P", 14); ("R", 3) ];
+      ]
+  in
+  (match bad_order with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected order violation");
+  let bad_factor = M.make conv1d [ lm [ ("K", 0) ]; lm []; lm [] ] in
+  match bad_factor with Error _ -> () | Ok _ -> Alcotest.fail "expected factor violation"
+
+let test_footprints () =
+  (* L1 tile of Algorithm 4: ofmap 7*2, weight 2*2*3, ifmap (7+3-1)*2 *)
+  let fp name = M.footprint_at conv1d algorithm4 ~level:0 (W.find_operand conv1d name) in
+  Alcotest.(check (float 0.0)) "ofmap" 14.0 (fp "ofmap");
+  Alcotest.(check (float 0.0)) "weight" 12.0 (fp "weight");
+  Alcotest.(check (float 0.0)) "ifmap" 18.0 (fp "ifmap")
+
+let test_spatial () =
+  let m =
+    M.make_exn conv1d
+      [
+        lm [ ("P", 7); ("R", 3) ];
+        lm ~spatial:[ ("K", 2); ("C", 2) ] [ ("K", 2); ("C", 2); ("P", 2) ];
+        lm [];
+      ]
+  in
+  Alcotest.(check int) "spatial product L2" 4 (M.spatial_product m ~level:1);
+  Alcotest.(check int) "total spatial" 4 (M.total_spatial m);
+  (* spatial factors at level 1 are part of the level-1 tile *)
+  Alcotest.(check int) "tile K at L2 includes unroll" 4 (M.tile_at m ~level:1 "K")
+
+let test_single_level () =
+  let m = M.single_level conv1d ~num_levels:3 in
+  Alcotest.(check int) "levels" 3 (M.num_levels m);
+  Alcotest.(check int) "inner tile is 1" 1 (M.tile_at m ~level:1 "P");
+  Alcotest.(check int) "top covers bound" 14 (M.tile_at m ~level:2 "P")
+
+let test_loops_outermost_first () =
+  let loops = M.loops_outermost_first algorithm4 in
+  (* bound-1 loops are dropped; outermost (highest level) first *)
+  Alcotest.(check bool) "no unit loops" true (List.for_all (fun (_, _, b) -> b > 1) loops);
+  let levels = List.map (fun (l, _, _) -> l) loops in
+  Alcotest.(check bool) "descending levels" true (List.sort (fun a b -> compare b a) levels = levels);
+  match loops with
+  | (1, "P", 2) :: _ -> ()
+  | (l, d, b) :: _ -> Alcotest.failf "outermost is L%d %s:%d, expected L1 P:2" l d b
+  | [] -> Alcotest.fail "no loops"
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_pp_roundtrip_info () =
+  let s = M.to_string algorithm4 in
+  Alcotest.(check bool) "mentions L2 loops" true (contains s "for P in 2");
+  Alcotest.(check bool) "mentions L1 tile loop" true (contains s "for R in 3")
+
+let qcheck_props =
+  let open QCheck in
+  let factor_split n =
+    (* random (a, b) with a*b = n *)
+    Gen.map
+      (fun i ->
+        let ds = Sun_util.Factor.divisors n in
+        let a = List.nth ds (i mod List.length ds) in
+        (a, n / a))
+      Gen.(0 -- 100)
+  in
+  [
+    Test.make ~name:"tile_at top always equals bound" ~count:100
+      (make Gen.(tup2 (factor_split 12) (factor_split 8)))
+      (fun ((k1, k2), (p1, p2)) ->
+        let w = C.matmul ~m:12 ~n:8 ~k:5 () in
+        let dims = [ "M"; "N"; "K" ] in
+        let ones = List.map (fun d -> (d, 1)) dims in
+        let level t = { M.temporal = t; order = dims; spatial = ones } in
+        let m =
+          M.make_exn w
+            [
+              level [ ("M", k1); ("N", p1); ("K", 5) ];
+              level [ ("M", k2); ("N", p2); ("K", 1) ];
+            ]
+        in
+        M.tile_at m ~level:1 "M" = 12 && M.tile_at m ~level:1 "N" = 8);
+    Test.make ~name:"footprint_at non-decreasing in level" ~count:100
+      (make Gen.(tup2 (factor_split 12) (factor_split 8)))
+      (fun ((k1, k2), (p1, p2)) ->
+        let w = C.matmul ~m:12 ~n:8 ~k:5 () in
+        let dims = [ "M"; "N"; "K" ] in
+        let ones = List.map (fun d -> (d, 1)) dims in
+        let level t = { M.temporal = t; order = dims; spatial = ones } in
+        let m =
+          M.make_exn w
+            [
+              level [ ("M", k1); ("N", p1); ("K", 1) ];
+              level [ ("M", k2); ("N", p2); ("K", 5) ];
+            ]
+        in
+        List.for_all
+          (fun op ->
+            M.footprint_at w m ~level:0 op <= M.footprint_at w m ~level:1 op)
+          w.W.operands);
+  ]
+
+let () =
+  Alcotest.run "sun_mapping"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "make ok" `Quick test_make_ok;
+          Alcotest.test_case "make rejects" `Quick test_make_rejects;
+          Alcotest.test_case "single_level" `Quick test_single_level;
+        ] );
+      ( "geometry",
+        [
+          Alcotest.test_case "footprints" `Quick test_footprints;
+          Alcotest.test_case "spatial" `Quick test_spatial;
+          Alcotest.test_case "loops flattening" `Quick test_loops_outermost_first;
+          Alcotest.test_case "pretty printing" `Quick test_pp_roundtrip_info;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

@@ -1,0 +1,111 @@
+module W = Sun_tensor.Workload
+module C = Sun_tensor.Catalog
+module P = Sun_arch.Presets
+module M = Sun_mapping.Mapping
+module Model = Sun_cost.Model
+module Mapspace = Sun_search.Mapspace
+
+let tiny = C.matmul ~m:4 ~n:6 ~k:2 ()
+let arch = P.toy ~l1_words:16 ~l2_words:64 ~pes:4 ()
+
+let test_size_positive () =
+  let space = Mapspace.create tiny arch in
+  Alcotest.(check bool) "size >= 1" true (Mapspace.size space >= 1.0);
+  Alcotest.(check bool) "orders multiply the space" true
+    (Mapspace.size space > Mapspace.size_no_orders space)
+
+(* the analytic tiling/unrolling count must agree with brute enumeration
+   under fixed orders *)
+let test_size_matches_enumeration () =
+  let space = Mapspace.create tiny arch in
+  let enumerated = Seq.length (Mapspace.enumerate_fixed_orders space) in
+  (* enumerate_fixed_orders drops joint fanout overflows that the analytic
+     count includes, so enumerated <= size_no_orders *)
+  Alcotest.(check bool)
+    (Printf.sprintf "enumerated %d <= analytic %.0f" enumerated (Mapspace.size_no_orders space))
+    true
+    (float_of_int enumerated <= Mapspace.size_no_orders space);
+  Alcotest.(check bool) "non-trivial" true (enumerated > 100)
+
+let test_samples_structurally_valid () =
+  let w = C.conv2d ~n:2 ~k:8 ~c:8 ~p:6 ~q:6 ~r:3 ~s:3 () in
+  let space = Mapspace.create w P.conventional in
+  let rng = Sun_util.Rng.create 11 in
+  for _ = 1 to 500 do
+    let m = Mapspace.sample space rng in
+    (* Mapping.make inside sample validates factor products; check fanout *)
+    List.iter
+      (fun d ->
+        Alcotest.(check int)
+          (d ^ " covered")
+          (W.bound w d)
+          (M.tile_at m ~level:(M.num_levels m - 1) d))
+      (W.dim_names w);
+    Alcotest.(check bool) "fanout respected" true
+      (M.spatial_product m ~level:1 <= 1024)
+  done
+
+let test_sample_distribution_covers_space () =
+  (* sampling should not be stuck on a single point *)
+  let space = Mapspace.create tiny arch in
+  let rng = Sun_util.Rng.create 3 in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 300 do
+    let m = Mapspace.sample space rng in
+    Hashtbl.replace seen (M.to_string m) ()
+  done;
+  Alcotest.(check bool) "many distinct samples" true (Hashtbl.length seen > 50)
+
+let test_enumerate_all_valid_products () =
+  let space = Mapspace.create tiny arch in
+  Seq.iter
+    (fun m ->
+      List.iter
+        (fun (d, b) -> Alcotest.(check int) d b (M.tile_at m ~level:(M.num_levels m - 1) d))
+        tiny.W.dims)
+    (Mapspace.enumerate_fixed_orders space)
+
+(* sampling on the huge non-DNN shapes must stay fast and correct *)
+let test_sample_huge_dims () =
+  let w = C.mttkrp ~i:480000 ~j:32 ~k:17760 ~l:2160 () in
+  let space = Mapspace.create w P.conventional in
+  let rng = Sun_util.Rng.create 17 in
+  for _ = 1 to 50 do
+    let m = Mapspace.sample space rng in
+    Alcotest.(check int) "I covered" 480000 (M.tile_at m ~level:2 "I")
+  done
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"samples evaluate or fail validation cleanly" ~count:100 (int_range 0 10000)
+      (fun seed ->
+        let w = C.conv1d ~k:8 ~c:8 ~p:12 ~r:3 () in
+        let space = Mapspace.create w (P.toy ~l1_words:64 ~l2_words:512 ~pes:4 ()) in
+        let rng = Sun_util.Rng.create seed in
+        let m = Mapspace.sample space rng in
+        match Model.evaluate w (P.toy ~l1_words:64 ~l2_words:512 ~pes:4 ()) m with
+        | Ok c -> c.Model.energy_pj > 0.0
+        | Error _ -> true);
+    Test.make ~name:"sample determinism per seed" ~count:50 (int_range 0 10000) (fun seed ->
+        let w = C.matmul ~m:12 ~n:8 ~k:6 () in
+        let space = Mapspace.create w (P.toy ()) in
+        let a = Mapspace.sample space (Sun_util.Rng.create seed) in
+        let b = Mapspace.sample space (Sun_util.Rng.create seed) in
+        M.to_string a = M.to_string b);
+  ]
+
+let () =
+  Alcotest.run "sun_search"
+    [
+      ( "mapspace",
+        [
+          Alcotest.test_case "size positive" `Quick test_size_positive;
+          Alcotest.test_case "size vs enumeration" `Quick test_size_matches_enumeration;
+          Alcotest.test_case "samples structurally valid" `Quick test_samples_structurally_valid;
+          Alcotest.test_case "sampling covers space" `Quick test_sample_distribution_covers_space;
+          Alcotest.test_case "enumerate products" `Quick test_enumerate_all_valid_products;
+          Alcotest.test_case "huge dimensions" `Quick test_sample_huge_dims;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

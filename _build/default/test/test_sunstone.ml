@@ -1,0 +1,321 @@
+module W = Sun_tensor.Workload
+module C = Sun_tensor.Catalog
+module P = Sun_arch.Presets
+module M = Sun_mapping.Mapping
+module Model = Sun_cost.Model
+module Trie = Sun_core.Order_trie
+module Tree = Sun_core.Tile_tree
+module Unroll = Sun_core.Unroll
+module Opt = Sun_core.Optimizer
+module Mapspace = Sun_search.Mapspace
+
+let conv1d = C.conv1d ~k:4 ~c:4 ~p:14 ~r:3 ()
+
+(* ----------------------------- trie ------------------------------- *)
+
+let find_suffix cands suffix =
+  List.find_opt (fun c -> c.Trie.suffix = suffix) cands
+
+let test_trie_fig4 () =
+  let cands = Trie.candidates conv1d in
+  (* xxCR (R innermost, then C): ofmap reused via both, ifmap partial.
+     Fig 4 keeps it and prunes xxxC. *)
+  (match find_suffix cands [ "R"; "C" ] with
+  | Some c ->
+    Alcotest.(check (list string)) "reuses ofmap" [ "ofmap" ] c.Trie.reused_operands;
+    Alcotest.(check bool) "ifmap partial" true (List.mem ("ifmap", Trie.Partial) c.Trie.signature)
+  | None -> Alcotest.fail "expected suffix [R;C] (the paper's xxCR) to survive");
+  Alcotest.(check bool) "xxxC pruned (subsumed by xxCR)" true (find_suffix cands [ "C" ] = None);
+  (* far fewer orders than 4! = 24 *)
+  Alcotest.(check bool) "pruned hard" true (List.length cands <= 8);
+  Alcotest.(check int) "unpruned count" 24 (Trie.all_orders_count conv1d)
+
+let test_trie_orders_are_permutations () =
+  List.iter
+    (fun c ->
+      Alcotest.(check (list string))
+        "permutation"
+        (List.sort String.compare (W.dim_names conv1d))
+        (List.sort String.compare c.Trie.order))
+    (Trie.candidates conv1d)
+
+let test_trie_signature_scan () =
+  (* signature of [P] (innermost loop P): weight fully reused, ifmap
+     partially (sliding), ofmap not (P indexes it) *)
+  let s = Trie.suffix_signature conv1d [ "P" ] in
+  Alcotest.(check bool) "weight full" true (List.mem ("weight", Trie.Full) s);
+  Alcotest.(check bool) "ifmap partial" true (List.mem ("ifmap", Trie.Partial) s);
+  Alcotest.(check bool) "no ofmap" true (not (List.mem_assoc "ofmap" s));
+  (* [K] innermost: ifmap fully reused *)
+  let s2 = Trie.suffix_signature conv1d [ "K" ] in
+  Alcotest.(check bool) "ifmap full across K" true (List.mem ("ifmap", Trie.Full) s2)
+
+let test_trie_matmul () =
+  let mm = C.matmul ~m:8 ~n:8 ~k:8 () in
+  let cands = Trie.candidates mm in
+  (* each of the three operands can be the reused one *)
+  let reused = List.concat_map (fun c -> c.Trie.reused_operands) cands in
+  List.iter
+    (fun op -> Alcotest.(check bool) (op ^ " coverable") true (List.mem op reused))
+    [ "a"; "b"; "out" ];
+  Alcotest.(check bool) "small" true (List.length cands <= 6)
+
+let test_trie_covers_deeper_reuse () =
+  (* MTTKRP: out[i,j] reused across both K and L; the trie must offer an
+     order reusing it across both. *)
+  let w = C.mttkrp ~i:4 ~j:4 ~k:4 ~l:4 () in
+  let cands = Trie.candidates w in
+  Alcotest.(check bool) "two-deep reduction suffix" true
+    (List.exists
+       (fun c ->
+         List.sort String.compare c.Trie.suffix = [ "K"; "L" ]
+         && List.mem "out" c.Trie.reused_operands)
+       cands)
+
+(* --------------------------- tile tree ---------------------------- *)
+
+(* Fig 5: unified L1 of 8 entries, grow P and K for the xxCR ordering;
+   the frontier is K=2, P=2 (footprint 8: ofmap 4 + weight 2 + ifmap 2). *)
+let test_tile_tree_fig5 () =
+  let remaining = function "P" -> 14 | "K" -> 4 | _ -> 1 in
+  let fits a =
+    let k = Tree.factor_of a "K" and p = Tree.factor_of a "P" in
+    (* C = R = 1 tile: ofmap k*p, weight k, ifmap p *)
+    (k * p) + k + p <= 8
+  in
+  let out = Tree.search ~grow_dims:[ "P"; "K" ] ~remaining ~fits () in
+  Alcotest.(check int) "single frontier tile" 1 (List.length out.Tree.frontier);
+  let tile = List.hd out.Tree.frontier in
+  Alcotest.(check int) "K=2" 2 (Tree.factor_of tile "K");
+  Alcotest.(check int) "P=2" 2 (Tree.factor_of tile "P");
+  Alcotest.(check bool) "explored counted" true (out.Tree.explored >= 4)
+
+let test_tile_tree_root_too_big () =
+  let out =
+    Tree.search ~grow_dims:[ "K" ] ~remaining:(fun _ -> 4) ~fits:(fun _ -> false) ()
+  in
+  Alcotest.(check int) "no candidates" 0 (List.length out.Tree.frontier)
+
+let test_tile_tree_factors_divide () =
+  let remaining = function "A" -> 12 | "B" -> 9 | _ -> 1 in
+  let fits a = Tree.factor_of a "A" * Tree.factor_of a "B" <= 10 in
+  let out = Tree.search ~grow_dims:[ "A"; "B" ] ~remaining ~fits () in
+  List.iter
+    (fun tile ->
+      Alcotest.(check bool) "A divides" true (12 mod Tree.factor_of tile "A" = 0);
+      Alcotest.(check bool) "B divides" true (9 mod Tree.factor_of tile "B" = 0);
+      Alcotest.(check bool) "fits" true (fits tile))
+    out.Tree.frontier;
+  (* frontier maximality: no grow step keeps it fitting *)
+  List.iter
+    (fun tile ->
+      List.iter
+        (fun d ->
+          match Sun_util.Factor.next_divisor (remaining d) (Tree.factor_of tile d) with
+          | Some f' ->
+            let bigger = (d, f') :: List.remove_assoc d tile in
+            Alcotest.(check bool) "maximal" false (fits bigger)
+          | None -> ())
+        [ "A"; "B" ])
+    out.Tree.frontier
+
+(* ---------------------------- unroll ------------------------------ *)
+
+let test_unroll_maximal () =
+  let out =
+    Unroll.candidates ~fanout:16 ~dims:[ "K"; "P" ]
+      ~remaining:(function "K" -> 8 | "P" -> 14 | _ -> 1)
+      ()
+  in
+  List.iter
+    (fun a ->
+      let p = List.fold_left (fun acc (_, f) -> acc * f) 1 a in
+      Alcotest.(check bool) "within fanout" true (p <= 16))
+    out.Unroll.candidates;
+  (* K=8,P=2 is maximal and must be present *)
+  Alcotest.(check bool) "K8 P2 found" true
+    (List.exists
+       (fun a -> Tree.factor_of a "K" = 8 && Tree.factor_of a "P" = 2)
+       out.Unroll.candidates)
+
+let test_unroll_fanout_one () =
+  let out = Unroll.candidates ~fanout:1 ~dims:[ "K" ] ~remaining:(fun _ -> 8) () in
+  Alcotest.(check int) "single trivial candidate" 1 (List.length out.Unroll.candidates)
+
+let test_unroll_min_utilization () =
+  let out =
+    Unroll.candidates ~fanout:16 ~dims:[ "K" ]
+      ~remaining:(function "K" -> 4 | _ -> 1)
+      ~min_utilization:0.5 ()
+  in
+  (* best possible is 4/16 = 25% < 50%: the maximal assignment is still
+     returned as the best available spatial reuse *)
+  Alcotest.(check (list (list (pair string int)))) "fallback" [ [ ("K", 4) ] ] out.Unroll.candidates
+
+(* --------------------------- optimizer ---------------------------- *)
+
+let toy = P.toy ~l1_words:64 ~l2_words:512 ~pes:4 ()
+
+let test_optimizer_finds_valid () =
+  match Opt.optimize conv1d toy with
+  | Error msg -> Alcotest.failf "optimizer failed: %s" msg
+  | Ok r ->
+    (match Model.validate conv1d toy r.Opt.mapping with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "returned invalid mapping: %s" msg);
+    Alcotest.(check bool) "examined counted" true (r.Opt.stats.Opt.examined > 0);
+    Alcotest.(check bool) "evaluated counted" true (r.Opt.stats.Opt.evaluated > 0)
+
+(* Ground truth: on a tiny problem Sunstone must match the exhaustive
+   optimum over the full (order x tile x unroll) space. *)
+let test_optimizer_matches_exhaustive () =
+  let w = C.matmul ~m:4 ~n:4 ~k:4 () in
+  let arch = P.toy ~l1_words:12 ~l2_words:48 ~pes:4 () in
+  let space = Mapspace.create w arch in
+  let best_exhaustive =
+    Seq.fold_left
+      (fun best m ->
+        match Model.evaluate w arch m with
+        | Ok c -> Float.min best c.Model.edp
+        | Error _ -> best)
+      Float.infinity (Mapspace.enumerate space)
+  in
+  match Opt.optimize ~config:{ Opt.default_config with min_spatial_utilization = 0.0 } w arch with
+  | Error msg -> Alcotest.failf "optimizer failed: %s" msg
+  | Ok r ->
+    Alcotest.(check bool)
+      (Printf.sprintf "sunstone %.4g within 1.05x of optimum %.4g" r.Opt.cost.Model.edp
+         best_exhaustive)
+      true
+      (r.Opt.cost.Model.edp <= best_exhaustive *. 1.05 +. 1e-9)
+
+let test_optimizer_beats_naive () =
+  match Opt.optimize conv1d toy with
+  | Error msg -> Alcotest.failf "optimizer failed: %s" msg
+  | Ok r ->
+    let naive = M.single_level conv1d ~num_levels:3 in
+    let naive_cost = Model.evaluate_exn conv1d toy naive in
+    Alcotest.(check bool) "better than streaming" true
+      (r.Opt.cost.Model.edp < naive_cost.Model.edp)
+
+let test_optimizer_conv_conventional () =
+  let layer = C.conv2d ~n:1 ~k:16 ~c:16 ~p:14 ~q:14 ~r:3 ~s:3 () in
+  match Opt.optimize layer P.conventional with
+  | Error msg -> Alcotest.failf "optimizer failed: %s" msg
+  | Ok r -> (
+    match Model.validate layer P.conventional r.Opt.mapping with
+    | Ok () ->
+      Alcotest.(check bool) "uses the PE array" true (M.total_spatial r.Opt.mapping > 1)
+    | Error msg -> Alcotest.failf "invalid: %s" msg)
+
+let test_optimizer_simba () =
+  let layer = C.conv2d ~n:1 ~k:32 ~c:16 ~p:8 ~q:8 ~r:3 ~s:3 () in
+  match Opt.optimize layer P.simba_like with
+  | Error msg -> Alcotest.failf "optimizer failed: %s" msg
+  | Ok r -> (
+    match Model.validate layer P.simba_like r.Opt.mapping with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "invalid: %s" msg)
+
+let test_optimizer_non_dnn () =
+  List.iter
+    (fun (name, w) ->
+      match Opt.optimize w P.conventional with
+      | Error msg -> Alcotest.failf "%s failed: %s" name msg
+      | Ok r -> (
+        match Model.validate w P.conventional r.Opt.mapping with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "%s invalid: %s" name msg))
+    [
+      ("mttkrp", C.mttkrp ~i:64 ~j:32 ~k:16 ~l:16 ());
+      ("ttmc", C.ttmc ~i:32 ~j:16 ~k:16 ~l:8 ~m:8 ());
+      ("sddmm", C.sddmm ~i:64 ~j:64 ~k:32 ());
+    ]
+
+let test_top_down_works () =
+  let cfg = { Opt.default_config with Opt.direction = Opt.Top_down; beam_width = 16 } in
+  match Opt.optimize ~config:cfg conv1d toy with
+  | Error msg -> Alcotest.failf "top-down failed: %s" msg
+  | Ok r -> (
+    match Model.validate conv1d toy r.Opt.mapping with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "top-down invalid: %s" msg)
+
+(* Table VI: the intra-level optimization order barely affects mapping
+   quality on realistic layers (tiles cannot saturate the large channel
+   dimensions, so every variant reaches comparable unrollings). *)
+let test_intra_orders_same_quality () =
+  let layer = C.conv2d ~n:1 ~k:64 ~c:64 ~p:14 ~q:14 ~r:3 ~s:3 () in
+  let run intra =
+    match Opt.optimize ~config:{ Opt.default_config with Opt.intra } layer P.conventional with
+    | Ok r -> r.Opt.cost.Model.edp
+    | Error msg -> Alcotest.failf "intra variant failed: %s" msg
+  in
+  let a = run Opt.Ordering_first in
+  let b = run Opt.Tiling_first in
+  let c = run Opt.Unrolling_first in
+  let best = Float.min a (Float.min b c) in
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s within 1.3x of best (%.3g vs %.3g)" name v best)
+        true
+        (v <= best *. 1.3))
+    [ ("ordering-first", a); ("tiling-first", b); ("unrolling-first", c) ]
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"optimizer mappings always valid" ~count:25
+      (make Gen.(tup4 (1 -- 4) (1 -- 4) (1 -- 4) (1 -- 3)))
+      (fun (k2, c2, p2, r) ->
+        let w = C.conv1d ~k:(2 * k2) ~c:(2 * c2) ~p:(4 * p2) ~r () in
+        match Opt.optimize w toy with
+        | Error _ -> true (* genuinely unmappable is acceptable *)
+        | Ok res -> (
+          match Model.validate w toy res.Opt.mapping with Ok () -> true | Error _ -> false));
+    Test.make ~name:"trie candidates cover every operand's reuse" ~count:25
+      (make Gen.(tup3 (2 -- 8) (2 -- 8) (2 -- 8)))
+      (fun (m, n, k) ->
+        let w = C.matmul ~m ~n ~k () in
+        let cands = Trie.candidates w in
+        let reused = List.concat_map (fun c -> c.Trie.reused_operands) cands in
+        List.for_all (fun (op : W.operand) -> List.mem op.W.name reused) w.W.operands);
+  ]
+
+let () =
+  Alcotest.run "sun_core"
+    [
+      ( "order trie",
+        [
+          Alcotest.test_case "fig 4 pruning" `Quick test_trie_fig4;
+          Alcotest.test_case "orders are permutations" `Quick test_trie_orders_are_permutations;
+          Alcotest.test_case "signature scan" `Quick test_trie_signature_scan;
+          Alcotest.test_case "matmul coverage" `Quick test_trie_matmul;
+          Alcotest.test_case "deep reduction suffix" `Quick test_trie_covers_deeper_reuse;
+        ] );
+      ( "tile tree",
+        [
+          Alcotest.test_case "fig 5 frontier" `Quick test_tile_tree_fig5;
+          Alcotest.test_case "root too big" `Quick test_tile_tree_root_too_big;
+          Alcotest.test_case "divisibility and maximality" `Quick test_tile_tree_factors_divide;
+        ] );
+      ( "unroll",
+        [
+          Alcotest.test_case "maximal candidates" `Quick test_unroll_maximal;
+          Alcotest.test_case "fanout one" `Quick test_unroll_fanout_one;
+          Alcotest.test_case "min utilization fallback" `Quick test_unroll_min_utilization;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "finds valid mapping" `Quick test_optimizer_finds_valid;
+          Alcotest.test_case "matches exhaustive optimum" `Slow test_optimizer_matches_exhaustive;
+          Alcotest.test_case "beats naive streaming" `Quick test_optimizer_beats_naive;
+          Alcotest.test_case "conv on conventional" `Quick test_optimizer_conv_conventional;
+          Alcotest.test_case "conv on simba" `Quick test_optimizer_simba;
+          Alcotest.test_case "non-DNN workloads" `Quick test_optimizer_non_dnn;
+          Alcotest.test_case "top-down variant" `Quick test_top_down_works;
+          Alcotest.test_case "intra-level orders" `Quick test_intra_orders_same_quality;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

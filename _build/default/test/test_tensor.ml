@@ -1,0 +1,169 @@
+module W = Sun_tensor.Workload
+module C = Sun_tensor.Catalog
+module R = Sun_tensor.Reuse
+
+let check_dims = Alcotest.(check (list string))
+let conv1d = C.conv1d ~k:4 ~c:4 ~p:7 ~r:3 ()
+
+let test_conv1d_structure () =
+  Alcotest.(check (float 0.0)) "macs" (4.0 *. 4.0 *. 7.0 *. 3.0) (W.macs conv1d);
+  check_dims "dims" [ "K"; "C"; "P"; "R" ] (W.dim_names conv1d);
+  Alcotest.(check string) "output" "ofmap" (W.output conv1d).W.name;
+  Alcotest.(check int) "inputs" 2 (List.length (W.inputs conv1d))
+
+(* Table III of the paper: reuse inferred for the 1-D convolution example. *)
+let test_table3_reuse () =
+  let table = R.analyze conv1d in
+  let ofmap = R.entry table "ofmap" in
+  check_dims "ofmap indexed by" [ "K"; "P" ] ofmap.R.indexed_by;
+  check_dims "ofmap reused by" [ "C"; "R" ] ofmap.R.reused_by;
+  check_dims "ofmap no partial" [] ofmap.R.partially_reused_by;
+  let ifmap = R.entry table "ifmap" in
+  check_dims "ifmap indexed by" [ "C"; "P"; "R" ] ifmap.R.indexed_by;
+  check_dims "ifmap reused by" [ "K" ] ifmap.R.reused_by;
+  check_dims "ifmap partial" [ "P"; "R" ] ifmap.R.partially_reused_by;
+  let weight = R.entry table "weight" in
+  check_dims "weight indexed by" [ "C"; "K"; "R" ] weight.R.indexed_by;
+  check_dims "weight reused by" [ "P" ] weight.R.reused_by;
+  check_dims "weight no partial" [] weight.R.partially_reused_by
+
+let test_reusers_of_dim () =
+  let table = R.analyze conv1d in
+  Alcotest.(check (list string)) "C reuses ofmap" [ "ofmap" ] (R.reusers_of_dim table "C");
+  Alcotest.(check (list string)) "K reuses ifmap" [ "ifmap" ] (R.reusers_of_dim table "K");
+  Alcotest.(check (list string)) "P reuses weight" [ "weight" ] (R.reusers_of_dim table "P")
+
+let test_reuse_dims () =
+  let table = R.analyze conv1d in
+  let ofmap = (R.entry table "ofmap").R.operand in
+  check_dims "reuse dims of ofmap level" [ "K"; "P" ] (R.reuse_dims conv1d ofmap)
+
+let test_axis_extent_sliding () =
+  let ifmap = W.find_operand conv1d "ifmap" in
+  let tile = function "P" -> 5 | "R" -> 3 | "C" -> 2 | _ -> 1 in
+  (* footprint of ifmap tile: C * (P + R - 1) = 2 * 7 *)
+  Alcotest.(check (float 0.0)) "halo footprint" 14.0 (W.footprint tile ifmap);
+  let strided =
+    C.conv2d ~stride:2 ~n:1 ~k:1 ~c:1 ~p:4 ~q:4 ~r:3 ~s:3 ()
+  in
+  let ifmap2 = W.find_operand strided "ifmap" in
+  let tile2 = function "P" -> 4 | "Q" -> 4 | "R" -> 3 | "S" -> 3 | _ -> 1 in
+  (* extent along P axis: 2*(4-1) + 1*(3-1) + 1 = 9 *)
+  Alcotest.(check (float 0.0)) "strided halo" 81.0 (W.footprint tile2 ifmap2)
+
+let test_operand_sizes () =
+  let w = C.conv2d ~n:1 ~k:8 ~c:4 ~p:6 ~q:6 ~r:3 ~s:3 () in
+  Alcotest.(check (float 0.0)) "weight elems" (8.0 *. 4.0 *. 9.0)
+    (W.operand_size w (W.find_operand w "weight"));
+  Alcotest.(check (float 0.0)) "ofmap elems" (8.0 *. 36.0)
+    (W.operand_size w (W.find_operand w "ofmap"));
+  Alcotest.(check (float 0.0)) "ifmap elems (padded extent)" (4.0 *. 8.0 *. 8.0)
+    (W.operand_size w (W.find_operand w "ifmap"))
+
+let expect_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let test_make_validation () =
+  expect_invalid "bad bound" (fun () ->
+      W.make ~name:"bad" ~dims:[ ("X", 0) ]
+        ~operands:[ { W.name = "o"; kind = `Output; indices = [ W.Dim "X" ] } ]);
+  expect_invalid "unknown dim" (fun () ->
+      W.make ~name:"bad" ~dims:[ ("X", 2) ]
+        ~operands:[ { W.name = "o"; kind = `Output; indices = [ W.Dim "Y" ] } ]);
+  expect_invalid "no output" (fun () ->
+      W.make ~name:"bad" ~dims:[ ("X", 2) ]
+        ~operands:[ { W.name = "a"; kind = `Input; indices = [ W.Dim "X" ] } ]);
+  expect_invalid "two outputs" (fun () ->
+      W.make ~name:"bad" ~dims:[ ("X", 2) ]
+        ~operands:
+          [
+            { W.name = "o1"; kind = `Output; indices = [ W.Dim "X" ] };
+            { W.name = "o2"; kind = `Output; indices = [ W.Dim "X" ] };
+          ]);
+  expect_invalid "unused dim" (fun () ->
+      W.make ~name:"bad"
+        ~dims:[ ("X", 2); ("Y", 3) ]
+        ~operands:[ { W.name = "o"; kind = `Output; indices = [ W.Dim "X" ] } ]);
+  expect_invalid "duplicate dim" (fun () ->
+      W.make ~name:"bad"
+        ~dims:[ ("X", 2); ("X", 3) ]
+        ~operands:[ { W.name = "o"; kind = `Output; indices = [ W.Dim "X" ] } ])
+
+(* Table II catalog: check each family builds and has the documented
+   indexing structure. *)
+let test_catalog_families () =
+  let mttkrp = C.mttkrp ~i:5 ~j:6 ~k:7 ~l:8 () in
+  check_dims "mttkrp out" [ "I"; "J" ] (W.indexing_dims (W.output mttkrp));
+  check_dims "mttkrp out reused by" [ "K"; "L" ] (W.non_indexing_dims mttkrp (W.output mttkrp));
+  let sddmm = C.sddmm ~i:5 ~j:6 ~k:7 () in
+  check_dims "sddmm a" [ "I"; "J" ] (W.indexing_dims (W.find_operand sddmm "a"));
+  let ttmc = C.ttmc ~i:2 ~j:3 ~k:4 ~l:5 ~m:6 () in
+  check_dims "ttmc out" [ "I"; "L"; "M" ] (W.indexing_dims (W.output ttmc));
+  let mmc = C.mmc ~i:2 ~j:3 ~k:4 ~l:5 () in
+  check_dims "mmc out" [ "I"; "L" ] (W.indexing_dims (W.output mmc));
+  let tcl = C.tcl ~i:2 ~j:3 ~k:4 ~l:5 ~m:6 ~n:7 () in
+  check_dims "tcl out" [ "L"; "M"; "N" ] (W.indexing_dims (W.output tcl));
+  Alcotest.(check int) "tcl operands" 5 (List.length tcl.W.operands);
+  let wu = C.conv2d_weight_update ~n:2 ~k:3 ~c:4 ~p:5 ~q:5 ~r:3 ~s:3 () in
+  check_dims "weight-update output" [ "C"; "K"; "R"; "S" ] (W.indexing_dims (W.output wu));
+  check_dims "weight-update output reused by N,P,Q" [ "N"; "P"; "Q" ]
+    (W.non_indexing_dims wu (W.output wu))
+
+let test_matmul () =
+  let mm = C.matmul ~m:3 ~n:4 ~k:5 () in
+  Alcotest.(check (float 0.0)) "macs" 60.0 (W.macs mm);
+  check_dims "a reused by N" [ "N" ] (W.non_indexing_dims mm (W.find_operand mm "a"))
+
+let qcheck_props =
+  let open QCheck in
+  let dims_gen = Gen.(map (fun (a, b, c) -> (1 + a, 1 + b, 1 + c)) (tup3 (0 -- 8) (0 -- 8) (0 -- 8))) in
+  [
+    Test.make ~name:"matmul macs = m*n*k" ~count:50 (make dims_gen) (fun (m, n, k) ->
+        let w = C.matmul ~m ~n ~k () in
+        W.macs w = float_of_int (m * n * k));
+    Test.make ~name:"footprint monotone in tile" ~count:100
+      (make Gen.(tup2 (1 -- 6) (1 -- 6)))
+      (fun (a, b) ->
+        let w = C.conv1d ~k:8 ~c:8 ~p:8 ~r:3 () in
+        let ifmap = W.find_operand w "ifmap" in
+        let t1 = function "P" -> a | _ -> 1
+        and t2 = function "P" -> a + b | _ -> 1 in
+        W.footprint t1 ifmap <= W.footprint t2 ifmap);
+    Test.make ~name:"indexing + non-indexing = all dims" ~count:50
+      (make dims_gen)
+      (fun (i, j, k) ->
+        let w = C.sddmm ~i ~j ~k () in
+        List.for_all
+          (fun op ->
+            let all =
+              List.sort_uniq String.compare (W.indexing_dims op @ W.non_indexing_dims w op)
+            in
+            all = List.sort String.compare (W.dim_names w))
+          w.W.operands);
+  ]
+
+let () =
+  Alcotest.run "sun_tensor"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "conv1d structure" `Quick test_conv1d_structure;
+          Alcotest.test_case "sliding extents" `Quick test_axis_extent_sliding;
+          Alcotest.test_case "operand sizes" `Quick test_operand_sizes;
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+        ] );
+      ( "reuse",
+        [
+          Alcotest.test_case "table III" `Quick test_table3_reuse;
+          Alcotest.test_case "reusers of dim" `Quick test_reusers_of_dim;
+          Alcotest.test_case "reuse dims" `Quick test_reuse_dims;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "families" `Quick test_catalog_families;
+          Alcotest.test_case "matmul" `Quick test_matmul;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

@@ -1,0 +1,133 @@
+open Sun_util
+
+let check_int = Alcotest.(check int)
+let check_list = Alcotest.(check (list int))
+
+let test_divisors () =
+  check_list "divisors 12" [ 1; 2; 3; 4; 6; 12 ] (Factor.divisors 12);
+  check_list "divisors 1" [ 1 ] (Factor.divisors 1);
+  check_list "divisors 7" [ 1; 7 ] (Factor.divisors 7);
+  check_list "divisors 36" [ 1; 2; 3; 4; 6; 9; 12; 18; 36 ] (Factor.divisors 36)
+
+let test_prime_factorization () =
+  Alcotest.(check (list (pair int int)))
+    "12 = 2^2 * 3" [ (2, 2); (3, 1) ]
+    (Factor.prime_factorization 12);
+  Alcotest.(check (list (pair int int))) "1 has no factors" [] (Factor.prime_factorization 1);
+  Alcotest.(check (list (pair int int))) "97 prime" [ (97, 1) ] (Factor.prime_factorization 97)
+
+let test_count_divisors () =
+  List.iter
+    (fun n -> check_int (string_of_int n) (List.length (Factor.divisors n)) (Factor.count_divisors n))
+    [ 1; 2; 12; 36; 97; 360; 1024 ]
+
+let test_splits () =
+  check_int "splits 12 2" 6 (List.length (Factor.splits 12 2));
+  check_int "splits 1 3" 1 (List.length (Factor.splits 1 3));
+  List.iter
+    (fun fs -> check_int "product" 12 (List.fold_left ( * ) 1 fs))
+    (Factor.splits 12 3);
+  check_int "count matches enumeration" (List.length (Factor.splits 24 3)) (Factor.count_splits 24 3)
+
+let test_next_divisor () =
+  Alcotest.(check (option int)) "after 2 in 12" (Some 3) (Factor.next_divisor 12 2);
+  Alcotest.(check (option int)) "after 6 in 12" (Some 12) (Factor.next_divisor 12 6);
+  Alcotest.(check (option int)) "after 12 in 12" None (Factor.next_divisor 12 12)
+
+let test_cartesian () =
+  check_int "2x3" 6 (List.length (Listx.cartesian [ [ 1; 2 ]; [ 3; 4; 5 ] ]));
+  Alcotest.(check (list (list int))) "empty basis" [ [] ] (Listx.cartesian []);
+  Alcotest.(check (list (list int)))
+    "order preserved"
+    [ [ 1; 3 ]; [ 1; 4 ]; [ 2; 3 ]; [ 2; 4 ] ]
+    (List.sort compare (Listx.cartesian [ [ 1; 2 ]; [ 3; 4 ] ]))
+
+let test_permutations () =
+  check_int "3! perms" 6 (List.length (Listx.permutations [ 1; 2; 3 ]));
+  check_int "unique" 6 (List.length (Listx.unique compare (Listx.permutations [ 1; 2; 3 ])))
+
+let test_min_by () =
+  Alcotest.(check (option int)) "min" (Some 3) (Listx.min_by float_of_int [ 5; 3; 9 ]);
+  Alcotest.(check (option int)) "empty" None (Listx.min_by float_of_int []);
+  (* ties keep the first occurrence *)
+  Alcotest.(check (option (pair int string)))
+    "deterministic tie" (Some (1, "a"))
+    (Listx.min_by (fun (k, _) -> float_of_int k) [ (1, "a"); (1, "b") ])
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let t = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int t 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
+  done
+
+let test_rng_shuffle_permutes () =
+  let t = Rng.create 3 in
+  let xs = Listx.range 20 in
+  let s = Rng.shuffle t xs in
+  check_list "same multiset" xs (List.sort compare s)
+
+let test_table_fmt () =
+  let s = Table_fmt.render ~header:[ "a"; "b" ] ~rows:[ [ "1"; "2" ]; [ "333" ] ] in
+  Alcotest.(check bool) "renders" true (String.length s > 0);
+  Alcotest.(check string) "si large" "3.69e10" (Table_fmt.si 3.69e10);
+  Alcotest.(check string) "si int" "42" (Table_fmt.si 42.0)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"divisors divide" ~count:200 (int_range 1 5000) (fun n ->
+        List.for_all (fun d -> n mod d = 0) (Sun_util.Factor.divisors n));
+    Test.make ~name:"prime factorization multiplies back" ~count:200 (int_range 1 5000) (fun n ->
+        let product =
+          List.fold_left
+            (fun acc (p, k) -> acc * int_of_float (float_of_int p ** float_of_int k))
+            1
+            (Sun_util.Factor.prime_factorization n)
+        in
+        product = n);
+    Test.make ~name:"splits multiply back" ~count:100
+      (pair (int_range 1 200) (int_range 1 4))
+      (fun (n, k) ->
+        List.for_all (fun fs -> List.fold_left ( * ) 1 fs = n) (Sun_util.Factor.splits n k));
+    Test.make ~name:"count_splits matches splits" ~count:100
+      (pair (int_range 1 200) (int_range 1 4))
+      (fun (n, k) -> Sun_util.Factor.count_splits n k = List.length (Sun_util.Factor.splits n k));
+    Test.make ~name:"shuffle preserves elements" ~count:100 (list_of_size Gen.(1 -- 30) int)
+      (fun xs ->
+        let t = Sun_util.Rng.create (Hashtbl.hash xs) in
+        List.sort compare (Sun_util.Rng.shuffle t xs) = List.sort compare xs);
+  ]
+
+let () =
+  Alcotest.run "sun_util"
+    [
+      ( "factor",
+        [
+          Alcotest.test_case "divisors" `Quick test_divisors;
+          Alcotest.test_case "prime_factorization" `Quick test_prime_factorization;
+          Alcotest.test_case "count_divisors" `Quick test_count_divisors;
+          Alcotest.test_case "splits" `Quick test_splits;
+          Alcotest.test_case "next_divisor" `Quick test_next_divisor;
+        ] );
+      ( "listx",
+        [
+          Alcotest.test_case "cartesian" `Quick test_cartesian;
+          Alcotest.test_case "permutations" `Quick test_permutations;
+          Alcotest.test_case "min_by" `Quick test_min_by;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+        ] );
+      ("table_fmt", [ Alcotest.test_case "render" `Quick test_table_fmt ]);
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

@@ -1,0 +1,116 @@
+module W = Sun_tensor.Workload
+module Resnet18 = Sun_workloads.Resnet18
+module Inception = Sun_workloads.Inception
+module Non_dnn = Sun_workloads.Non_dnn
+
+let test_resnet_catalog () =
+  let layers = Resnet18.layers () in
+  Alcotest.(check int) "11 unique shapes" 11 (List.length layers);
+  let total_occurrences = List.fold_left (fun acc l -> acc + l.Resnet18.count) 0 layers in
+  (* 20 convolutions in ResNet-18 (17 in blocks + conv1 + 2... counting the
+     3 downsample convs as in the catalog) *)
+  Alcotest.(check int) "occurrence count" 20 total_occurrences;
+  let conv1 = List.find (fun l -> l.Resnet18.layer_name = "conv1") layers in
+  Alcotest.(check int) "conv1 filter" 7 (W.bound conv1.Resnet18.workload "R");
+  Alcotest.(check int) "conv1 channels" 3 (W.bound conv1.Resnet18.workload "C");
+  (* stride-2 conv1 halo: input extent 2*(112-1)+7 = 229 *)
+  let ifmap = W.find_operand conv1.Resnet18.workload "ifmap" in
+  let extent =
+    W.axis_extent (W.bound conv1.Resnet18.workload) (List.nth ifmap.W.indices 2)
+  in
+  Alcotest.(check int) "strided halo" 229 extent
+
+let test_resnet_batch () =
+  let batched = Resnet18.layers ~batch:16 () in
+  List.iter
+    (fun l -> Alcotest.(check int) "batch dim" 16 (W.bound l.Resnet18.workload "N"))
+    batched
+
+let test_resnet_representative_subset () =
+  let reps = Resnet18.representative () in
+  Alcotest.(check int) "4 layers" 4 (List.length reps)
+
+let test_inception_asymmetric_layers () =
+  let layers = Inception.conv_layers () in
+  let l17 = List.find (fun l -> l.Inception.layer_name = "1x7_deep") layers in
+  Alcotest.(check int) "R=1" 1 (W.bound l17.Inception.workload "R");
+  Alcotest.(check int) "S=7" 7 (W.bound l17.Inception.workload "S");
+  let l31 = List.find (fun l -> l.Inception.layer_name = "3x1_deep") layers in
+  Alcotest.(check int) "R=3" 3 (W.bound l31.Inception.workload "R");
+  Alcotest.(check int) "S=1" 1 (W.bound l31.Inception.workload "S")
+
+let test_weight_update_structure () =
+  List.iter
+    (fun l ->
+      let w = l.Inception.workload in
+      let out = W.output w in
+      Alcotest.(check string) "output is the weight gradient" "dweight" out.W.name;
+      (* weight gradient accumulates over batch and feature map positions *)
+      Alcotest.(check (list string)) "reduction dims" [ "N"; "P"; "Q" ]
+        (W.non_indexing_dims w out);
+      Alcotest.(check int) "batch 16" 16 (W.bound w "N"))
+    (Inception.weight_update_layers ())
+
+let test_non_dnn_shapes () =
+  Alcotest.(check int) "3 MTTKRP" 3 (List.length Non_dnn.mttkrp_suite);
+  Alcotest.(check int) "3 TTMc" 3 (List.length Non_dnn.ttmc_suite);
+  Alcotest.(check int) "2 SDDMM" 2 (List.length Non_dnn.sddmm_suite);
+  List.iter
+    (fun (i : Non_dnn.instance) ->
+      Alcotest.(check int) "rank 32" 32 (W.bound i.Non_dnn.workload "J"))
+    Non_dnn.mttkrp_suite;
+  List.iter
+    (fun (i : Non_dnn.instance) ->
+      Alcotest.(check int) "rank 8 (L)" 8 (W.bound i.Non_dnn.workload "L");
+      Alcotest.(check int) "rank 8 (M)" 8 (W.bound i.Non_dnn.workload "M"))
+    Non_dnn.ttmc_suite;
+  List.iter
+    (fun (i : Non_dnn.instance) ->
+      Alcotest.(check int) "rank 512" 512 (W.bound i.Non_dnn.workload "K"))
+    Non_dnn.sddmm_suite
+
+let test_non_dnn_composite_dims () =
+  (* rounded dataset shapes must be usefully factorable so tiling has
+     freedom *)
+  List.iter
+    (fun (i : Non_dnn.instance) ->
+      List.iter
+        (fun (d, b) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s=%d composite" i.Non_dnn.instance_name d b)
+            true
+            (b <= 64 || Sun_util.Factor.count_divisors b >= 8))
+        i.Non_dnn.workload.W.dims)
+    Non_dnn.all
+
+let test_all_workloads_well_formed () =
+  (* Workload.make validates on construction; force all catalogs *)
+  let count =
+    List.length (Resnet18.layers ~batch:16 ())
+    + List.length (Inception.conv_layers ())
+    + List.length (Inception.weight_update_layers ())
+    + List.length Non_dnn.all
+  in
+  Alcotest.(check bool) "catalogs built" true (count > 30)
+
+let () =
+  Alcotest.run "sun_workloads"
+    [
+      ( "resnet18",
+        [
+          Alcotest.test_case "catalog" `Quick test_resnet_catalog;
+          Alcotest.test_case "batch" `Quick test_resnet_batch;
+          Alcotest.test_case "representative subset" `Quick test_resnet_representative_subset;
+        ] );
+      ( "inception",
+        [
+          Alcotest.test_case "asymmetric layers" `Quick test_inception_asymmetric_layers;
+          Alcotest.test_case "weight update" `Quick test_weight_update_structure;
+        ] );
+      ( "non-dnn",
+        [
+          Alcotest.test_case "shapes" `Quick test_non_dnn_shapes;
+          Alcotest.test_case "composite dims" `Quick test_non_dnn_composite_dims;
+        ] );
+      ("all", [ Alcotest.test_case "well formed" `Quick test_all_workloads_well_formed ]);
+    ]
