@@ -65,11 +65,53 @@ let micro_suite () =
       | _ -> Printf.printf "%-44s (no estimate)\n" name)
     results
 
+(* Serving-layer micro-benchmark: schedule a batch of requests twice through
+   one persistent cache. Run 1 pays for the searches (repeated ResNet blocks
+   already collide via fingerprinting); run 2 must be cache-dominated. *)
+let serve_bench () =
+  let requests =
+    List.concat_map
+      (fun name -> [ Printf.sprintf {|{"v":1,"workload":%S,"arch":"toy"}|} name ])
+      (List.filter
+         (fun n ->
+           String.length n > 9 && String.sub n 0 9 = "resnet18/")
+         (List.map fst (Sun_serve.Registry.workloads ())))
+  in
+  let reqs_path = Filename.temp_file "sunstone_serve" ".jsonl" in
+  let cache_dir = Filename.temp_file "sunstone_cache" "" in
+  Sys.remove cache_dir;
+  let oc = open_out reqs_path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) requests;
+  close_out oc;
+  let run label =
+    let cache = Sun_serve.Cache.create ~dir:cache_dir () in
+    let started = Unix.gettimeofday () in
+    let summary =
+      Sun_serve.Pipeline.run_files ~cache ~input:reqs_path ~output:Filename.null ()
+    in
+    Printf.printf "%-18s %6.3fs  %s\n%!" label
+      (Unix.gettimeofday () -. started)
+      (Sun_serve.Pipeline.summary_line summary);
+    summary
+  in
+  Printf.printf "serve: %d requests (resnet18 layers on toy), cache at %s\n%!"
+    (List.length requests) cache_dir;
+  let first = run "run 1 (cold)" in
+  let second = run "run 2 (warm)" in
+  let hit_rate s =
+    if s.Sun_serve.Pipeline.requests = 0 then 0.0
+    else
+      100.0 *. float_of_int s.Sun_serve.Pipeline.hits /. float_of_int s.Sun_serve.Pipeline.requests
+  in
+  Printf.printf "hit rate: %.0f%% cold, %.0f%% warm\n" (hit_rate first) (hit_rate second);
+  Sys.remove reqs_path
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let known = List.map fst Sun_experiments.Figures.all in
   match args with
   | [ "micro" ] -> micro_suite ()
+  | [ "serve" ] -> serve_bench ()
   | [] -> List.iter (fun (name, driver) -> run_experiment name driver) Sun_experiments.Figures.all
   | names ->
     List.iter
@@ -77,7 +119,7 @@ let () =
         match List.assoc_opt name Sun_experiments.Figures.all with
         | Some driver -> run_experiment name driver
         | None ->
-          Printf.eprintf "unknown experiment %S; known: %s or 'micro'\n" name
+          Printf.eprintf "unknown experiment %S; known: %s, 'micro' or 'serve'\n" name
             (String.concat ", " known);
           exit 2)
       names

@@ -1,0 +1,21 @@
+#!/bin/sh
+# One-command tier-1 verification: build, tests, and (when the formatter is
+# installed) formatting. CI and pre-commit hooks should run exactly this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt"
+  dune build @fmt
+else
+  echo "== skipping @fmt (ocamlformat not installed)"
+fi
+
+echo "== ok"

@@ -4,6 +4,8 @@
    sunstone reuse -w conv1d              - Table III-style reuse inference
    sunstone schedule -w resnet18/conv2_x -a simba [...]
    sunstone compare -w mttkrp/nell2 -a conventional -t sunstone,tl-fast
+   sunstone batch -i reqs.jsonl -o out.jsonl --cache-dir ~/.cache/sunstone
+   sunstone export -w matmul -a simba -o mapping.json
    sunstone experiment fig6              - run a paper experiment *)
 
 open Cmdliner
@@ -12,52 +14,16 @@ module M = Sun_mapping.Mapping
 module Model = Sun_cost.Model
 module Opt = Sun_core.Optimizer
 module Runners = Sun_experiments.Runners
+module Registry = Sun_serve.Registry
 
 (* ------------------------------------------------------------------ *)
-(* Workload / architecture registries                                  *)
+(* Workload / architecture resolution (shared table: Sun_serve.Registry) *)
 (* ------------------------------------------------------------------ *)
-
-let builtin_workloads () =
-  let open Sun_tensor.Catalog in
-  let resnet =
-    List.map
-      (fun (l : Sun_workloads.Resnet18.layer) ->
-        ("resnet18/" ^ l.Sun_workloads.Resnet18.layer_name, l.Sun_workloads.Resnet18.workload))
-      (Sun_workloads.Resnet18.layers ())
-  in
-  let inception =
-    List.map
-      (fun (l : Sun_workloads.Inception.layer) ->
-        ("inception/" ^ l.Sun_workloads.Inception.layer_name, l.Sun_workloads.Inception.workload))
-      (Sun_workloads.Inception.conv_layers ())
-  in
-  let non_dnn =
-    List.map
-      (fun (i : Sun_workloads.Non_dnn.instance) ->
-        (i.Sun_workloads.Non_dnn.instance_name, i.Sun_workloads.Non_dnn.workload))
-      Sun_workloads.Non_dnn.all
-  in
-  [
-    ("conv1d", conv1d ~k:4 ~c:4 ~p:14 ~r:3 ());
-    ("conv2d", conv2d ~n:1 ~k:64 ~c:64 ~p:14 ~q:14 ~r:3 ~s:3 ());
-    ("matmul", matmul ~m:512 ~n:512 ~k:512 ());
-    ("mttkrp", mttkrp ~i:1024 ~j:32 ~k:512 ~l:512 ());
-    ("sddmm", sddmm ~i:1024 ~j:1024 ~k:512 ());
-    ("ttmc", ttmc ~i:512 ~j:256 ~k:256 ~l:8 ~m:8 ());
-    ("mmc", mmc ~i:512 ~j:512 ~k:512 ~l:512 ());
-    ("tcl", tcl ~i:64 ~j:64 ~k:64 ~l:32 ~m:32 ~n:32 ());
-  ]
-  @ resnet @ inception @ non_dnn
 
 let find_workload name =
-  match List.assoc_opt name (builtin_workloads ()) with
-  | Some w -> Ok w
-  | None -> Error (`Msg (Printf.sprintf "unknown workload %S (try `sunstone list`)" name))
+  Result.map_error (fun m -> `Msg m) (Registry.find_workload name)
 
-let find_arch name =
-  match List.assoc_opt name Sun_arch.Presets.all with
-  | Some a -> Ok a
-  | None -> Error (`Msg (Printf.sprintf "unknown architecture %S (try `sunstone list`)" name))
+let find_arch name = Result.map_error (fun m -> `Msg m) (Registry.find_arch name)
 
 (* ------------------------------------------------------------------ *)
 (* Common args                                                         *)
@@ -90,12 +56,12 @@ let loopnest_arg =
 let list_cmd =
   let run () =
     print_endline "Workloads:";
-    List.iter (fun (name, w) -> Printf.printf "  %-24s %s\n" name w.W.name) (builtin_workloads ());
+    List.iter (fun (name, w) -> Printf.printf "  %-24s %s\n" name w.W.name) (Registry.workloads ());
     print_endline "";
     print_endline "Architectures:";
     List.iter
       (fun (name, a) -> Printf.printf "  %-24s %s\n" name a.Sun_arch.Arch.arch_name)
-      Sun_arch.Presets.all;
+      Registry.architectures;
     0
   in
   Cmd.v (Cmd.info "list" ~doc:"List built-in workloads and architecture presets")
@@ -197,6 +163,103 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Run several mappers on one workload and compare EDP / time")
     Term.(const run $ workload_arg $ arch_arg $ tools_arg)
 
+let batch_cmd =
+  let input_arg =
+    let doc = "JSONL request file; one {\"workload\":NAME,\"arch\":ARCH,...} per line. \"-\" reads stdin." in
+    Arg.(required & opt (some string) None & info [ "i"; "input" ] ~docv:"FILE" ~doc)
+  in
+  let output_arg =
+    let doc = "JSONL response file. \"-\" writes stdout." in
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let cache_dir_arg =
+    let doc = "Persist schedules under $(docv) (one JSON file per request fingerprint); later runs reuse them." in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Disable caching entirely: every request runs a fresh search." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let run input output cache_dir no_cache beam top_down =
+    let config =
+      {
+        Opt.default_config with
+        Opt.beam_width = beam;
+        direction = (if top_down then Opt.Top_down else Opt.Bottom_up);
+      }
+    in
+    let cache =
+      if no_cache then None else Some (Sun_serve.Cache.create ?dir:cache_dir ())
+    in
+    match Sun_serve.Pipeline.run_files ?cache ~config ~input ~output () with
+    | exception Sys_error m ->
+      Printf.eprintf "cannot run batch: %s\n" m;
+      1
+    | summary ->
+      Printf.eprintf "%s\n" (Sun_serve.Pipeline.summary_line summary);
+      if summary.Sun_serve.Pipeline.errors > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc:"Schedule a JSONL stream of requests through the mapping cache")
+    Term.(const run $ input_arg $ output_arg $ cache_dir_arg $ no_cache_arg $ beam_arg $ top_down_arg)
+
+let export_cmd =
+  let output_arg =
+    let doc = "Destination JSON file. \"-\" writes stdout." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run workload arch output beam top_down =
+    match (find_workload workload, find_arch arch) with
+    | Error (`Msg m), _ | _, Error (`Msg m) ->
+      prerr_endline m;
+      1
+    | Ok w, Ok a -> (
+      let config =
+        {
+          Opt.default_config with
+          Opt.beam_width = beam;
+          direction = (if top_down then Opt.Top_down else Opt.Bottom_up);
+        }
+      in
+      match Opt.optimize ~config w a with
+      | Error msg ->
+        Printf.eprintf "no valid mapping: %s\n" msg;
+        1
+      | Ok r ->
+        let doc =
+          Sun_serve.Json.Obj
+            [
+              ("v", Sun_serve.Json.Int Sun_serve.Codec.version);
+              ("kind", Sun_serve.Json.String "export");
+              ("workload_name", Sun_serve.Json.String workload);
+              ("arch_name", Sun_serve.Json.String arch);
+              ("fingerprint", Sun_serve.Json.String (Sun_serve.Fingerprint.request ~config w a));
+              ("workload", Sun_serve.Codec.encode_workload w);
+              ("config", Sun_serve.Codec.encode_config config);
+              ("mapping", Sun_serve.Codec.encode_mapping r.Opt.mapping);
+              ("cost", Sun_serve.Codec.encode_cost r.Opt.cost);
+            ]
+        in
+        let text = Sun_serve.Json.to_string_pretty doc ^ "\n" in
+        if output = "-" then begin
+          print_string text;
+          0
+        end
+        else begin
+          match open_out output with
+          | exception Sys_error m ->
+            Printf.eprintf "cannot write %s: %s\n" output m;
+            1
+          | oc ->
+            Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc text);
+            0
+        end)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Schedule one workload and write the mapping, cost and fingerprint as JSON")
+    Term.(const run $ workload_arg $ arch_arg $ output_arg $ beam_arg $ top_down_arg)
+
 let experiment_cmd =
   let exp_arg =
     let doc = "Experiment id: table1, table3, table6, fig6, fig7, fig8, fig9." in
@@ -221,4 +284,7 @@ let () =
     Cmd.info "sunstone" ~version:"1.0.0"
       ~doc:"Scalable and versatile scheduler for tensor algebra on spatial accelerators"
   in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; reuse_cmd; schedule_cmd; compare_cmd; experiment_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; reuse_cmd; schedule_cmd; compare_cmd; batch_cmd; export_cmd; experiment_cmd ]))

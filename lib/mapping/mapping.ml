@@ -50,8 +50,17 @@ let validate w levels =
           if f < 1 then failwith (Printf.sprintf "level %d: %s factor of %s is %d" i kind d f))
         assoc
     in
+    (* the mli contract: factor lists cover exactly the workload dims, once
+       each — a silently missing dim would default to factor 1 downstream *)
+    let covers assoc kind =
+      if List.sort String.compare (List.map fst assoc) <> List.sort String.compare dims then
+        failwith
+          (Printf.sprintf "level %d: %s factors must cover each workload dim exactly once" i kind)
+    in
     known_factors lm.temporal "temporal";
     known_factors lm.spatial "spatial";
+    covers lm.temporal "temporal";
+    covers lm.spatial "spatial";
     let sorted = List.sort String.compare lm.order in
     if sorted <> List.sort String.compare dims then
       failwith (Printf.sprintf "level %d: order is not a permutation of the workload dims" i)

@@ -1,0 +1,153 @@
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  disk_hits : int;
+  corrupt : int;
+  stores : int;
+}
+
+type entry = { value : Json.t; mutable last_use : int }
+
+type t = {
+  capacity : int;
+  cache_dir : string option;
+  table : (string, entry) Hashtbl.t;
+  mutable tick : int;  (** monotone access counter driving LRU order *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable disk_hits : int;
+  mutable corrupt : int;
+  mutable stores : int;
+}
+
+let create ?(capacity = 256) ?dir () =
+  {
+    capacity = max 1 capacity;
+    cache_dir = dir;
+    table = Hashtbl.create 64;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    disk_hits = 0;
+    corrupt = 0;
+    stores = 0;
+  }
+
+let capacity t = t.capacity
+
+let dir t = t.cache_dir
+
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.last_use <- t.tick
+
+(* Fingerprints are hex digests, but guard against any caller-provided key
+   escaping the cache directory. *)
+let safe_key key =
+  String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c | _ -> '_') key
+
+let entry_path dir key = Filename.concat dir (safe_key key ^ ".json")
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let evict_if_full t =
+  if Hashtbl.length t.table >= t.capacity then begin
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key entry ->
+        match !victim with
+        | Some (_, age) when age <= entry.last_use -> ()
+        | _ -> victim := Some (key, entry.last_use))
+      t.table;
+    match !victim with
+    | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1
+    | None -> ()
+  end
+
+let insert t key value =
+  if not (Hashtbl.mem t.table key) then evict_if_full t;
+  Hashtbl.remove t.table key;
+  let entry = { value; last_use = 0 } in
+  Hashtbl.replace t.table key entry;
+  touch t entry
+
+let disk_lookup t key =
+  match t.cache_dir with
+  | None -> None
+  | Some dir -> (
+    let path = entry_path dir key in
+    match (try Some (read_file path) with _ -> None) with
+    | None -> None
+    | Some contents -> (
+      match Json.of_string contents with
+      | Ok v -> Some v
+      | Error _ ->
+        t.corrupt <- t.corrupt + 1;
+        None))
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some entry ->
+    touch t entry;
+    t.hits <- t.hits + 1;
+    Some entry.value
+  | None -> (
+    match disk_lookup t key with
+    | Some value ->
+      insert t key value;
+      t.hits <- t.hits + 1;
+      t.disk_hits <- t.disk_hits + 1;
+      Some value
+    | None ->
+      t.misses <- t.misses + 1;
+      None)
+
+let persist t key value =
+  match t.cache_dir with
+  | None -> ()
+  | Some dir -> (
+    try
+      mkdir_p dir;
+      let final = entry_path dir key in
+      let tmp = Printf.sprintf "%s.tmp.%d" final (Unix.getpid ()) in
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Json.to_string value));
+      Sys.rename tmp final
+    with _ -> ())
+
+let store t key value =
+  insert t key value;
+  persist t key value;
+  t.stores <- t.stores + 1
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    disk_hits = t.disk_hits;
+    corrupt = t.corrupt;
+    stores = t.stores;
+  }
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "%d hits (%d from disk), %d misses, %d evictions, %d corrupt, %d stores" s.hits
+    s.disk_hits s.misses s.evictions s.corrupt s.stores

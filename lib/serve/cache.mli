@@ -1,0 +1,48 @@
+(** Mapping cache: bounded in-memory LRU over an optional persistent store.
+
+    Keys are request fingerprints ({!Fingerprint.request}); values are
+    arbitrary JSON documents (in practice the pipeline's
+    [{"v":1,"mapping":...,"cost":...}] records). Lookups hit the in-memory
+    tier first, then — when a cache directory is configured — the disk tier
+    (one [<fingerprint>.json] file per entry), promoting disk hits into
+    memory.
+
+    Durability and robustness:
+    - disk writes go through a temp file in the same directory followed by
+      an atomic [rename], so a crashed writer can never leave a
+      half-written entry under its final name;
+    - unreadable or unparsable entries (truncated files, wrong permissions,
+      future formats) are treated as misses and counted in
+      [stats.corrupt] — the cache never raises on a bad entry;
+    - the cache directory is created on demand ([mkdir -p] semantics). *)
+
+type stats = {
+  hits : int;  (** lookups served from memory or disk *)
+  misses : int;  (** lookups that found nothing usable *)
+  evictions : int;  (** in-memory LRU evictions (disk entries persist) *)
+  disk_hits : int;  (** subset of [hits] that were read from disk *)
+  corrupt : int;  (** disk entries that existed but failed to parse *)
+  stores : int;  (** successful [store] calls *)
+}
+
+type t
+
+val create : ?capacity:int -> ?dir:string -> unit -> t
+(** [capacity] bounds the in-memory tier (default 256 entries, minimum 1).
+    [dir] enables the persistent tier; omitted means memory-only. *)
+
+val capacity : t -> int
+val dir : t -> string option
+
+val find : t -> string -> Json.t option
+(** [find t fingerprint] returns the cached document, refreshing its LRU
+    position, or [None] on miss. Never raises. *)
+
+val store : t -> string -> Json.t -> unit
+(** Inserts (or refreshes) the entry in memory, evicting the least recently
+    used entry if full, and persists it to disk when a directory is
+    configured. Disk write failures (e.g. read-only media) are swallowed:
+    the cache is an optimization, not a source of truth. *)
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

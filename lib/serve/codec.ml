@@ -1,0 +1,330 @@
+module W = Sun_tensor.Workload
+module A = Sun_arch.Arch
+module M = Sun_mapping.Mapping
+module Model = Sun_cost.Model
+module Opt = Sun_core.Optimizer
+
+let version = 1
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: xs ->
+    let* y = f x in
+    let* ys = map_result f xs in
+    Ok (y :: ys)
+
+(* ------------------------------------------------------------------ *)
+(* Envelope                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let envelope kind fields =
+  Json.Obj ([ ("v", Json.Int version); ("kind", Json.String kind) ] @ fields)
+
+let check_envelope kind json =
+  let* v = Result.map_error (fun e -> "envelope: " ^ e) (Json.field "v" json) in
+  let* v = Json.as_int v in
+  if v <> version then Error (Printf.sprintf "unsupported envelope version %d (want %d)" v version)
+  else
+    let* k = Result.map_error (fun e -> "envelope: " ^ e) (Json.field "kind" json) in
+    let* k = Json.as_string k in
+    if k <> kind then Error (Printf.sprintf "expected kind %S, found %S" kind k)
+    else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Shared shapes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let encode_assoc_int xs = Json.List (List.map (fun (d, n) -> Json.List [ Json.String d; Json.Int n ]) xs)
+
+let decode_assoc_int what json =
+  let* items = Json.as_list json in
+  map_result
+    (fun item ->
+      match item with
+      | Json.List [ Json.String d; Json.Int n ] -> Ok (d, n)
+      | _ -> Error (Printf.sprintf "%s: expected [\"name\", int] pair" what))
+    items
+
+let decode_field name decoder json =
+  let* x = Json.field name json in
+  Result.map_error (fun e -> Printf.sprintf "%s: %s" name e) (decoder x)
+
+let decode_string_list what json =
+  let* items = Json.as_list json in
+  map_result (fun i -> Result.map_error (fun e -> what ^ ": " ^ e) (Json.as_string i)) items
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let encode_index = function
+  | W.Dim d -> Json.Obj [ ("dim", Json.String d) ]
+  | W.Affine terms -> Json.Obj [ ("affine", encode_assoc_int terms) ]
+
+let decode_index json =
+  match (Json.member "dim" json, Json.member "affine" json) with
+  | Some d, None ->
+    let* d = Json.as_string d in
+    Ok (W.Dim d)
+  | None, Some terms ->
+    let* terms = decode_assoc_int "affine" terms in
+    Ok (W.Affine terms)
+  | _ -> Error "index: expected exactly one of {\"dim\"} or {\"affine\"}"
+
+let encode_operand (op : W.operand) =
+  Json.Obj
+    [
+      ("name", Json.String op.W.name);
+      ("kind", Json.String (match op.W.kind with `Input -> "input" | `Output -> "output"));
+      ("indices", Json.List (List.map encode_index op.W.indices));
+    ]
+
+let decode_operand json =
+  let* name = decode_field "name" Json.as_string json in
+  let* kind = decode_field "kind" Json.as_string json in
+  let* kind =
+    match kind with
+    | "input" -> Ok `Input
+    | "output" -> Ok `Output
+    | k -> Error (Printf.sprintf "kind: expected \"input\" or \"output\", found %S" k)
+  in
+  let* indices = decode_field "indices" Json.as_list json in
+  let* indices = map_result decode_index indices in
+  Ok { W.name; kind; indices }
+
+let encode_workload (w : W.t) =
+  envelope "workload"
+    [
+      ("name", Json.String w.W.name);
+      ("dims", encode_assoc_int w.W.dims);
+      ("operands", Json.List (List.map encode_operand w.W.operands));
+    ]
+
+let decode_workload json =
+  let* () = check_envelope "workload" json in
+  let* name = decode_field "name" Json.as_string json in
+  let* dims = decode_field "dims" (decode_assoc_int "dims") json in
+  let* operands = decode_field "operands" Json.as_list json in
+  let* operands = map_result decode_operand operands in
+  match W.make ~name ~dims ~operands with
+  | w -> Ok w
+  | exception Invalid_argument msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Architecture                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let encode_partition (p : A.partition) =
+  Json.Obj
+    [
+      ("name", Json.String p.A.part_name);
+      ("capacity_words", Json.Int p.A.capacity_words);
+      ( "accepts",
+        match p.A.accepts with
+        | `All -> Json.String "all"
+        | `Roles roles -> Json.List (List.map (fun r -> Json.String r) roles) );
+      ("read_energy", Json.Float p.A.read_energy);
+      ("write_energy", Json.Float p.A.write_energy);
+      ("bandwidth", Json.Float p.A.bandwidth);
+    ]
+
+let decode_partition json =
+  let* part_name = decode_field "name" Json.as_string json in
+  let* capacity_words = decode_field "capacity_words" Json.as_int json in
+  let* accepts_json = Json.field "accepts" json in
+  let* accepts =
+    match accepts_json with
+    | Json.String "all" -> Ok `All
+    | Json.List _ ->
+      let* roles = decode_string_list "accepts" accepts_json in
+      Ok (`Roles roles)
+    | _ -> Error "accepts: expected \"all\" or an array of roles"
+  in
+  let* read_energy = decode_field "read_energy" Json.as_float json in
+  let* write_energy = decode_field "write_energy" Json.as_float json in
+  let* bandwidth = decode_field "bandwidth" Json.as_float json in
+  Ok { A.part_name; capacity_words; accepts; read_energy; write_energy; bandwidth }
+
+let encode_level (l : A.level) =
+  Json.Obj
+    [
+      ("name", Json.String l.A.level_name);
+      ("partitions", Json.List (List.map encode_partition l.A.partitions));
+      ("fanout", Json.Int l.A.fanout);
+      ("multicast", Json.Bool l.A.multicast);
+      ("noc_hop_energy", Json.Float l.A.noc_hop_energy);
+      ("unbounded", Json.Bool l.A.unbounded);
+    ]
+
+let decode_level json =
+  let* level_name = decode_field "name" Json.as_string json in
+  let* partitions = decode_field "partitions" Json.as_list json in
+  let* partitions = map_result decode_partition partitions in
+  let* fanout = decode_field "fanout" Json.as_int json in
+  let* multicast = decode_field "multicast" Json.as_bool json in
+  let* noc_hop_energy = decode_field "noc_hop_energy" Json.as_float json in
+  let* unbounded = decode_field "unbounded" Json.as_bool json in
+  Ok { A.level_name; partitions; fanout; multicast; noc_hop_energy; unbounded }
+
+let encode_arch (a : A.t) =
+  envelope "arch"
+    [
+      ("name", Json.String a.A.arch_name);
+      ("levels", Json.List (List.map encode_level a.A.levels));
+      ("mac_energy", Json.Float a.A.mac_energy);
+      ("mac_throughput", Json.Int a.A.mac_throughput);
+    ]
+
+let decode_arch json =
+  let* () = check_envelope "arch" json in
+  let* name = decode_field "name" Json.as_string json in
+  let* levels = decode_field "levels" Json.as_list json in
+  let* levels = map_result decode_level levels in
+  let* mac_energy = decode_field "mac_energy" Json.as_float json in
+  let* mac_throughput = decode_field "mac_throughput" Json.as_int json in
+  match A.make ~name ~levels ~mac_energy ~mac_throughput () with
+  | a -> Ok a
+  | exception Invalid_argument msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer config                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let encode_config (c : Opt.config) =
+  envelope "config"
+    [
+      ( "direction",
+        Json.String (match c.Opt.direction with Opt.Bottom_up -> "bottom_up" | Opt.Top_down -> "top_down") );
+      ( "intra",
+        Json.String
+          (match c.Opt.intra with
+          | Opt.Ordering_first -> "ordering_first"
+          | Opt.Tiling_first -> "tiling_first"
+          | Opt.Unrolling_first -> "unrolling_first") );
+      ("beam_width", Json.Int c.Opt.beam_width);
+      ("alpha_beta", Json.Bool c.Opt.alpha_beta);
+      ("min_spatial_utilization", Json.Float c.Opt.min_spatial_utilization);
+      ("refine", Json.Bool c.Opt.refine);
+    ]
+
+let decode_config json =
+  let* () = check_envelope "config" json in
+  let* direction = decode_field "direction" Json.as_string json in
+  let* direction =
+    match direction with
+    | "bottom_up" -> Ok Opt.Bottom_up
+    | "top_down" -> Ok Opt.Top_down
+    | d -> Error (Printf.sprintf "direction: unknown %S" d)
+  in
+  let* intra = decode_field "intra" Json.as_string json in
+  let* intra =
+    match intra with
+    | "ordering_first" -> Ok Opt.Ordering_first
+    | "tiling_first" -> Ok Opt.Tiling_first
+    | "unrolling_first" -> Ok Opt.Unrolling_first
+    | i -> Error (Printf.sprintf "intra: unknown %S" i)
+  in
+  let* beam_width = decode_field "beam_width" Json.as_int json in
+  let* alpha_beta = decode_field "alpha_beta" Json.as_bool json in
+  let* min_spatial_utilization = decode_field "min_spatial_utilization" Json.as_float json in
+  let* refine = decode_field "refine" Json.as_bool json in
+  Ok
+    {
+      Opt.direction;
+      intra;
+      beam_width;
+      alpha_beta;
+      min_spatial_utilization;
+      refine;
+      binding = Opt.default_config.Opt.binding;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Mapping                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let encode_level_mapping (lm : M.level_mapping) =
+  Json.Obj
+    [
+      ("temporal", encode_assoc_int lm.M.temporal);
+      ("order", Json.List (List.map (fun d -> Json.String d) lm.M.order));
+      ("spatial", encode_assoc_int lm.M.spatial);
+    ]
+
+let decode_level_mapping json =
+  let* temporal = decode_field "temporal" (decode_assoc_int "temporal") json in
+  let* order = decode_field "order" (decode_string_list "order") json in
+  let* spatial = decode_field "spatial" (decode_assoc_int "spatial") json in
+  Ok { M.temporal; order; spatial }
+
+let encode_mapping (m : M.t) =
+  envelope "mapping"
+    [ ("levels", Json.List (Array.to_list (Array.map encode_level_mapping m.M.levels))) ]
+
+let decode_mapping w json =
+  let* () = check_envelope "mapping" json in
+  let* levels = decode_field "levels" Json.as_list json in
+  let* levels = map_result decode_level_mapping levels in
+  M.make w levels
+
+(* ------------------------------------------------------------------ *)
+(* Cost                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let encode_transfer (t : Model.transfer) =
+  Json.Obj
+    [
+      ("operand", Json.String t.Model.operand);
+      ("from_level", Json.Int t.Model.from_level);
+      ("to_level", Json.Int t.Model.to_level);
+      ("reads", Json.Float t.Model.reads);
+      ("fills", Json.Float t.Model.fills);
+      ("noc_deliveries", Json.Float t.Model.noc_deliveries);
+    ]
+
+let decode_transfer json =
+  let* operand = decode_field "operand" Json.as_string json in
+  let* from_level = decode_field "from_level" Json.as_int json in
+  let* to_level = decode_field "to_level" Json.as_int json in
+  let* reads = decode_field "reads" Json.as_float json in
+  let* fills = decode_field "fills" Json.as_float json in
+  let* noc_deliveries = decode_field "noc_deliveries" Json.as_float json in
+  Ok { Model.operand; from_level; to_level; reads; fills; noc_deliveries }
+
+let encode_cost (c : Model.cost) =
+  envelope "cost"
+    [
+      ("energy_pj", Json.Float c.Model.energy_pj);
+      ("cycles", Json.Float c.Model.cycles);
+      ("edp", Json.Float c.Model.edp);
+      ("macs", Json.Float c.Model.macs);
+      ("transfers", Json.List (List.map encode_transfer c.Model.transfers));
+      ( "breakdown",
+        Json.List
+          (List.map (fun (k, v) -> Json.List [ Json.String k; Json.Float v ]) c.Model.breakdown) );
+      ("spatial_utilization", Json.Float c.Model.spatial_utilization);
+    ]
+
+let decode_cost json =
+  let* () = check_envelope "cost" json in
+  let* energy_pj = decode_field "energy_pj" Json.as_float json in
+  let* cycles = decode_field "cycles" Json.as_float json in
+  let* edp = decode_field "edp" Json.as_float json in
+  let* macs = decode_field "macs" Json.as_float json in
+  let* transfers = decode_field "transfers" Json.as_list json in
+  let* transfers = map_result decode_transfer transfers in
+  let* breakdown = decode_field "breakdown" Json.as_list json in
+  let* breakdown =
+    map_result
+      (fun item ->
+        match item with
+        | Json.List [ Json.String k; v ] ->
+          let* v = Json.as_float v in
+          Ok (k, v)
+        | _ -> Error "breakdown: expected [\"component\", float] pair")
+      breakdown
+  in
+  let* spatial_utilization = decode_field "spatial_utilization" Json.as_float json in
+  Ok { Model.energy_pj; cycles; edp; macs; transfers; breakdown; spatial_utilization }

@@ -1,0 +1,38 @@
+(** Versioned JSON codecs for the scheduler's core types.
+
+    Every encoder wraps its payload in an envelope [{"v":1,"kind":K,...}];
+    every decoder rejects missing or wrong [v]/[kind] fields with a
+    descriptive error instead of guessing, so persisted cache entries from a
+    future incompatible format degrade to cache misses rather than
+    mis-parses. Decoders re-validate through the type's own smart
+    constructor ([Workload.make], [Arch.make], [Mapping.make]), so a decoded
+    value satisfies the same invariants as a freshly built one and
+    [decode (encode x) = Ok x] holds for every valid [x].
+
+    [Optimizer.config] is the one partial codec: its [binding] field is a
+    function and cannot be serialized, so [encode_config] drops it and
+    [decode_config] restores the identity binding from [default_config]. *)
+
+val version : int
+(** Current envelope version (1). *)
+
+val encode_workload : Sun_tensor.Workload.t -> Json.t
+val decode_workload : Json.t -> (Sun_tensor.Workload.t, string) result
+
+val encode_arch : Sun_arch.Arch.t -> Json.t
+val decode_arch : Json.t -> (Sun_arch.Arch.t, string) result
+
+val encode_config : Sun_core.Optimizer.config -> Json.t
+val decode_config : Json.t -> (Sun_core.Optimizer.config, string) result
+
+val encode_mapping : Sun_mapping.Mapping.t -> Json.t
+
+val decode_mapping :
+  Sun_tensor.Workload.t -> Json.t -> (Sun_mapping.Mapping.t, string) result
+(** Validates the decoded levels against the workload via [Mapping.make]
+    (factor products must equal bounds, orders must be permutations). *)
+
+val encode_cost : Sun_cost.Model.cost -> Json.t
+val decode_cost : Json.t -> (Sun_cost.Model.cost, string) result
+(** Round-trips the full cost record including the per-component energy
+    breakdown and the transfer list, bit-exact on every float. *)

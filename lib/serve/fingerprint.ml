@@ -1,0 +1,119 @@
+module W = Sun_tensor.Workload
+module A = Sun_arch.Arch
+module Opt = Sun_core.Optimizer
+
+(* ------------------------------------------------------------------ *)
+(* Workload canonicalization                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A dimension's structural signature: its bound plus every (operand, axis,
+   coefficient) position where it appears. Coefficient 0 marks a plain [Dim]
+   axis, distinguishing it from an affine term with coefficient 1. *)
+let dim_signature (w : W.t) d =
+  let occurrences =
+    List.concat
+      (List.mapi
+         (fun op_idx (op : W.operand) ->
+           List.concat
+             (List.mapi
+                (fun ax_idx idx ->
+                  match idx with
+                  | W.Dim d' when d' = d -> [ (op_idx, ax_idx, 0) ]
+                  | W.Dim _ -> []
+                  | W.Affine terms ->
+                    List.filter_map
+                      (fun (d', c) -> if d' = d then Some (op_idx, ax_idx, c) else None)
+                      terms)
+                op.W.indices))
+         w.W.operands)
+  in
+  (W.bound w d, List.sort compare occurrences)
+
+(* Canonical renaming: dims sorted by signature become d0, d1, ... Dims with
+   equal signatures occupy the same positions everywhere, so either order of
+   a tie yields the same canonical rendering. *)
+let canonical_renaming (w : W.t) =
+  let signed = List.map (fun d -> (dim_signature w d, d)) (W.dim_names w) in
+  let sorted = List.sort compare signed in
+  List.mapi (fun i (_, d) -> (d, Printf.sprintf "d%d" i)) sorted
+
+let canonical_workload (w : W.t) =
+  let rename = canonical_renaming w in
+  let name_of d = List.assoc d rename in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "dims{";
+  List.iter
+    (fun (d, r) -> Buffer.add_string buf (Printf.sprintf "%s:%d;" r (W.bound w d)))
+    (List.sort (fun (_, a) (_, b) -> compare a b) rename);
+  Buffer.add_string buf "}ops{";
+  List.iter
+    (fun (op : W.operand) ->
+      Buffer.add_string buf op.W.name;
+      Buffer.add_string buf (match op.W.kind with `Input -> ":in[" | `Output -> ":out[");
+      List.iter
+        (fun idx ->
+          (match idx with
+          | W.Dim d -> Buffer.add_string buf (name_of d)
+          | W.Affine terms ->
+            let canon =
+              List.sort compare (List.map (fun (d, c) -> (name_of d, c)) terms)
+            in
+            Buffer.add_char buf '(';
+            List.iter (fun (r, c) -> Buffer.add_string buf (Printf.sprintf "%d*%s+" c r)) canon;
+            Buffer.add_char buf ')');
+          Buffer.add_char buf ',')
+        op.W.indices;
+      Buffer.add_string buf "];")
+    w.W.operands;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Architecture and config rendering (no invariances needed)           *)
+(* ------------------------------------------------------------------ *)
+
+let render_arch (a : A.t) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "arch:%s;mac:%g;tput:%d;" a.A.arch_name a.A.mac_energy a.A.mac_throughput);
+  List.iter
+    (fun (l : A.level) ->
+      Buffer.add_string buf
+        (Printf.sprintf "level:%s;fanout:%d;mcast:%b;hop:%g;unbounded:%b;" l.A.level_name l.A.fanout
+           l.A.multicast l.A.noc_hop_energy l.A.unbounded);
+      List.iter
+        (fun (p : A.partition) ->
+          Buffer.add_string buf
+            (Printf.sprintf "part:%s;cap:%d;re:%g;we:%g;bw:%g;accepts:" p.A.part_name
+               p.A.capacity_words p.A.read_energy p.A.write_energy p.A.bandwidth);
+          (match p.A.accepts with
+          | `All -> Buffer.add_string buf "*"
+          | `Roles roles -> Buffer.add_string buf (String.concat "," roles));
+          Buffer.add_char buf ';')
+        l.A.partitions)
+    a.A.levels;
+  Buffer.contents buf
+
+let render_config (c : Opt.config) =
+  Printf.sprintf "dir:%s;intra:%s;beam:%d;ab:%b;util:%g;refine:%b"
+    (match c.Opt.direction with Opt.Bottom_up -> "bu" | Opt.Top_down -> "td")
+    (match c.Opt.intra with
+    | Opt.Ordering_first -> "ord"
+    | Opt.Tiling_first -> "tile"
+    | Opt.Unrolling_first -> "unroll")
+    c.Opt.beam_width c.Opt.alpha_beta c.Opt.min_spatial_utilization c.Opt.refine
+
+(* ------------------------------------------------------------------ *)
+(* Digests                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let workload w = digest (canonical_workload w)
+
+let arch a = digest (render_arch a)
+
+let config c = digest (render_config c)
+
+let request ?(config = Opt.default_config) w a =
+  digest
+    (String.concat "\n" [ canonical_workload w; render_arch a; render_config config ])

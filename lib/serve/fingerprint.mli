@@ -1,0 +1,48 @@
+(** Canonical fingerprints for scheduling requests.
+
+    A fingerprint is a stable hex digest of a [(workload, architecture,
+    optimizer config)] triple, used as the key of the mapping cache. Two
+    requests collide exactly when the scheduler would do identical work for
+    them, so the workload component is *canonicalized* before hashing:
+
+    - the workload [name] is ignored (repeated, structurally identical
+      layers — e.g. the four ResNet-18 conv blocks of a stage — share one
+      fingerprint on purpose);
+    - dimension names are ignored: each dimension is renamed to a canonical
+      [d<i>] chosen from its structural signature (bound plus the exact set
+      of operand-axis positions and affine coefficients where it appears),
+      so [matmul(M,N,K)] and the same workload spelled with dims [(A,B,C)]
+      collide;
+    - list orders are ignored: the [dims] list is sorted by signature and
+      affine terms are sorted canonically, so permuting the declaration
+      order changes nothing.
+
+    Two dimensions with identical signatures are genuinely interchangeable
+    (swapping them is an automorphism of the workload), so ties are safe.
+
+    Operand names and kinds are preserved — they feed the cost-model role
+    binding. The architecture and config are hashed structurally with no
+    invariances. The config's [binding] function cannot be inspected and is
+    excluded from the digest; cache users that rely on non-identity bindings
+    should use distinct cache directories. *)
+
+val canonical_workload : Sun_tensor.Workload.t -> string
+(** The canonical textual form described above (exposed for tests and
+    debugging; the digest is computed over this string). *)
+
+val workload : Sun_tensor.Workload.t -> string
+(** Hex digest of the canonical workload alone. *)
+
+val arch : Sun_arch.Arch.t -> string
+(** Hex digest of the architecture description. *)
+
+val config : Sun_core.Optimizer.config -> string
+(** Hex digest of the serializable optimizer-config fields. *)
+
+val request :
+  ?config:Sun_core.Optimizer.config ->
+  Sun_tensor.Workload.t ->
+  Sun_arch.Arch.t ->
+  string
+(** Fingerprint of a full scheduling request; [?config] defaults to
+    [Sun_core.Optimizer.default_config]. *)

@@ -1,0 +1,47 @@
+(** Minimal JSON values, parser and printer.
+
+    The serving layer needs machine-readable requests and responses but the
+    repository deliberately takes no third-party JSON dependency, so this is
+    a small hand-rolled implementation. It supports the full JSON grammar
+    (objects, arrays, strings with escapes, numbers, booleans, null) plus
+    the common [NaN]/[Infinity] extension so that cost values always have a
+    spelling. Printing is canonical enough for byte-level comparison of
+    re-encoded values: object fields keep their construction order and
+    floats are rendered with round-trip precision. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Floats print exactly ([%.17g]-style,
+    trimmed), so [of_string (to_string v)] re-reads every value bit-for-bit. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering for human-facing files. *)
+
+val of_string : string -> (t, string) result
+(** Parses one JSON value; trailing garbage (other than whitespace) is an
+    error. Numbers without [.], [e] or [E] parse as [Int] when they fit. *)
+
+(** {2 Accessors} — each returns [Error] naming the expected shape. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on absent field or non-object. *)
+
+val field : string -> t -> (t, string) result
+(** Like {!member} but an error mentioning the field name on miss. *)
+
+val as_string : t -> (string, string) result
+val as_int : t -> (int, string) result
+val as_float : t -> (float, string) result
+(** [as_float] also accepts [Int] values. *)
+
+val as_bool : t -> (bool, string) result
+val as_list : t -> (t list, string) result
+val as_obj : t -> ((string * t) list, string) result

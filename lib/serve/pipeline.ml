@@ -1,0 +1,200 @@
+module Opt = Sun_core.Optimizer
+
+type outcome = Hit | Computed | Failed
+
+type summary = {
+  requests : int;
+  hits : int;
+  computed : int;
+  errors : int;
+  wall_s : float;
+  cache_stats : Cache.stats option;
+}
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A [workload] / [arch] field is a registry name or an inline document. *)
+let resolve name_field decode_inline find json =
+  let* v = Json.field name_field json in
+  match v with
+  | Json.String name ->
+    let* x = find name in
+    Ok (name, x)
+  | Json.Obj _ ->
+    let* x = decode_inline v in
+    Ok ("<inline>", x)
+  | _ -> Error (Printf.sprintf "%s: expected a name or an inline object" name_field)
+
+let request_config ~base json =
+  let* beam =
+    match Json.member "beam" json with
+    | None -> Ok base.Opt.beam_width
+    | Some v -> Json.as_int v
+  in
+  let* direction =
+    match Json.member "top_down" json with
+    | None -> Ok base.Opt.direction
+    | Some v ->
+      let* td = Json.as_bool v in
+      Ok (if td then Opt.Top_down else Opt.Bottom_up)
+  in
+  Ok { base with Opt.beam_width = beam; direction }
+
+let request_id ~index json =
+  match Json.member "id" json with
+  | Some (Json.String s) -> s
+  | Some v -> Json.to_string v
+  | None -> Printf.sprintf "line%d" index
+
+(* ------------------------------------------------------------------ *)
+(* Response construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let error_response ~id msg =
+  Json.Obj
+    [
+      ("v", Json.Int Codec.version);
+      ("id", Json.String id);
+      ("status", Json.String "error");
+      ("error", Json.String msg);
+    ]
+
+let result_response ~id ~status ~fingerprint ~workload_name ~arch_name ~mapping_json ~cost_json
+    ~(cost : Sun_cost.Model.cost) ~wall_s =
+  Json.Obj
+    [
+      ("v", Json.Int Codec.version);
+      ("id", Json.String id);
+      ("status", Json.String status);
+      ("workload", Json.String workload_name);
+      ("arch", Json.String arch_name);
+      ("fingerprint", Json.String fingerprint);
+      ("mapping", mapping_json);
+      ("cost", cost_json);
+      ("energy_pj", Json.Float cost.Sun_cost.Model.energy_pj);
+      ("cycles", Json.Float cost.Sun_cost.Model.cycles);
+      ("edp", Json.Float cost.Sun_cost.Model.edp);
+      ("wall_s", Json.Float wall_s);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The pipeline proper                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A usable cached document decodes into a valid mapping and cost for this
+   workload; anything else (truncated write survivors, schema drift) is a
+   miss. *)
+let decode_cached w doc =
+  let* mapping_json = Json.field "mapping" doc in
+  let* cost_json = Json.field "cost" doc in
+  let* (_ : Sun_mapping.Mapping.t) = Codec.decode_mapping w mapping_json in
+  let* cost = Codec.decode_cost cost_json in
+  Ok (mapping_json, cost_json, cost)
+
+let handle_request ?cache ~config ~index line =
+  let timer = Sun_util.Stopwatch.start () in
+  let finish outcome response = (outcome, response) in
+  match Json.of_string line with
+  | Error msg -> finish Failed (error_response ~id:(Printf.sprintf "line%d" index) ("bad request: " ^ msg))
+  | Ok json -> (
+    let id = request_id ~index json in
+    let handled =
+      let* () =
+        match Json.member "v" json with
+        | None -> Ok ()
+        | Some (Json.Int v) when v = Codec.version -> Ok ()
+        | Some v -> Error (Printf.sprintf "unsupported request version %s" (Json.to_string v))
+      in
+      let* workload_name, w = resolve "workload" Codec.decode_workload Registry.find_workload json in
+      let* arch_name, a = resolve "arch" Codec.decode_arch Registry.find_arch json in
+      let* config = request_config ~base:config json in
+      let fingerprint = Fingerprint.request ~config w a in
+      let cached =
+        match cache with
+        | None -> None
+        | Some c -> (
+          match Cache.find c fingerprint with
+          | None -> None
+          | Some doc -> (
+            match decode_cached w doc with Ok hit -> Some hit | Error _ -> None))
+      in
+      match cached with
+      | Some (mapping_json, cost_json, cost) ->
+        Ok
+          ( Hit,
+            result_response ~id ~status:"hit" ~fingerprint ~workload_name ~arch_name ~mapping_json
+              ~cost_json ~cost ~wall_s:(Sun_util.Stopwatch.elapsed_s timer) )
+      | None -> (
+        match Opt.optimize ~config w a with
+        | Error msg -> Error (Printf.sprintf "no valid mapping: %s" msg)
+        | Ok r ->
+          let mapping_json = Codec.encode_mapping r.Opt.mapping in
+          let cost_json = Codec.encode_cost r.Opt.cost in
+          (match cache with
+          | Some c ->
+            Cache.store c fingerprint
+              (Json.Obj
+                 [ ("v", Json.Int Codec.version); ("mapping", mapping_json); ("cost", cost_json) ])
+          | None -> ());
+          Ok
+            ( Computed,
+              result_response ~id ~status:"computed" ~fingerprint ~workload_name ~arch_name
+                ~mapping_json ~cost_json ~cost:r.Opt.cost
+                ~wall_s:(Sun_util.Stopwatch.elapsed_s timer) ))
+    in
+    match handled with
+    | Ok (outcome, response) -> finish outcome response
+    | Error msg -> finish Failed (error_response ~id msg))
+
+let run_channels ?cache ?(config = Opt.default_config) ic oc =
+  let timer = Sun_util.Stopwatch.start () in
+  let requests = ref 0 and hits = ref 0 and computed = ref 0 and errors = ref 0 in
+  let index = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr index;
+       if String.trim line <> "" then begin
+         incr requests;
+         let outcome, response = handle_request ?cache ~config ~index:(!index - 1) line in
+         (match outcome with
+         | Hit -> incr hits
+         | Computed -> incr computed
+         | Failed -> incr errors);
+         output_string oc (Json.to_string response);
+         output_char oc '\n'
+       end
+     done
+   with End_of_file -> ());
+  flush oc;
+  {
+    requests = !requests;
+    hits = !hits;
+    computed = !computed;
+    errors = !errors;
+    wall_s = Sun_util.Stopwatch.elapsed_s timer;
+    cache_stats = Option.map Cache.stats cache;
+  }
+
+let run_files ?cache ?config ~input ~output () =
+  let ic = if input = "-" then stdin else open_in input in
+  Fun.protect
+    ~finally:(fun () -> if input <> "-" then close_in_noerr ic)
+    (fun () ->
+      let oc = if output = "-" then stdout else open_out output in
+      Fun.protect
+        ~finally:(fun () -> if output <> "-" then close_out_noerr oc)
+        (fun () -> run_channels ?cache ?config ic oc))
+
+let summary_line s =
+  let cache_part =
+    match s.cache_stats with
+    | None -> "cache disabled"
+    | Some st -> Format.asprintf "cache: %a" Cache.pp_stats st
+  in
+  Printf.sprintf "%d requests: %d hits, %d computed, %d errors in %.2fs (%s)" s.requests s.hits
+    s.computed s.errors s.wall_s cache_part

@@ -1,0 +1,59 @@
+(** JSONL batch scheduling: the request pipeline
+    fingerprint → cache lookup → search → serialize → persist.
+
+    Input is one JSON request per line:
+
+    {v
+    {"v":1, "id":"r0", "workload":"resnet18/conv2_x", "arch":"simba",
+     "beam":12, "top_down":false}
+    v}
+
+    - [workload] and [arch] are either registry names ({!Registry}) or
+      inline {!Codec} documents, so callers can schedule workloads that
+      have no built-in name;
+    - [id] is optional and echoed back (defaults to the 0-based line
+      index rendered as ["line<N>"]);
+    - [beam] and [top_down] optionally override the pipeline's base
+      optimizer config *for that request* (and are folded into its
+      fingerprint);
+    - blank lines are skipped.
+
+    Output is one JSON response per line, in input order:
+
+    {v
+    {"v":1, "id":"r0", "status":"hit"|"computed"|"error",
+     "fingerprint":"...", "mapping":{...}, "cost":{...},
+     "energy_pj":..., "cycles":..., "edp":..., "wall_s":...}
+    v}
+
+    [status:"error"] responses carry an ["error"] message instead of a
+    mapping; a malformed line yields an error response, never a crash.
+    Responses for cache hits are byte-identical in mapping and cost to the
+    run that populated the cache (floats round-trip exactly through the
+    codec). *)
+
+type outcome = Hit | Computed | Failed
+
+type summary = {
+  requests : int;
+  hits : int;
+  computed : int;
+  errors : int;
+  wall_s : float;
+  cache_stats : Cache.stats option;  (** [None] when caching is disabled *)
+}
+
+val run_channels :
+  ?cache:Cache.t -> ?config:Sun_core.Optimizer.config -> in_channel -> out_channel -> summary
+(** Streams requests to responses. [?cache] absent disables caching (every
+    request is a fresh search); [?config] is the base optimizer config
+    (default {!Sun_core.Optimizer.default_config}). *)
+
+val run_files :
+  ?cache:Cache.t -> ?config:Sun_core.Optimizer.config -> input:string -> output:string -> unit ->
+  summary
+(** File front end; ["-"] means stdin / stdout. *)
+
+val summary_line : summary -> string
+(** One human-readable line, e.g.
+    ["36 requests: 24 hits, 12 computed, 0 errors in 1.8s (cache: ...)"]. *)

@@ -2,7 +2,11 @@ type t = float
 
 let start () = Unix.gettimeofday ()
 
-let elapsed_s t = Unix.gettimeofday () -. t
+(* Wall clocks can step backwards (NTP adjustments, manual resets); a
+   negative duration would poison per-request timings downstream, so clamp. *)
+let elapsed_at ~now t = Float.max 0.0 (now -. t)
+
+let elapsed_s t = elapsed_at ~now:(Unix.gettimeofday ()) t
 
 let time f =
   let t = start () in

@@ -1,11 +1,21 @@
-(** Wall-clock timing used to report time-to-solution for the mappers. *)
+(** Wall-clock timing used to report time-to-solution for the mappers.
+
+    Durations are clamped at 0.0: the underlying clock is wall time, which
+    can step backwards under NTP adjustment, and a negative elapsed time
+    must never leak into reported timings (e.g. the batch pipeline's
+    per-request [wall_s]). *)
 
 type t
 
 val start : unit -> t
 
 val elapsed_s : t -> float
-(** Seconds since [start]. *)
+(** Seconds since [start]; never negative. *)
+
+val elapsed_at : now:float -> t -> float
+(** [elapsed_s] against an explicit "current time" (seconds since the
+    epoch), clamped at 0.0. Exposed so the clamp is unit-testable without
+    stepping the real clock. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns the result with its wall-clock

@@ -50,6 +50,60 @@ let test_make_rejects () =
   let bad_factor = M.make conv1d [ lm [ ("K", 0) ]; lm []; lm [] ] in
   match bad_factor with Error _ -> () | Ok _ -> Alcotest.fail "expected factor violation"
 
+let expect_error what = function
+  | Error msg -> Alcotest.(check bool) (what ^ " names the violation") true (String.length msg > 0)
+  | Ok _ -> Alcotest.failf "%s: expected rejection" what
+
+let test_make_missing_dimension () =
+  (* a temporal factor list that omits a workload dimension entirely *)
+  let missing_r d = List.filter (fun (d', _) -> d' <> d) ones in
+  expect_error "missing dim in temporal"
+    (M.make conv1d
+       [
+         { M.temporal = missing_r "R"; order = dims; spatial = ones };
+         lm [];
+         lm [ ("K", 4); ("C", 4); ("P", 14); ("R", 3) ];
+       ]);
+  (* an unknown extra dimension is just as invalid *)
+  expect_error "unknown dim in temporal"
+    (M.make conv1d
+       [
+         { M.temporal = ("Z", 1) :: ones; order = dims; spatial = ones };
+         lm [];
+         lm [ ("K", 4); ("C", 4); ("P", 14); ("R", 3) ];
+       ]);
+  expect_error "missing dim in spatial"
+    (M.make conv1d
+       [
+         { M.temporal = ones; order = dims; spatial = missing_r "K" };
+         lm [];
+         lm [ ("K", 4); ("C", 4); ("P", 14); ("R", 3) ];
+       ])
+
+let test_make_product_mismatch () =
+  (* per-dimension factor product must equal the workload bound *)
+  expect_error "product under bound"
+    (M.make conv1d [ lm [ ("P", 7) ]; lm []; lm [ ("K", 4); ("C", 4); ("R", 3) ] ]);
+  expect_error "product over bound"
+    (M.make conv1d
+       [ lm [ ("P", 14) ]; lm [ ("P", 2) ]; lm [ ("K", 4); ("C", 4); ("R", 3) ] ])
+
+let test_make_duplicate_order () =
+  expect_error "duplicate dims in order"
+    (M.make conv1d
+       [
+         { M.temporal = ones; order = [ "K"; "K"; "C"; "P" ]; spatial = ones };
+         lm [];
+         lm [ ("K", 4); ("C", 4); ("P", 14); ("R", 3) ];
+       ]);
+  expect_error "order with foreign dim"
+    (M.make conv1d
+       [
+         { M.temporal = ones; order = [ "K"; "C"; "P"; "Z" ]; spatial = ones };
+         lm [];
+         lm [ ("K", 4); ("C", 4); ("P", 14); ("R", 3) ];
+       ])
+
 let test_footprints () =
   (* L1 tile of Algorithm 4: ofmap 7*2, weight 2*2*3, ifmap (7+3-1)*2 *)
   let fp name = M.footprint_at conv1d algorithm4 ~level:0 (W.find_operand conv1d name) in
@@ -152,6 +206,9 @@ let () =
         [
           Alcotest.test_case "make ok" `Quick test_make_ok;
           Alcotest.test_case "make rejects" `Quick test_make_rejects;
+          Alcotest.test_case "missing dimension" `Quick test_make_missing_dimension;
+          Alcotest.test_case "factor product mismatch" `Quick test_make_product_mismatch;
+          Alcotest.test_case "duplicate dims in order" `Quick test_make_duplicate_order;
           Alcotest.test_case "single_level" `Quick test_single_level;
         ] );
       ( "geometry",

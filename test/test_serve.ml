@@ -1,0 +1,490 @@
+module J = Sun_serve.Json
+module Codec = Sun_serve.Codec
+module Fp = Sun_serve.Fingerprint
+module Cache = Sun_serve.Cache
+module Pipeline = Sun_serve.Pipeline
+module Registry = Sun_serve.Registry
+module W = Sun_tensor.Workload
+module M = Sun_mapping.Mapping
+module Model = Sun_cost.Model
+module Opt = Sun_core.Optimizer
+
+let ok = function
+  | Ok x -> x
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let expect_error what = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" what
+  | Error msg -> Alcotest.(check bool) (what ^ " has message") true (String.length msg > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let matmul_like ~name ~m ~n ~k dims_order (dm, dn, dk) =
+  W.make ~name
+    ~dims:(List.map (fun d -> if d = dm then (d, m) else if d = dn then (d, n) else (d, k)) dims_order)
+    ~operands:
+      [
+        { W.name = "out"; kind = `Output; indices = [ W.Dim dm; W.Dim dn ] };
+        { W.name = "a"; kind = `Input; indices = [ W.Dim dm; W.Dim dk ] };
+        { W.name = "b"; kind = `Input; indices = [ W.Dim dk; W.Dim dn ] };
+      ]
+
+(* Same operand order as Catalog.conv1d so only dims differ across variants. *)
+let conv1d_like ~name (dk, dc, dp, dr) =
+  W.make ~name
+    ~dims:[ (dk, 4); (dc, 4); (dp, 14); (dr, 3) ]
+    ~operands:
+      [
+        { W.name = "ifmap"; kind = `Input; indices = [ W.Dim dc; W.Affine [ (dp, 1); (dr, 1) ] ] };
+        { W.name = "weight"; kind = `Input; indices = [ W.Dim dk; W.Dim dc; W.Dim dr ] };
+        { W.name = "ofmap"; kind = `Output; indices = [ W.Dim dk; W.Dim dp ] };
+      ]
+
+let conv1d = conv1d_like ~name:"conv1d" ("K", "C", "P", "R")
+
+let toy = Sun_arch.Presets.toy ()
+
+let optimized =
+  match Opt.optimize conv1d toy with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "fixture optimize failed: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_print_parse () =
+  let samples =
+    [
+      J.Null;
+      J.Bool true;
+      J.Int (-42);
+      J.Float 3.141592653589793;
+      J.Float 1e-20;
+      J.String "plain";
+      J.String "esc \"quotes\" \\ and \n tab \t done";
+      J.List [ J.Int 1; J.List []; J.Obj [] ];
+      J.Obj [ ("a", J.Int 1); ("b", J.List [ J.Bool false; J.Null ]) ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = J.to_string v in
+      Alcotest.(check bool) ("roundtrip " ^ s) true (ok (J.of_string s) = v);
+      Alcotest.(check bool) ("pretty roundtrip " ^ s) true (ok (J.of_string (J.to_string_pretty v)) = v))
+    samples
+
+let test_json_parse_forms () =
+  Alcotest.(check bool) "int" true (ok (J.of_string "17") = J.Int 17);
+  Alcotest.(check bool) "float dot" true (ok (J.of_string "1.5") = J.Float 1.5);
+  Alcotest.(check bool) "float exp" true (ok (J.of_string "2e3") = J.Float 2000.0);
+  Alcotest.(check bool) "ws" true (ok (J.of_string "  [ 1 , 2 ]  ") = J.List [ J.Int 1; J.Int 2 ]);
+  Alcotest.(check bool) "unicode escape" true (ok (J.of_string "\"\\u0041\"") = J.String "A");
+  Alcotest.(check bool) "nan parses" true (match ok (J.of_string "NaN") with J.Float f -> f <> f | _ -> false);
+  Alcotest.(check bool) "inf" true (ok (J.of_string "-Infinity") = J.Float neg_infinity);
+  expect_error "garbage" (J.of_string "nonsense");
+  expect_error "trailing" (J.of_string "1 2");
+  expect_error "unterminated" (J.of_string "\"abc");
+  expect_error "empty" (J.of_string "")
+
+let test_json_float_precision () =
+  List.iter
+    (fun f ->
+      match ok (J.of_string (J.to_string (J.Float f))) with
+      | J.Float f' -> Alcotest.(check bool) (string_of_float f) true (Int64.bits_of_float f = Int64.bits_of_float f')
+      | _ -> Alcotest.fail "float reparsed as non-float")
+    [ 0.1; 1.0 /. 3.0; 6.02214076e23; 1.7976931348623157e308; 5e-324; 14.0; 0.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Codec round trips                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let through codec_encode codec_decode x = ok (codec_decode (ok (J.of_string (J.to_string (codec_encode x)))))
+
+let test_codec_workload () =
+  List.iter
+    (fun (name, w) ->
+      let w' = through Codec.encode_workload Codec.decode_workload w in
+      Alcotest.(check bool) ("workload " ^ name) true (w' = w))
+    (("conv1d-manual", conv1d) :: Registry.workloads ())
+
+let test_codec_arch () =
+  List.iter
+    (fun (name, a) ->
+      let a' = through Codec.encode_arch Codec.decode_arch a in
+      Alcotest.(check bool) ("arch " ^ name) true (a' = a))
+    Registry.architectures
+
+let config_fields_equal (a : Opt.config) (b : Opt.config) =
+  a.Opt.direction = b.Opt.direction && a.Opt.intra = b.Opt.intra
+  && a.Opt.beam_width = b.Opt.beam_width
+  && a.Opt.alpha_beta = b.Opt.alpha_beta
+  && a.Opt.min_spatial_utilization = b.Opt.min_spatial_utilization
+  && a.Opt.refine = b.Opt.refine
+
+let test_codec_config () =
+  let variants =
+    [
+      Opt.default_config;
+      { Opt.default_config with Opt.direction = Opt.Top_down; intra = Opt.Ordering_first };
+      { Opt.default_config with Opt.intra = Opt.Tiling_first; beam_width = 3; alpha_beta = false };
+      { Opt.default_config with Opt.min_spatial_utilization = 0.25; refine = false };
+    ]
+  in
+  List.iter
+    (fun c ->
+      let c' = through Codec.encode_config Codec.decode_config c in
+      Alcotest.(check bool) "config fields" true (config_fields_equal c c'))
+    variants
+
+let test_codec_mapping () =
+  let m = optimized.Opt.mapping in
+  let m' = through Codec.encode_mapping (Codec.decode_mapping conv1d) m in
+  Alcotest.(check bool) "mapping" true (m' = m);
+  (* decoding re-validates against the workload: a mapping for another
+     problem must be rejected *)
+  let other = matmul_like ~name:"mm" ~m:12 ~n:8 ~k:5 [ "M"; "N"; "K" ] ("M", "N", "K") in
+  expect_error "foreign mapping" (Codec.decode_mapping other (Codec.encode_mapping m))
+
+let test_codec_cost () =
+  let c = optimized.Opt.cost in
+  let c' = through Codec.encode_cost Codec.decode_cost c in
+  Alcotest.(check bool) "cost record bit-identical" true (c' = c)
+
+let test_codec_versioning () =
+  let tamper ~v json =
+    match json with
+    | J.Obj fields -> J.Obj (List.map (fun (k, x) -> if k = "v" then (k, v) else (k, x)) fields)
+    | _ -> Alcotest.fail "expected envelope object"
+  in
+  let reject what decode json =
+    expect_error (what ^ " wrong version") (decode (tamper ~v:(J.Int 99) json));
+    expect_error (what ^ " missing version")
+      (decode (match json with J.Obj f -> J.Obj (List.remove_assoc "v" f) | _ -> json))
+  in
+  reject "workload" Codec.decode_workload (Codec.encode_workload conv1d);
+  reject "arch" Codec.decode_arch (Codec.encode_arch toy);
+  reject "config" Codec.decode_config (Codec.encode_config Opt.default_config);
+  reject "mapping" (Codec.decode_mapping conv1d) (Codec.encode_mapping optimized.Opt.mapping);
+  reject "cost" Codec.decode_cost (Codec.encode_cost optimized.Opt.cost);
+  (* kind confusion is also rejected *)
+  expect_error "kind mismatch" (Codec.decode_arch (Codec.encode_workload conv1d))
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_renaming () =
+  let base = matmul_like ~name:"mm" ~m:12 ~n:8 ~k:5 [ "M"; "N"; "K" ] ("M", "N", "K") in
+  let renamed = matmul_like ~name:"other-name" ~m:12 ~n:8 ~k:5 [ "X"; "Y"; "Z" ] ("X", "Y", "Z") in
+  let permuted = matmul_like ~name:"mm" ~m:12 ~n:8 ~k:5 [ "K"; "M"; "N" ] ("M", "N", "K") in
+  Alcotest.(check string) "dim renaming collides" (Fp.workload base) (Fp.workload renamed);
+  Alcotest.(check string) "dims permutation collides" (Fp.workload base) (Fp.workload permuted);
+  let bigger = matmul_like ~name:"mm" ~m:24 ~n:8 ~k:5 [ "M"; "N"; "K" ] ("M", "N", "K") in
+  Alcotest.(check bool) "bound change separates" false (Fp.workload base = Fp.workload bigger)
+
+let test_fingerprint_affine () =
+  let renamed = conv1d_like ~name:"renamed" ("A", "B", "U", "V") in
+  Alcotest.(check string) "conv renaming collides" (Fp.workload conv1d) (Fp.workload renamed);
+  (* P and R share ifmap's affine index but are distinguished by their
+     other occurrences and bounds: giving the ofmap dimension R's small
+     bound (and vice versa) is a structurally different problem *)
+  let swapped =
+    W.make ~name:"swapped"
+      ~dims:[ ("K", 4); ("C", 4); ("P", 3); ("R", 14) ]
+      ~operands:
+        [
+          { W.name = "ifmap"; kind = `Input; indices = [ W.Dim "C"; W.Affine [ ("P", 1); ("R", 1) ] ] };
+          { W.name = "weight"; kind = `Input; indices = [ W.Dim "K"; W.Dim "C"; W.Dim "R" ] };
+          { W.name = "ofmap"; kind = `Output; indices = [ W.Dim "K"; W.Dim "P" ] };
+        ]
+  in
+  Alcotest.(check bool) "swapped sliding bounds separates" false
+    (Fp.workload conv1d = Fp.workload swapped);
+  (* pure label swap with bounds attached to the same structural roles
+     still collides *)
+  let relabeled = conv1d_like ~name:"relabeled" ("K", "C", "R", "P") in
+  Alcotest.(check string) "label swap collides" (Fp.workload conv1d) (Fp.workload relabeled)
+
+let test_fingerprint_request () =
+  let fp = Fp.request conv1d toy in
+  Alcotest.(check string) "deterministic" fp (Fp.request conv1d toy);
+  let beam_changed = { Opt.default_config with Opt.beam_width = 3 } in
+  Alcotest.(check bool) "config separates" false (fp = Fp.request ~config:beam_changed conv1d toy);
+  Alcotest.(check bool) "arch separates" false
+    (fp = Fp.request conv1d (Sun_arch.Presets.toy ~l1_words:16 ()));
+  (* structurally identical repeated layers collide on purpose *)
+  let renamed = conv1d_like ~name:"block2/conv" ("K", "C", "P", "R") in
+  Alcotest.(check string) "repeated layer collides" fp (Fp.request renamed toy)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  path
+
+let test_cache_memory () =
+  let c = Cache.create ~capacity:8 () in
+  Alcotest.(check bool) "miss on empty" true (Cache.find c "k1" = None);
+  Cache.store c "k1" (J.Int 1);
+  Alcotest.(check bool) "hit" true (Cache.find c "k1" = Some (J.Int 1));
+  Cache.store c "k1" (J.Int 2);
+  Alcotest.(check bool) "overwrite" true (Cache.find c "k1" = Some (J.Int 2));
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 2 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses;
+  Alcotest.(check int) "stores" 2 s.Cache.stores
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.store c "a" (J.Int 1);
+  Cache.store c "b" (J.Int 2);
+  ignore (Cache.find c "a");
+  (* "b" is now least recently used *)
+  Cache.store c "c" (J.Int 3);
+  Alcotest.(check bool) "a survives" true (Cache.find c "a" = Some (J.Int 1));
+  Alcotest.(check bool) "b evicted" true (Cache.find c "b" = None);
+  Alcotest.(check bool) "c present" true (Cache.find c "c" = Some (J.Int 3));
+  Alcotest.(check int) "one eviction" 1 (Cache.stats c).Cache.evictions
+
+let test_cache_disk_persistence () =
+  let dir = fresh_dir "sun_cache_test" in
+  let c1 = Cache.create ~dir () in
+  Cache.store c1 "deadbeef" (J.Obj [ ("x", J.Int 7) ]);
+  (* a fresh instance over the same directory sees the entry *)
+  let c2 = Cache.create ~dir () in
+  Alcotest.(check bool) "disk hit" true (Cache.find c2 "deadbeef" = Some (J.Obj [ ("x", J.Int 7) ]));
+  Alcotest.(check int) "counted as disk hit" 1 (Cache.stats c2).Cache.disk_hits;
+  (* promoted to memory: a second lookup is served without re-reading *)
+  Alcotest.(check bool) "promoted" true (Cache.find c2 "deadbeef" <> None);
+  Alcotest.(check int) "still one disk hit" 1 (Cache.stats c2).Cache.disk_hits
+
+let test_cache_corrupt_entry () =
+  let dir = fresh_dir "sun_cache_corrupt" in
+  let c1 = Cache.create ~dir () in
+  Cache.store c1 "abcd" (J.Int 1);
+  (* truncate the persisted entry mid-document *)
+  let path = Filename.concat dir "abcd.json" in
+  let oc = open_out path in
+  output_string oc "{\"v\":1,\"trunc";
+  close_out oc;
+  let c2 = Cache.create ~dir () in
+  Alcotest.(check bool) "corrupt is a miss, not a crash" true (Cache.find c2 "abcd" = None);
+  let s = Cache.stats c2 in
+  Alcotest.(check int) "corrupt counted" 1 s.Cache.corrupt;
+  Alcotest.(check int) "miss counted" 1 s.Cache.misses;
+  (* a store heals the entry *)
+  Cache.store c2 "abcd" (J.Int 2);
+  Alcotest.(check bool) "healed" true (Cache.find c2 "abcd" = Some (J.Int 2))
+
+let test_cache_key_sanitization () =
+  let dir = fresh_dir "sun_cache_keys" in
+  let c = Cache.create ~dir () in
+  Cache.store c "../escape/attempt" (J.Int 1);
+  Alcotest.(check bool) "weird key round-trips" true (Cache.find c "../escape/attempt" = Some (J.Int 1));
+  Alcotest.(check bool) "no path escape" true
+    (Array.for_all (fun f -> not (String.length f > 5 && String.sub f 0 6 = "escape")) (Sys.readdir dir))
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let write_lines path lines =
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc = match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let batch_requests =
+  [
+    {|{"v":1,"id":"r0","workload":"conv1d","arch":"toy"}|};
+    {|{"v":1,"id":"r1","workload":"conv1d","arch":"toy","beam":4}|};
+    "";
+    {|{"id":"r2","workload":"matmul","arch":"toy"}|};
+  ]
+
+let run_batch ?cache requests =
+  let input = Filename.temp_file "sun_pipe_in" ".jsonl" in
+  let output = Filename.temp_file "sun_pipe_out" ".jsonl" in
+  write_lines input requests;
+  let summary = Pipeline.run_files ?cache ~input ~output () in
+  let lines = read_lines output in
+  let responses = List.map (fun l -> ok (J.of_string l)) lines in
+  Sys.remove input;
+  Sys.remove output;
+  (summary, responses, lines)
+
+let response_field name r = ok (J.field name r)
+
+let test_pipeline_cold_warm () =
+  let dir = fresh_dir "sun_pipe_cache" in
+  let cache1 = Cache.create ~dir () in
+  let s1, r1, _ = run_batch ~cache:cache1 batch_requests in
+  Alcotest.(check int) "3 requests" 3 s1.Pipeline.requests;
+  Alcotest.(check int) "no errors" 0 s1.Pipeline.errors;
+  Alcotest.(check int) "all computed cold" 3 s1.Pipeline.computed;
+  (* run 2: fresh process-equivalent (new cache instance, same dir) *)
+  let cache2 = Cache.create ~dir () in
+  let s2, r2, _ = run_batch ~cache:cache2 batch_requests in
+  Alcotest.(check bool) "second run >= 90% hits" true
+    (float_of_int s2.Pipeline.hits >= 0.9 *. float_of_int s2.Pipeline.requests);
+  Alcotest.(check int) "nothing recomputed" 0 s2.Pipeline.computed;
+  (* responses bit-identical in mapping and cost *)
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "id echoes"
+        (J.to_string (response_field "id" a))
+        (J.to_string (response_field "id" b));
+      Alcotest.(check string) "mapping bit-identical"
+        (J.to_string (response_field "mapping" a))
+        (J.to_string (response_field "mapping" b));
+      Alcotest.(check string) "cost bit-identical"
+        (J.to_string (response_field "cost" a))
+        (J.to_string (response_field "cost" b));
+      Alcotest.(check string) "energy bit-identical"
+        (J.to_string (response_field "energy_pj" a))
+        (J.to_string (response_field "energy_pj" b)))
+    r1 r2
+
+let test_pipeline_corrupt_degrades () =
+  let dir = fresh_dir "sun_pipe_corrupt" in
+  let s1, _, _ = run_batch ~cache:(Cache.create ~dir ()) batch_requests in
+  Alcotest.(check int) "cold computes" 3 s1.Pipeline.computed;
+  (* truncate every persisted entry *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".json" then begin
+        let oc = open_out (Filename.concat dir f) in
+        output_string oc "{\"v\":1,\"mapping\":{\"v\":1,";
+        close_out oc
+      end)
+    (Sys.readdir dir);
+  let cache = Cache.create ~dir () in
+  let s2, _, _ = run_batch ~cache batch_requests in
+  Alcotest.(check int) "no errors despite corruption" 0 s2.Pipeline.errors;
+  Alcotest.(check int) "all recomputed" 3 s2.Pipeline.computed;
+  Alcotest.(check bool) "corruption observed" true
+    (match s2.Pipeline.cache_stats with Some st -> st.Cache.corrupt > 0 | None -> false);
+  (* and the recomputation healed the store *)
+  let s3, _, _ = run_batch ~cache:(Cache.create ~dir ()) batch_requests in
+  Alcotest.(check int) "healed to full hits" 3 s3.Pipeline.hits
+
+let test_pipeline_schema_drift_is_miss () =
+  let dir = fresh_dir "sun_pipe_drift" in
+  let _ = run_batch ~cache:(Cache.create ~dir ()) batch_requests in
+  (* rewrite entries as valid JSON with a future version: decode must
+     reject them and the pipeline recompute *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".json" then begin
+        let oc = open_out (Filename.concat dir f) in
+        output_string oc "{\"v\":99,\"mapping\":{},\"cost\":{}}";
+        close_out oc
+      end)
+    (Sys.readdir dir);
+  let s, _, _ = run_batch ~cache:(Cache.create ~dir ()) batch_requests in
+  Alcotest.(check int) "drifted entries recomputed" 3 s.Pipeline.computed;
+  Alcotest.(check int) "no errors" 0 s.Pipeline.errors
+
+let test_pipeline_errors_and_inline () =
+  let inline_workload = J.to_string (Codec.encode_workload conv1d) in
+  let requests =
+    [
+      {|{"workload":"nope","arch":"toy","id":"bad-wl"}|};
+      {|{"workload":"conv1d","arch":"nope","id":"bad-arch"}|};
+      "this is not json";
+      {|{"arch":"toy","id":"no-wl"}|};
+      {|{"v":7,"workload":"conv1d","arch":"toy","id":"bad-v"}|};
+      Printf.sprintf {|{"workload":%s,"arch":"toy","id":"inline"}|} inline_workload;
+    ]
+  in
+  let s, responses, _ = run_batch ~cache:(Cache.create ()) requests in
+  Alcotest.(check int) "six requests" 6 s.Pipeline.requests;
+  Alcotest.(check int) "five errors" 5 s.Pipeline.errors;
+  Alcotest.(check int) "inline computed" 1 s.Pipeline.computed;
+  let statuses =
+    List.map (fun r -> ok (J.as_string (response_field "status" r))) responses
+  in
+  Alcotest.(check (list string)) "statuses"
+    [ "error"; "error"; "error"; "error"; "error"; "computed" ]
+    statuses;
+  (* the inline workload must fingerprint identically to its named twin *)
+  let inline_resp = List.nth responses 5 in
+  Alcotest.(check string) "inline fingerprint matches registry twin"
+    (Fp.request (ok (Registry.find_workload "conv1d")) toy)
+    (ok (J.as_string (response_field "fingerprint" inline_resp)))
+
+let test_pipeline_in_memory_dedup () =
+  (* without a cache dir, repeats within one run still hit in memory *)
+  let requests =
+    [
+      {|{"workload":"conv1d","arch":"toy"}|};
+      {|{"workload":"conv1d","arch":"toy"}|};
+      {|{"workload":"conv1d","arch":"toy"}|};
+    ]
+  in
+  let s, _, _ = run_batch ~cache:(Cache.create ()) requests in
+  Alcotest.(check int) "one search" 1 s.Pipeline.computed;
+  Alcotest.(check int) "two memory hits" 2 s.Pipeline.hits;
+  (* and with caching disabled, every request searches *)
+  let s', _, _ = run_batch requests in
+  Alcotest.(check int) "no cache: all computed" 3 s'.Pipeline.computed;
+  Alcotest.(check bool) "no cache stats" true (s'.Pipeline.cache_stats = None)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "sun_serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "print/parse roundtrip" `Quick test_json_print_parse;
+          Alcotest.test_case "parse forms" `Quick test_json_parse_forms;
+          Alcotest.test_case "float precision" `Quick test_json_float_precision;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "workload roundtrip" `Quick test_codec_workload;
+          Alcotest.test_case "arch roundtrip" `Quick test_codec_arch;
+          Alcotest.test_case "config roundtrip" `Quick test_codec_config;
+          Alcotest.test_case "mapping roundtrip" `Quick test_codec_mapping;
+          Alcotest.test_case "cost roundtrip" `Quick test_codec_cost;
+          Alcotest.test_case "version rejection" `Quick test_codec_versioning;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "renaming invariance" `Quick test_fingerprint_renaming;
+          Alcotest.test_case "affine structure" `Quick test_fingerprint_affine;
+          Alcotest.test_case "request digests" `Quick test_fingerprint_request;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "memory tier" `Quick test_cache_memory;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "disk persistence" `Quick test_cache_disk_persistence;
+          Alcotest.test_case "corrupt entry tolerated" `Quick test_cache_corrupt_entry;
+          Alcotest.test_case "key sanitization" `Quick test_cache_key_sanitization;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "cold/warm bit-identical" `Quick test_pipeline_cold_warm;
+          Alcotest.test_case "corruption degrades to miss" `Quick test_pipeline_corrupt_degrades;
+          Alcotest.test_case "schema drift is miss" `Quick test_pipeline_schema_drift_is_miss;
+          Alcotest.test_case "errors and inline workloads" `Quick test_pipeline_errors_and_inline;
+          Alcotest.test_case "in-memory dedup" `Quick test_pipeline_in_memory_dedup;
+        ] );
+    ]

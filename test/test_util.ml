@@ -73,6 +73,23 @@ let test_rng_shuffle_permutes () =
   let s = Rng.shuffle t xs in
   check_list "same multiset" xs (List.sort compare s)
 
+let test_stopwatch_clamps () =
+  let t = Stopwatch.start () in
+  (* a wall clock that stepped backwards must read as 0, never negative *)
+  Alcotest.(check (float 0.0)) "backwards step clamps" 0.0 (Stopwatch.elapsed_at ~now:0.0 t);
+  Alcotest.(check (float 0.0)) "epoch-negative step clamps" 0.0
+    (Stopwatch.elapsed_at ~now:(-1.0e9) t);
+  Alcotest.(check bool) "far future reads positive" true
+    (Stopwatch.elapsed_at ~now:max_float t > 0.0)
+
+let test_stopwatch_monotone_reads () =
+  let t = Stopwatch.start () in
+  let a = Stopwatch.elapsed_s t in
+  let b = Stopwatch.elapsed_s t in
+  Alcotest.(check bool) "non-negative" true (a >= 0.0 && b >= 0.0);
+  let _, d = Stopwatch.time (fun () -> ()) in
+  Alcotest.(check bool) "time duration non-negative" true (d >= 0.0)
+
 let test_table_fmt () =
   let s = Table_fmt.render ~header:[ "a"; "b" ] ~rows:[ [ "1"; "2" ]; [ "333" ] ] in
   Alcotest.(check bool) "renders" true (String.length s > 0);
@@ -127,6 +144,11 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "stopwatch",
+        [
+          Alcotest.test_case "clamps negative durations" `Quick test_stopwatch_clamps;
+          Alcotest.test_case "monotone reads" `Quick test_stopwatch_monotone_reads;
         ] );
       ("table_fmt", [ Alcotest.test_case "render" `Quick test_table_fmt ]);
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
