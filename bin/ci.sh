@@ -11,6 +11,12 @@ dune build
 echo "== dune runtest"
 dune runtest
 
+echo "== lint (partial functions in lib/)"
+sh bin/lint.sh
+
+echo "== sunstone check (static analysis over the registry)"
+dune exec bin/sunstone_cli.exe -- check --admissibility
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt"
   dune build @fmt

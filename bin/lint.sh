@@ -1,0 +1,30 @@
+#!/bin/sh
+# Lint gate: library code must not use partial functions or escape hatches
+# that can abort the process without context (convert them to Result values
+# or diagnostics, or raise Invalid_argument with enough context to debug).
+# Intentional exceptions are substrings listed in bin/lint_allowlist.txt,
+# one per line, matched against the "file:line:code" hit verbatim.
+set -u
+cd "$(dirname "$0")/.."
+
+PATTERN='List\.hd|List\.tl|Option\.get|failwith|Obj\.magic|assert false'
+ALLOWLIST=bin/lint_allowlist.txt
+
+hits=$(find lib -name '*.ml' -exec grep -nE "$PATTERN" /dev/null {} + 2>/dev/null)
+
+if [ -f "$ALLOWLIST" ]; then
+  while IFS= read -r entry; do
+    case "$entry" in '' | '#'*) continue ;; esac
+    hits=$(printf '%s\n' "$hits" | grep -vF "$entry")
+  done <"$ALLOWLIST"
+fi
+
+hits=$(printf '%s\n' "$hits" | sed '/^[[:space:]]*$/d')
+
+if [ -n "$hits" ]; then
+  echo "lint: partial functions or escape hatches in library code:" >&2
+  printf '%s\n' "$hits" >&2
+  echo "lint: convert to Result/diagnostics, or allowlist the line in $ALLOWLIST" >&2
+  exit 1
+fi
+echo "lint: ok"

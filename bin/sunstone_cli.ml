@@ -6,6 +6,8 @@
    sunstone compare -w mttkrp/nell2 -a conventional -t sunstone,tl-fast
    sunstone batch -i reqs.jsonl -o out.jsonl --cache-dir ~/.cache/sunstone
    sunstone export -w matmul -a simba -o mapping.json
+   sunstone check [--admissibility] [--json]
+   sunstone check --mapping mapping.json
    sunstone experiment fig6              - run a paper experiment *)
 
 open Cmdliner
@@ -260,6 +262,172 @@ let export_cmd =
        ~doc:"Schedule one workload and write the mapping, cost and fingerprint as JSON")
     Term.(const run $ workload_arg $ arch_arg $ output_arg $ beam_arg $ top_down_arg)
 
+(* ------------------------------------------------------------------ *)
+(* sunstone check: the static-analysis passes                           *)
+(* ------------------------------------------------------------------ *)
+
+module Diag = Sun_analysis.Diagnostic
+module J = Sun_serve.Json
+
+(* One row of check output: which pass ran, on what, and what it found. *)
+type check_result = { pass : string; subject : string; note : string; diags : Diag.t list }
+
+let check_json_of_result r =
+  J.Obj
+    ([ ("pass", J.String r.pass); ("subject", J.String r.subject) ]
+    @ (if r.note = "" then [] else [ ("note", J.String r.note) ])
+    @ [ ("diagnostics", J.List (List.map Sun_serve.Codec.encode_diagnostic r.diags)) ])
+
+let print_check_results ~json results =
+  let all_diags = List.concat_map (fun r -> r.diags) results in
+  let errors = Diag.errors all_diags in
+  if json then begin
+    let doc =
+      J.Obj
+        [
+          ("v", J.Int Sun_serve.Codec.version);
+          ("kind", J.String "check");
+          ("passes", J.List (List.map check_json_of_result results));
+          ("errors", J.Int (List.length errors));
+        ]
+    in
+    print_endline (J.to_string_pretty doc)
+  end
+  else begin
+    List.iter
+      (fun r ->
+        if r.diags <> [] || r.note <> "" then begin
+          Printf.printf "%s: %s%s\n" r.pass r.subject
+            (if r.note = "" then "" else " (" ^ r.note ^ ")");
+          if r.diags <> [] then Format.printf "%a@." Diag.pp_list r.diags
+        end)
+      results;
+    Printf.printf "check: %d subject(s), %s\n" (List.length results) (Diag.summary all_diags)
+  end;
+  if errors <> [] then 1 else 0
+
+let read_file file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Legality of a mapping document (an `sunstone export` file or a bare
+   Codec mapping next to a workload): structural checks always, capacity
+   and fanout when the architecture is recoverable from "arch_name". *)
+let check_mapping_file file =
+  let ( let* ) = Result.bind in
+  let* text = try Ok (read_file file) with Sys_error m -> Error m in
+  let* doc = J.of_string text in
+  let* wjson = Result.map_error (fun e -> "export document: " ^ e) (J.field "workload" doc) in
+  let* w = Sun_serve.Codec.decode_workload wjson in
+  let* mjson = Result.map_error (fun e -> "export document: " ^ e) (J.field "mapping" doc) in
+  let* levels = Sun_serve.Codec.decode_mapping_raw mjson in
+  let arch =
+    match J.member "arch_name" doc with
+    | Some (J.String name) -> (
+      match Registry.find_arch name with Ok a -> Some a | Error _ -> None)
+    | _ -> None
+  in
+  match arch with
+  | Some a ->
+    Ok
+      {
+        pass = "legality";
+        subject = Printf.sprintf "%s on %s" w.W.name a.Sun_arch.Arch.arch_name;
+        note = "";
+        diags = Sun_analysis.Legality.check_all w a levels;
+      }
+  | None ->
+    Ok
+      {
+        pass = "legality";
+        subject = w.W.name;
+        note = "no architecture named; structural checks only";
+        diags = Sun_analysis.Legality.check_levels w levels;
+      }
+
+let check_cmd =
+  let mapping_arg =
+    let doc = "Check the legality of one exported mapping document instead of the registry." in
+    Arg.(value & opt (some string) None & info [ "mapping" ] ~docv:"FILE" ~doc)
+  in
+  let admissibility_arg =
+    let doc =
+      "Also run the alpha-beta bound admissibility pass: exhaustive differential search on a \
+       suite of small workloads."
+    in
+    Arg.(value & flag & info [ "admissibility" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit machine-readable JSON instead of human-readable lines." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run mapping_file admissibility json =
+    match mapping_file with
+    | Some file -> (
+      match check_mapping_file file with
+      | Error msg ->
+        Printf.eprintf "cannot check %s: %s\n" file msg;
+        1
+      | Ok r -> print_check_results ~json [ r ])
+    | None ->
+      let wellformed =
+        List.map
+          (fun (name, a) ->
+            { pass = "wellformed"; subject = name; note = ""; diags = Sun_analysis.Wellformed.check_arch a })
+          Registry.architectures
+        @ List.map
+            (fun (name, w) ->
+              {
+                pass = "wellformed";
+                subject = name;
+                note = "";
+                diags = Sun_analysis.Wellformed.check_workload w;
+              })
+            (Registry.workloads ())
+      in
+      let pruning =
+        List.map
+          (fun (r : Sun_analysis.Pruning.report) ->
+            {
+              pass = "pruning";
+              subject = r.Sun_analysis.Pruning.workload;
+              note =
+                Printf.sprintf "%d orderings, %d dropped dims probed"
+                  r.Sun_analysis.Pruning.orderings r.Sun_analysis.Pruning.dropped_dims_checked;
+              diags = r.Sun_analysis.Pruning.diagnostics;
+            })
+          (Sun_analysis.Pruning.check_many (Registry.workloads ()))
+      in
+      let admissible =
+        if not admissibility then []
+        else
+          List.map
+            (fun (r : Sun_analysis.Admissibility.report) ->
+              {
+                pass = "admissibility";
+                subject =
+                  Printf.sprintf "%s on %s" r.Sun_analysis.Admissibility.workload
+                    r.Sun_analysis.Admissibility.arch;
+                note =
+                  Printf.sprintf "%d mappings enumerated, exhaustive EDP %.4e, search EDP %.4e"
+                    r.Sun_analysis.Admissibility.mappings_checked
+                    r.Sun_analysis.Admissibility.exhaustive_edp
+                    r.Sun_analysis.Admissibility.search_edp;
+                diags = r.Sun_analysis.Admissibility.diagnostics;
+              })
+            (Sun_analysis.Admissibility.check_suite ())
+      in
+      print_check_results ~json (wellformed @ pruning @ admissible)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the static-analysis passes: mapping legality, pruning soundness, bound \
+          admissibility and config/arch well-formedness")
+    Term.(const run $ mapping_arg $ admissibility_arg $ json_arg)
+
 let experiment_cmd =
   let exp_arg =
     let doc = "Experiment id: table1, table3, table6, fig6, fig7, fig8, fig9." in
@@ -287,4 +455,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; reuse_cmd; schedule_cmd; compare_cmd; batch_cmd; export_cmd; experiment_cmd ]))
+          [
+            list_cmd;
+            reuse_cmd;
+            schedule_cmd;
+            compare_cmd;
+            batch_cmd;
+            export_cmd;
+            check_cmd;
+            experiment_cmd;
+          ]))

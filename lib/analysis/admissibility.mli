@@ -1,0 +1,46 @@
+(** Alpha-beta bound admissibility (pass 3).
+
+    The bottom-up search prunes a prefix when its committed-level energy
+    ([Model.energy_lower_bound]) already exceeds the incumbent. That is
+    sound only if the bound is admissible: committing more levels can only
+    add energy, so the bound computed at any boundary of the eventual best
+    mapping never exceeds that mapping's true energy. Two checks:
+
+    - {b monotonicity} ({!check_bound}): sample complete mappings from the
+      unpruned mapspace and assert, for every boundary [k], that
+      [energy_lower_bound ~partial_levels:k m <= energy m]. A violation
+      (SA011) means some prefix of an optimal mapping could be alpha-beta
+      pruned.
+    - {b differential} ({!differential}): on workloads small enough to
+      enumerate the *entire* mapspace (all tilings, unrollings and loop
+      orders), compare the exhaustive optimum EDP against the optimizer run
+      with and without alpha-beta. Alpha-beta changing the answer, or the
+      search missing the exhaustive optimum, raises SA012. *)
+
+type report = {
+  workload : string;
+  arch : string;
+  mappings_checked : int;  (** complete mappings whose bound chain was verified *)
+  exhaustive_edp : float;  (** NaN when the space was not enumerated *)
+  search_edp : float;  (** optimizer EDP with alpha-beta on *)
+  no_prune_edp : float;  (** optimizer EDP with alpha-beta off *)
+  diagnostics : Diagnostic.t list;
+}
+
+val check_bound :
+  ?samples:int -> ?seed:int ->
+  Sun_tensor.Workload.t -> Sun_arch.Arch.t -> report
+(** Monotonicity on [samples] (default 64) mapspace samples plus the
+    optimizer's own best mapping. Deterministic for a fixed [seed]. *)
+
+val differential : Sun_tensor.Workload.t -> Sun_arch.Arch.t -> report
+(** Exhaustive enumeration; only call on tiny workloads. Includes the
+    {!check_bound} monotonicity verdict over the enumerated mappings. *)
+
+val small_suite : unit -> (string * Sun_tensor.Workload.t * Sun_arch.Arch.t) list
+(** Three tiny (workload, arch) pairs whose full mapspaces are enumerable
+    in well under a second each; the default subjects of
+    [sunstone check --admissibility]. *)
+
+val check_suite : unit -> report list
+(** [differential] over {!small_suite}. *)

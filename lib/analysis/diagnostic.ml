@@ -1,0 +1,113 @@
+type severity = Error | Warning | Info
+
+type code =
+  | Capacity_overflow
+  | Unroll_overflow
+  | Bad_coverage
+  | Bad_order
+  | Level_mismatch
+  | Unknown_dim
+  | Nonpositive_factor
+  | Pruning_unsound
+  | Bound_overshoot
+  | Optimum_pruned
+  | Arch_malformed
+  | Config_invalid
+  | Workload_malformed
+  | Operand_unstored
+
+type location = {
+  level : int option;
+  dim : string option;
+  operand : string option;
+  partition : string option;
+}
+
+type t = { code : code; severity : severity; where : location; message : string }
+
+let code_id = function
+  | Capacity_overflow -> "SA001"
+  | Unroll_overflow -> "SA002"
+  | Bad_coverage -> "SA003"
+  | Bad_order -> "SA004"
+  | Level_mismatch -> "SA005"
+  | Unknown_dim -> "SA006"
+  | Nonpositive_factor -> "SA007"
+  | Pruning_unsound -> "SA010"
+  | Bound_overshoot -> "SA011"
+  | Optimum_pruned -> "SA012"
+  | Arch_malformed -> "SA020"
+  | Config_invalid -> "SA021"
+  | Workload_malformed -> "SA022"
+  | Operand_unstored -> "SA030"
+
+let code_name = function
+  | Capacity_overflow -> "capacity-overflow"
+  | Unroll_overflow -> "unroll-overflow"
+  | Bad_coverage -> "bad-coverage"
+  | Bad_order -> "bad-order"
+  | Level_mismatch -> "level-mismatch"
+  | Unknown_dim -> "unknown-dim"
+  | Nonpositive_factor -> "nonpositive-factor"
+  | Pruning_unsound -> "pruning-unsound"
+  | Bound_overshoot -> "bound-overshoot"
+  | Optimum_pruned -> "optimum-pruned"
+  | Arch_malformed -> "arch-malformed"
+  | Config_invalid -> "config-invalid"
+  | Workload_malformed -> "workload-malformed"
+  | Operand_unstored -> "operand-unstored"
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let no_location = { level = None; dim = None; operand = None; partition = None }
+
+let make severity ?level ?dim ?operand ?partition code message =
+  { code; severity; where = { level; dim; operand; partition }; message }
+
+let error ?level ?dim ?operand ?partition code message =
+  make Error ?level ?dim ?operand ?partition code message
+
+let warning ?level ?dim ?operand ?partition code message =
+  make Warning ?level ?dim ?operand ?partition code message
+
+let info ?level ?dim ?operand ?partition code message =
+  make Info ?level ?dim ?operand ?partition code message
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let summary ds =
+  match ds with
+  | [] -> "no diagnostics"
+  | _ ->
+    let count sev = List.length (List.filter (fun d -> d.severity = sev) ds) in
+    let part n what = Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s") in
+    let pieces =
+      List.filter_map
+        (fun (sev, what) ->
+          let n = count sev in
+          if n = 0 then None else Some (part n what))
+        [ (Error, "error"); (Warning, "warning"); (Info, "info") ]
+    in
+    Printf.sprintf "%s (%s)" (part (List.length ds) "diagnostic") (String.concat ", " pieces)
+
+let location_string where =
+  let fields =
+    List.filter_map
+      (fun x -> x)
+      [
+        Option.map (Printf.sprintf "level %d") where.level;
+        Option.map (Printf.sprintf "dim %s") where.dim;
+        Option.map (Printf.sprintf "operand %s") where.operand;
+        Option.map (Printf.sprintf "partition %s") where.partition;
+      ]
+  in
+  match fields with [] -> "" | fs -> " (" ^ String.concat ", " fs ^ ")"
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] %s%s: %s" (severity_name d.severity) (code_id d.code)
+    (code_name d.code) (location_string d.where) d.message
+
+let pp_list ppf ds =
+  Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp) ds

@@ -1,0 +1,65 @@
+(** Structured diagnostics shared by every static-analysis pass.
+
+    A diagnostic names a stable error code (SAxxx), a severity, an optional
+    location inside the checked artifact (memory level, problem dimension,
+    operand, buffer partition), and a human-readable message. The code ids
+    are part of the tool's output contract: scripts that grep [sunstone
+    check --json] output match on ["SA001"], never on message text, so
+    messages may be reworded freely but codes must stay stable. *)
+
+type severity = Error | Warning | Info
+
+type code =
+  | Capacity_overflow  (** SA001: a tile footprint exceeds a partition capacity *)
+  | Unroll_overflow  (** SA002: a level's spatial product exceeds its fanout *)
+  | Bad_coverage  (** SA003: per-dim factors missing, duplicated, or not multiplying to the bound *)
+  | Bad_order  (** SA004: a level's loop order is not a permutation of the workload dims *)
+  | Level_mismatch  (** SA005: mapping level count differs from the architecture's *)
+  | Unknown_dim  (** SA006: a factor or order names a dim the workload does not declare *)
+  | Nonpositive_factor  (** SA007: a temporal or spatial factor below 1 *)
+  | Pruning_unsound  (** SA010: a dim dropped by the search is not a non-reuse dim *)
+  | Bound_overshoot  (** SA011: committed-level energy exceeds a complete mapping's energy *)
+  | Optimum_pruned  (** SA012: the alpha-beta search lost the reference optimum *)
+  | Arch_malformed  (** SA020: interior unbounded level, empty/zero-capacity partition, bad fanout *)
+  | Config_invalid  (** SA021: optimizer config outside its documented domain *)
+  | Workload_malformed  (** SA022: workload breaks its own structural invariants *)
+  | Operand_unstored  (** SA030: no partition at any level accepts an operand's role *)
+
+type location = {
+  level : int option;
+  dim : string option;
+  operand : string option;
+  partition : string option;
+}
+
+type t = { code : code; severity : severity; where : location; message : string }
+
+val code_id : code -> string
+(** Stable identifier, e.g. ["SA001"]. *)
+
+val code_name : code -> string
+(** Stable kebab-case slug, e.g. ["capacity-overflow"]. *)
+
+val severity_name : severity -> string
+
+val no_location : location
+
+val error :
+  ?level:int -> ?dim:string -> ?operand:string -> ?partition:string -> code -> string -> t
+
+val warning :
+  ?level:int -> ?dim:string -> ?operand:string -> ?partition:string -> code -> string -> t
+
+val info :
+  ?level:int -> ?dim:string -> ?operand:string -> ?partition:string -> code -> string -> t
+
+val errors : t list -> t list
+val has_errors : t list -> bool
+
+val summary : t list -> string
+(** E.g. ["3 diagnostics (2 errors, 1 warning)"] or ["no diagnostics"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [error[SA001] capacity-overflow (level 0, partition L1): ...]. *)
+
+val pp_list : Format.formatter -> t list -> unit

@@ -1,0 +1,29 @@
+(** Config / architecture / workload well-formedness (pass 4).
+
+    These checks re-derive the invariants that the smart constructors
+    ([Arch.make], [Workload.make]) enforce — plus the ones they do not
+    (interior unbounded levels, zero bandwidth, operand-to-storage
+    reachability) — as structured diagnostics on already-built values.
+    They are cheap (no cost-model evaluation) and are run by the serve
+    pipeline on every decoded request, so an inline architecture that
+    would crash or nonsense-cost the optimizer is rejected up front. *)
+
+val check_arch : Sun_arch.Arch.t -> Diagnostic.t list
+
+val check_workload : Sun_tensor.Workload.t -> Diagnostic.t list
+
+val check_config : Sun_core.Optimizer.config -> Diagnostic.t list
+
+val check_pair :
+  ?binding:Sun_cost.Model.binding ->
+  Sun_tensor.Workload.t -> Sun_arch.Arch.t -> Diagnostic.t list
+(** Cross-checks one (workload, architecture) pair: every operand's role
+    must be accepted by some partition at some level (otherwise the cost
+    model has no storage chain for it), and the unit tile of all operands
+    must fit the innermost bounded buffers (otherwise no mapping exists). *)
+
+val check_request :
+  ?binding:Sun_cost.Model.binding ->
+  config:Sun_core.Optimizer.config ->
+  Sun_tensor.Workload.t -> Sun_arch.Arch.t -> Diagnostic.t list
+(** [check_arch @ check_workload @ check_config @ check_pair] in one call. *)

@@ -178,6 +178,15 @@ let footprint (info : op_info) extents =
 let spatial_product lay l =
   Array.fold_left (fun acc f -> acc * f) 1 lay.s.(l)
 
+(* [part_at.(l)] is [Some _] exactly at the levels listed in [storing];
+   callers only index with members of [storing], so [None] here means the
+   context tables are inconsistent — fail with enough context to find it. *)
+let part_ref_at (info : op_info) l =
+  match info.part_at.(l) with
+  | Some r -> r
+  | None ->
+    invalid_arg (Printf.sprintf "Model: operand %s has no partition at level %d" info.op.W.name l)
+
 (* ------------------------------------------------------------------ *)
 (* Validation                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -185,6 +194,13 @@ let spatial_product lay l =
 let validate_lay ctx lay =
   let violation = ref None in
   let set msg = if !violation = None then violation := Some msg in
+  Array.iter
+    (fun info ->
+      if Array.length info.storing = 0 then
+        set
+          (Printf.sprintf "operand %s is stored at no level (no partition accepts its role)"
+             info.op.W.name))
+    ctx.operands;
   for l = 0 to ctx.nlevels - 1 do
     let lvl = ctx.levels.(l) in
     let sp = spatial_product lay l in
@@ -330,7 +346,7 @@ let evaluate_lay ctx lay =
       if nst = 0 then invalid_arg (Printf.sprintf "operand %s stored nowhere" info.op.W.name);
       (* MAC streaming from the innermost storing level *)
       let l0 = storing.(0) in
-      let { gid; part } = Option.get info.part_at.(l0) in
+      let { gid; part } = part_ref_at info l0 in
       let reads = mac_streaming ctx lay info ~l0 in
       let per_word =
         if info.is_output then part.A.read_energy +. part.A.write_energy else part.A.read_energy
@@ -351,8 +367,8 @@ let evaluate_lay ctx lay =
       for i = 0 to nst - 2 do
         let lc = storing.(i) and lp = storing.(i + 1) in
         let reads, fills = chain_pair ctx lay info ~lc ~lp in
-        let rp = Option.get info.part_at.(lp) in
-        let rc = Option.get info.part_at.(lc) in
+        let rp = part_ref_at info lp in
+        let rc = part_ref_at info lc in
         let dir = if info.is_output then 2.0 else 1.0 in
         let prod_per_word =
           if info.is_output then (rp.part.A.read_energy +. rp.part.A.write_energy) /. 2.0
@@ -448,7 +464,7 @@ let energy_lower_bound_ctx ctx ~partial_levels m =
       let nst = Array.length storing in
       if nst > 0 && storing.(0) < partial_levels then begin
         let l0 = storing.(0) in
-        let { part; _ } = Option.get info.part_at.(l0) in
+        let { part; _ } = part_ref_at info l0 in
         let reads = mac_streaming ctx lay info ~l0 in
         let per_word =
           if info.is_output then part.A.read_energy +. part.A.write_energy else part.A.read_energy
@@ -459,8 +475,8 @@ let energy_lower_bound_ctx ctx ~partial_levels m =
         let lc = storing.(i) and lp = storing.(i + 1) in
         if lp < partial_levels then begin
           let reads, fills = chain_pair ctx lay info ~lc ~lp in
-          let rp = Option.get info.part_at.(lp) in
-          let rc = Option.get info.part_at.(lc) in
+          let rp = part_ref_at info lp in
+          let rc = part_ref_at info lc in
           let dir = if info.is_output then 2.0 else 1.0 in
           energy :=
             !energy

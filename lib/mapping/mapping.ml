@@ -39,44 +39,58 @@ let total_spatial t =
 
 let footprint_at (_ : W.t) t ~level op = W.footprint (fun d -> tile_at t ~level d) op
 
+(* Result-chained so no exception escapes library code: the first violated
+   rule becomes the Error payload. *)
+let ( let* ) = Result.bind
+
 let validate w levels =
   let dims = W.dim_names w in
-  let check_level i (lm : level_mapping) =
+  let sorted_dims = List.sort String.compare dims in
+  let first_error f xs =
+    List.fold_left (fun acc x -> match acc with Error _ -> acc | Ok () -> f x) (Ok ()) xs
+  in
+  let check_level (i, (lm : level_mapping)) =
     let known_factors assoc kind =
-      List.iter
+      first_error
         (fun (d, f) ->
           if not (List.mem d dims) then
-            failwith (Printf.sprintf "level %d: unknown dim %s in %s factors" i d kind);
-          if f < 1 then failwith (Printf.sprintf "level %d: %s factor of %s is %d" i kind d f))
+            Error (Printf.sprintf "level %d: unknown dim %s in %s factors" i d kind)
+          else if f < 1 then
+            Error (Printf.sprintf "level %d: %s factor of %s is %d" i kind d f)
+          else Ok ())
         assoc
     in
     (* the mli contract: factor lists cover exactly the workload dims, once
        each — a silently missing dim would default to factor 1 downstream *)
     let covers assoc kind =
-      if List.sort String.compare (List.map fst assoc) <> List.sort String.compare dims then
-        failwith
+      if List.sort String.compare (List.map fst assoc) <> sorted_dims then
+        Error
           (Printf.sprintf "level %d: %s factors must cover each workload dim exactly once" i kind)
+      else Ok ()
     in
-    known_factors lm.temporal "temporal";
-    known_factors lm.spatial "spatial";
-    covers lm.temporal "temporal";
-    covers lm.spatial "spatial";
-    let sorted = List.sort String.compare lm.order in
-    if sorted <> List.sort String.compare dims then
-      failwith (Printf.sprintf "level %d: order is not a permutation of the workload dims" i)
+    let* () = known_factors lm.temporal "temporal" in
+    let* () = known_factors lm.spatial "spatial" in
+    let* () = covers lm.temporal "temporal" in
+    let* () = covers lm.spatial "spatial" in
+    if List.sort String.compare lm.order <> sorted_dims then
+      Error (Printf.sprintf "level %d: order is not a permutation of the workload dims" i)
+    else Ok ()
   in
-  List.iteri check_level levels;
+  let* () = first_error check_level (List.mapi (fun i lm -> (i, lm)) levels) in
   let t = { levels = Array.of_list levels } in
-  List.iter
-    (fun d ->
-      let placed = tile_at_top t d in
-      let bound = W.bound w d in
-      if placed <> bound then
-        failwith (Printf.sprintf "dim %s: factors multiply to %d, bound is %d" d placed bound))
-    dims;
-  t
+  let* () =
+    first_error
+      (fun d ->
+        let placed = tile_at_top t d in
+        let bound = W.bound w d in
+        if placed <> bound then
+          Error (Printf.sprintf "dim %s: factors multiply to %d, bound is %d" d placed bound)
+        else Ok ())
+      dims
+  in
+  Ok t
 
-let make w levels = try Ok (validate w levels) with Failure msg -> Error msg
+let make w levels = validate w levels
 
 let make_exn w levels =
   match make w levels with Ok t -> t | Error msg -> invalid_arg ("Mapping.make_exn: " ^ msg)

@@ -263,11 +263,33 @@ let encode_mapping (m : M.t) =
   envelope "mapping"
     [ ("levels", Json.List (Array.to_list (Array.map encode_level_mapping m.M.levels))) ]
 
-let decode_mapping w json =
+let decode_mapping_raw json =
   let* () = check_envelope "mapping" json in
   let* levels = decode_field "levels" Json.as_list json in
-  let* levels = map_result decode_level_mapping levels in
+  map_result decode_level_mapping levels
+
+let decode_mapping w json =
+  let* levels = decode_mapping_raw json in
   M.make w levels
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let encode_diagnostic (d : Sun_analysis.Diagnostic.t) =
+  let module D = Sun_analysis.Diagnostic in
+  let opt name enc = function None -> [] | Some v -> [ (name, enc v) ] in
+  Json.Obj
+    ([
+       ("code", Json.String (D.code_id d.D.code));
+       ("name", Json.String (D.code_name d.D.code));
+       ("severity", Json.String (D.severity_name d.D.severity));
+     ]
+    @ opt "level" (fun i -> Json.Int i) d.D.where.D.level
+    @ opt "dim" (fun s -> Json.String s) d.D.where.D.dim
+    @ opt "operand" (fun s -> Json.String s) d.D.where.D.operand
+    @ opt "partition" (fun s -> Json.String s) d.D.where.D.partition
+    @ [ ("message", Json.String d.D.message) ])
 
 (* ------------------------------------------------------------------ *)
 (* Cost                                                                *)

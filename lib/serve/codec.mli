@@ -32,6 +32,18 @@ val decode_mapping :
 (** Validates the decoded levels against the workload via [Mapping.make]
     (factor products must equal bounds, orders must be permutations). *)
 
+val decode_mapping_raw :
+  Json.t -> (Sun_mapping.Mapping.level_mapping list, string) result
+(** Decodes the envelope and level shapes only, skipping [Mapping.make], so
+    a structurally illegal mapping survives decoding and can be handed to
+    [Sun_analysis.Legality.check_levels] for a full diagnostic list instead
+    of a single first-failure string. *)
+
+val encode_diagnostic : Sun_analysis.Diagnostic.t -> Json.t
+(** [{"code":"SA001","name":"capacity-overflow","severity":"error",...}];
+    location fields ([level], [dim], [operand], [partition]) appear only
+    when present, [message] is always last. *)
+
 val encode_cost : Sun_cost.Model.cost -> Json.t
 val decode_cost : Json.t -> (Sun_cost.Model.cost, string) result
 (** Round-trips the full cost record including the per-component energy

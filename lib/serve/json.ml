@@ -95,7 +95,22 @@ exception Parse_error of string
 
 type state = { src : string; mutable pos : int }
 
-let fail st msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" st.pos msg))
+(* 1-based line and column of byte [pos] in [src], for actionable errors
+   when the input spans multiple lines (e.g. pretty-printed requests). *)
+let line_col src pos =
+  let pos = min pos (String.length src) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to pos - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, pos - !bol + 1)
+
+let fail st msg =
+  let line, col = line_col st.src st.pos in
+  raise (Parse_error (Printf.sprintf "at offset %d (line %d, column %d): %s" st.pos line col msg))
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 

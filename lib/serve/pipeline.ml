@@ -1,4 +1,5 @@
 module Opt = Sun_core.Optimizer
+module D = Sun_analysis.Diagnostic
 
 type outcome = Hit | Computed | Failed
 
@@ -54,14 +55,18 @@ let request_id ~index json =
 (* Response construction                                                *)
 (* ------------------------------------------------------------------ *)
 
-let error_response ~id msg =
+let error_response ?(diagnostics = []) ~line ~id msg =
   Json.Obj
-    [
-      ("v", Json.Int Codec.version);
-      ("id", Json.String id);
-      ("status", Json.String "error");
-      ("error", Json.String msg);
-    ]
+    ([
+       ("v", Json.Int Codec.version);
+       ("id", Json.String id);
+       ("status", Json.String "error");
+       ("line", Json.Int line);
+       ("error", Json.String msg);
+     ]
+    @
+    if diagnostics = [] then []
+    else [ ("diagnostics", Json.List (List.map Codec.encode_diagnostic diagnostics)) ])
 
 let result_response ~id ~status ~fingerprint ~workload_name ~arch_name ~mapping_json ~cost_json
     ~(cost : Sun_cost.Model.cost) ~wall_s =
@@ -95,11 +100,18 @@ let decode_cached w doc =
   let* cost = Codec.decode_cost cost_json in
   Ok (mapping_json, cost_json, cost)
 
+(* Errors in the request chain carry the static-analysis diagnostics that
+   produced them (empty for plain decode failures). *)
+let plain r = Result.map_error (fun msg -> (msg, [])) r
+
 let handle_request ?cache ~config ~index line =
   let timer = Sun_util.Stopwatch.start () in
+  let line_no = index + 1 in
   let finish outcome response = (outcome, response) in
   match Json.of_string line with
-  | Error msg -> finish Failed (error_response ~id:(Printf.sprintf "line%d" index) ("bad request: " ^ msg))
+  | Error msg ->
+    finish Failed
+      (error_response ~line:line_no ~id:(Printf.sprintf "line%d" index) ("bad request: " ^ msg))
   | Ok json -> (
     let id = request_id ~index json in
     let handled =
@@ -107,48 +119,75 @@ let handle_request ?cache ~config ~index line =
         match Json.member "v" json with
         | None -> Ok ()
         | Some (Json.Int v) when v = Codec.version -> Ok ()
-        | Some v -> Error (Printf.sprintf "unsupported request version %s" (Json.to_string v))
+        | Some v -> Error (Printf.sprintf "unsupported request version %s" (Json.to_string v), [])
       in
-      let* workload_name, w = resolve "workload" Codec.decode_workload Registry.find_workload json in
-      let* arch_name, a = resolve "arch" Codec.decode_arch Registry.find_arch json in
-      let* config = request_config ~base:config json in
+      let* workload_name, w =
+        plain (resolve "workload" Codec.decode_workload Registry.find_workload json)
+      in
+      let* arch_name, a = plain (resolve "arch" Codec.decode_arch Registry.find_arch json) in
+      let* config = plain (request_config ~base:config json) in
+      (* static well-formedness gate: an inline arch or workload that would
+         crash or nonsense-cost the optimizer is rejected with diagnostics *)
+      let wf = Sun_analysis.Wellformed.check_request ~config w a in
+      let* () =
+        if D.has_errors wf then Error ("request rejected by static analysis", D.errors wf)
+        else Ok ()
+      in
       let fingerprint = Fingerprint.request ~config w a in
-      let cached =
-        match cache with
-        | None -> None
-        | Some c -> (
-          match Cache.find c fingerprint with
-          | None -> None
-          | Some doc -> (
-            match decode_cached w doc with Ok hit -> Some hit | Error _ -> None))
-      in
-      match cached with
-      | Some (mapping_json, cost_json, cost) ->
+      match Json.member "mapping" json with
+      | Some mapping_json ->
+        (* evaluate a caller-supplied mapping instead of searching *)
+        let* levels = plain (Codec.decode_mapping_raw mapping_json) in
+        let diags = Sun_analysis.Legality.check_all w a levels in
+        let* () =
+          if D.has_errors diags then Error ("mapping rejected by static analysis", D.errors diags)
+          else Ok ()
+        in
+        let* m = plain (Sun_mapping.Mapping.make w levels) in
+        let* cost = plain (Sun_cost.Model.evaluate w a m) in
         Ok
-          ( Hit,
-            result_response ~id ~status:"hit" ~fingerprint ~workload_name ~arch_name ~mapping_json
-              ~cost_json ~cost ~wall_s:(Sun_util.Stopwatch.elapsed_s timer) )
+          ( Computed,
+            result_response ~id ~status:"evaluated" ~fingerprint ~workload_name ~arch_name
+              ~mapping_json ~cost_json:(Codec.encode_cost cost) ~cost
+              ~wall_s:(Sun_util.Stopwatch.elapsed_s timer) )
       | None -> (
-        match Opt.optimize ~config w a with
-        | Error msg -> Error (Printf.sprintf "no valid mapping: %s" msg)
-        | Ok r ->
-          let mapping_json = Codec.encode_mapping r.Opt.mapping in
-          let cost_json = Codec.encode_cost r.Opt.cost in
-          (match cache with
-          | Some c ->
-            Cache.store c fingerprint
-              (Json.Obj
-                 [ ("v", Json.Int Codec.version); ("mapping", mapping_json); ("cost", cost_json) ])
-          | None -> ());
+        let cached =
+          match cache with
+          | None -> None
+          | Some c -> (
+            match Cache.find c fingerprint with
+            | None -> None
+            | Some doc -> (
+              match decode_cached w doc with Ok hit -> Some hit | Error _ -> None))
+        in
+        match cached with
+        | Some (mapping_json, cost_json, cost) ->
           Ok
-            ( Computed,
-              result_response ~id ~status:"computed" ~fingerprint ~workload_name ~arch_name
-                ~mapping_json ~cost_json ~cost:r.Opt.cost
-                ~wall_s:(Sun_util.Stopwatch.elapsed_s timer) ))
+            ( Hit,
+              result_response ~id ~status:"hit" ~fingerprint ~workload_name ~arch_name ~mapping_json
+                ~cost_json ~cost ~wall_s:(Sun_util.Stopwatch.elapsed_s timer) )
+        | None -> (
+          match Opt.optimize ~config w a with
+          | Error msg -> Error (Printf.sprintf "no valid mapping: %s" msg, [])
+          | Ok r ->
+            let mapping_json = Codec.encode_mapping r.Opt.mapping in
+            let cost_json = Codec.encode_cost r.Opt.cost in
+            (match cache with
+            | Some c ->
+              Cache.store c fingerprint
+                (Json.Obj
+                   [ ("v", Json.Int Codec.version); ("mapping", mapping_json); ("cost", cost_json) ])
+            | None -> ());
+            Ok
+              ( Computed,
+                result_response ~id ~status:"computed" ~fingerprint ~workload_name ~arch_name
+                  ~mapping_json ~cost_json ~cost:r.Opt.cost
+                  ~wall_s:(Sun_util.Stopwatch.elapsed_s timer) )))
     in
     match handled with
     | Ok (outcome, response) -> finish outcome response
-    | Error msg -> finish Failed (error_response ~id msg))
+    | Error (msg, diagnostics) ->
+      finish Failed (error_response ~diagnostics ~line:line_no ~id msg))
 
 let run_channels ?cache ?(config = Opt.default_config) ic oc =
   let timer = Sun_util.Stopwatch.start () in

@@ -16,21 +16,34 @@
     - [beam] and [top_down] optionally override the pipeline's base
       optimizer config *for that request* (and are folded into its
       fingerprint);
+    - an optional [mapping] field (a {!Codec} mapping document) switches
+      the request from search to evaluation: the mapping is
+      legality-checked ({!Sun_analysis.Legality}) and costed as-is,
+      answering with [status:"evaluated"];
     - blank lines are skipped.
+
+    Every decoded request passes the {!Sun_analysis.Wellformed} gate
+    before any search or evaluation: an inline architecture or workload
+    that would crash or nonsense-cost the optimizer (interior unbounded
+    level, operand no partition accepts, zero capacity, ...) is rejected
+    up front.
 
     Output is one JSON response per line, in input order:
 
     {v
-    {"v":1, "id":"r0", "status":"hit"|"computed"|"error",
+    {"v":1, "id":"r0", "status":"hit"|"computed"|"evaluated"|"error",
      "fingerprint":"...", "mapping":{...}, "cost":{...},
      "energy_pj":..., "cycles":..., "edp":..., "wall_s":...}
     v}
 
-    [status:"error"] responses carry an ["error"] message instead of a
-    mapping; a malformed line yields an error response, never a crash.
-    Responses for cache hits are byte-identical in mapping and cost to the
-    run that populated the cache (floats round-trip exactly through the
-    codec). *)
+    [status:"error"] responses carry the 1-based input ["line"] number and
+    an ["error"] message instead of a mapping; rejections produced by the
+    static analyses additionally carry a ["diagnostics"] array of
+    {!Codec.encode_diagnostic} objects with stable [SAxxx] codes. A
+    malformed line yields an error response, never a crash, and JSON parse
+    errors locate the fault by offset, line and column. Responses for
+    cache hits are byte-identical in mapping and cost to the run that
+    populated the cache (floats round-trip exactly through the codec). *)
 
 type outcome = Hit | Computed | Failed
 

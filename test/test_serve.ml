@@ -428,6 +428,108 @@ let test_pipeline_errors_and_inline () =
     (Fp.request (ok (Registry.find_workload "conv1d")) toy)
     (ok (J.as_string (response_field "fingerprint" inline_resp)))
 
+(* One batch mixing a valid search, a valid evaluation, a statically illegal
+   mapping, a statically illegal inline arch, and a malformed JSON line:
+   counters and per-line diagnostics must all come out right. *)
+let test_pipeline_mixed_static_analysis () =
+  let good_mapping = Codec.encode_mapping optimized.Opt.mapping in
+  (* blow up one temporal factor so the per-dim product misses the bound *)
+  let tampered_mapping =
+    let tamper_level = function
+      | J.Obj lf ->
+        J.Obj
+          (List.map
+             (fun (k, v) ->
+               match (k, v) with
+               | "temporal", J.List (J.List [ J.String d; J.Int _ ] :: rest) ->
+                 (k, J.List (J.List [ J.String d; J.Int 4096 ] :: rest))
+               | _ -> (k, v))
+             lf)
+      | v -> v
+    in
+    match good_mapping with
+    | J.Obj fields ->
+      J.Obj
+        (List.map
+           (fun (k, v) ->
+             match (k, v) with
+             | "levels", J.List (l0 :: rest) -> (k, J.List (tamper_level l0 :: rest))
+             | _ -> (k, v))
+           fields)
+    | v -> v
+  in
+  (* an inline arch that stores only weights: ifmap/ofmap are unstorable *)
+  let weight_only_arch =
+    let a = Sun_arch.Presets.toy () in
+    {
+      a with
+      Sun_arch.Arch.levels =
+        List.map
+          (fun (l : Sun_arch.Arch.level) ->
+            {
+              l with
+              Sun_arch.Arch.partitions =
+                List.map
+                  (fun (p : Sun_arch.Arch.partition) ->
+                    { p with Sun_arch.Arch.accepts = `Roles [ "weight" ] })
+                  l.Sun_arch.Arch.partitions;
+            })
+          a.Sun_arch.Arch.levels;
+    }
+  in
+  let requests =
+    [
+      {|{"workload":"conv1d","arch":"toy","id":"search"}|};
+      Printf.sprintf {|{"workload":"conv1d","arch":"toy","id":"eval","mapping":%s}|}
+        (J.to_string good_mapping);
+      Printf.sprintf {|{"workload":"conv1d","arch":"toy","id":"illegal-map","mapping":%s}|}
+        (J.to_string tampered_mapping);
+      Printf.sprintf {|{"workload":"conv1d","arch":%s,"id":"bad-arch"}|}
+        (J.to_string (Codec.encode_arch weight_only_arch));
+      {|{"workload":"conv1d",|};
+    ]
+  in
+  let s, responses, _ = run_batch requests in
+  Alcotest.(check int) "five requests" 5 s.Pipeline.requests;
+  Alcotest.(check int) "two computed" 2 s.Pipeline.computed;
+  Alcotest.(check int) "three errors" 3 s.Pipeline.errors;
+  Alcotest.(check int) "no hits" 0 s.Pipeline.hits;
+  let statuses = List.map (fun r -> ok (J.as_string (response_field "status" r))) responses in
+  Alcotest.(check (list string)) "statuses"
+    [ "computed"; "evaluated"; "error"; "error"; "error" ]
+    statuses;
+  (* the evaluation costs the exact mapping it was given *)
+  let eval_resp = List.nth responses 1 in
+  Alcotest.(check string) "evaluated mapping echoed" (J.to_string good_mapping)
+    (J.to_string (response_field "mapping" eval_resp));
+  Alcotest.(check string) "evaluated cost matches search"
+    (J.to_string (Codec.encode_cost optimized.Opt.cost))
+    (J.to_string (response_field "cost" eval_resp));
+  (* static rejections carry 1-based line numbers and SAxxx diagnostics *)
+  let diag_codes r =
+    ok (J.as_list (response_field "diagnostics" r))
+    |> List.map (fun d -> ok (J.as_string (response_field "code" d)))
+  in
+  let line_of r = ok (J.as_int (response_field "line" r)) in
+  let illegal_map = List.nth responses 2 in
+  Alcotest.(check int) "illegal mapping line" 3 (line_of illegal_map);
+  Alcotest.(check bool) "illegal mapping raises SA003" true
+    (List.mem "SA003" (diag_codes illegal_map));
+  let bad_arch = List.nth responses 3 in
+  Alcotest.(check int) "bad arch line" 4 (line_of bad_arch);
+  Alcotest.(check bool) "bad arch raises SA030" true (List.mem "SA030" (diag_codes bad_arch));
+  (* the malformed line reports where the JSON broke *)
+  let malformed = List.nth responses 4 in
+  Alcotest.(check int) "malformed line number" 5 (line_of malformed);
+  let msg = ok (J.as_string (response_field "error" malformed)) in
+  Alcotest.(check bool) "parse error locates by line and column" true
+    (let has needle =
+       let nl = String.length needle and hl = String.length msg in
+       let rec go i = i + nl <= hl && (String.sub msg i nl = needle || go (i + 1)) in
+       go 0
+     in
+     has "line 1" && has "column")
+
 let test_pipeline_in_memory_dedup () =
   (* without a cache dir, repeats within one run still hit in memory *)
   let requests =
@@ -485,6 +587,8 @@ let () =
           Alcotest.test_case "corruption degrades to miss" `Quick test_pipeline_corrupt_degrades;
           Alcotest.test_case "schema drift is miss" `Quick test_pipeline_schema_drift_is_miss;
           Alcotest.test_case "errors and inline workloads" `Quick test_pipeline_errors_and_inline;
+          Alcotest.test_case "mixed batch with static analysis" `Quick
+            test_pipeline_mixed_static_analysis;
           Alcotest.test_case "in-memory dedup" `Quick test_pipeline_in_memory_dedup;
         ] );
     ]
