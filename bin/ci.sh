@@ -17,6 +17,32 @@ sh bin/lint.sh
 echo "== sunstone check (static analysis over the registry)"
 dune exec bin/sunstone_cli.exe -- check --admissibility
 
+echo "== batch --jobs parity (sequential vs 4 workers, mixed fixture)"
+# The parallel pipeline must produce byte-identical, order-preserving
+# responses: same bytes as --jobs 1 on the mixed valid/illegal/malformed
+# fixture, modulo the inherently nondeterministic wall_s timings.
+PARITY_TMP=$(mktemp -d)
+trap 'rm -rf "$PARITY_TMP"' EXIT
+set +e
+dune exec bin/sunstone_cli.exe -- batch -i test/fixtures/batch_mixed.jsonl \
+  -o "$PARITY_TMP/seq.jsonl" --cache-dir "$PARITY_TMP/cache-seq" --jobs 1 2>/dev/null
+seq_rc=$?
+dune exec bin/sunstone_cli.exe -- batch -i test/fixtures/batch_mixed.jsonl \
+  -o "$PARITY_TMP/par.jsonl" --cache-dir "$PARITY_TMP/cache-par" --jobs 4 2>/dev/null
+par_rc=$?
+set -e
+if [ "$seq_rc" -ne "$par_rc" ]; then
+  echo "batch parity: exit codes differ (--jobs 1: $seq_rc, --jobs 4: $par_rc)" >&2
+  exit 1
+fi
+sed -E 's/"wall_s":[-+0-9.eE]+/"wall_s":0/g' "$PARITY_TMP/seq.jsonl" >"$PARITY_TMP/seq.norm"
+sed -E 's/"wall_s":[-+0-9.eE]+/"wall_s":0/g' "$PARITY_TMP/par.jsonl" >"$PARITY_TMP/par.norm"
+if ! diff -u "$PARITY_TMP/seq.norm" "$PARITY_TMP/par.norm"; then
+  echo "batch parity: --jobs 4 output differs from --jobs 1" >&2
+  exit 1
+fi
+echo "batch parity: ok ($(wc -l <"$PARITY_TMP/seq.norm" | tr -d ' ') responses identical)"
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt"
   dune build @fmt

@@ -4,7 +4,7 @@
    sunstone reuse -w conv1d              - Table III-style reuse inference
    sunstone schedule -w resnet18/conv2_x -a simba [...]
    sunstone compare -w mttkrp/nell2 -a conventional -t sunstone,tl-fast
-   sunstone batch -i reqs.jsonl -o out.jsonl --cache-dir ~/.cache/sunstone
+   sunstone batch -i reqs.jsonl -o out.jsonl --cache-dir ~/.cache/sunstone [--jobs 4]
    sunstone export -w matmul -a simba -o mapping.json
    sunstone check [--admissibility] [--json]
    sunstone check --mapping mapping.json
@@ -182,7 +182,14 @@ let batch_cmd =
     let doc = "Disable caching entirely: every request runs a fresh search." in
     Arg.(value & flag & info [ "no-cache" ] ~doc)
   in
-  let run input output cache_dir no_cache beam top_down =
+  let jobs_arg =
+    let doc =
+      "Schedule cache misses on $(docv) forked worker processes. Responses keep input order and \
+       are identical to a sequential run (up to wall_s); 1 (the default) stays fully in-process."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let run input output cache_dir no_cache jobs beam top_down =
     let config =
       {
         Opt.default_config with
@@ -193,7 +200,7 @@ let batch_cmd =
     let cache =
       if no_cache then None else Some (Sun_serve.Cache.create ?dir:cache_dir ())
     in
-    match Sun_serve.Pipeline.run_files ?cache ~config ~input ~output () with
+    match Sun_serve.Pipeline.run_files ?cache ~config ~jobs ~input ~output () with
     | exception Sys_error m ->
       Printf.eprintf "cannot run batch: %s\n" m;
       1
@@ -203,7 +210,9 @@ let batch_cmd =
   in
   Cmd.v
     (Cmd.info "batch" ~doc:"Schedule a JSONL stream of requests through the mapping cache")
-    Term.(const run $ input_arg $ output_arg $ cache_dir_arg $ no_cache_arg $ beam_arg $ top_down_arg)
+    Term.(
+      const run $ input_arg $ output_arg $ cache_dir_arg $ no_cache_arg $ jobs_arg $ beam_arg
+      $ top_down_arg)
 
 let export_cmd =
   let output_arg =

@@ -38,6 +38,8 @@ let create ?(capacity = 256) ?dir () =
 
 let capacity t = t.capacity
 
+let size t = Hashtbl.length t.table
+
 let dir t = t.cache_dir
 
 let touch t entry =
@@ -127,10 +129,18 @@ let persist t key value =
       let final = entry_path dir key in
       let tmp = Printf.sprintf "%s.tmp.%d" final (Unix.getpid ()) in
       let oc = open_out_bin tmp in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> output_string oc (Json.to_string value));
-      Sys.rename tmp final
+      (* If the write or the rename fails the temp file must not survive:
+         persist failures are swallowed, so nothing would ever clean it. *)
+      match
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Json.to_string value));
+        Sys.rename tmp final
+      with
+      | () -> ()
+      | exception e ->
+        (try Sys.remove tmp with Sys_error _ -> ());
+        raise e
     with _ -> ())
 
 let store t key value =

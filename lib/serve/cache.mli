@@ -10,7 +10,12 @@
     Durability and robustness:
     - disk writes go through a temp file in the same directory followed by
       an atomic [rename], so a crashed writer can never leave a
-      half-written entry under its final name;
+      half-written entry under its final name; temp names carry the writer
+      pid, so multiple processes (e.g. parallel pipelines) sharing one
+      cache directory never clobber each other's in-progress writes;
+    - a failed write or rename removes its temp file before the failure is
+      swallowed — an unwritable directory cannot accrete [*.tmp.<pid>]
+      litter;
     - unreadable or unparsable entries (truncated files, wrong permissions,
       future formats) are treated as misses and counted in
       [stats.corrupt] — the cache never raises on a bad entry;
@@ -32,6 +37,10 @@ val create : ?capacity:int -> ?dir:string -> unit -> t
     [dir] enables the persistent tier; omitted means memory-only. *)
 
 val capacity : t -> int
+
+val size : t -> int
+(** Entries currently in the in-memory tier; always [<= capacity t]. *)
+
 val dir : t -> string option
 
 val find : t -> string -> Json.t option

@@ -1,0 +1,249 @@
+type 'b reply = Done of 'b | Failed of string | Crashed
+
+type 'a job = { key : int; payload : 'a; attempt : int }
+
+type 'a worker = {
+  pid : int;
+  to_worker : Unix.file_descr;  (** parent writes job frames *)
+  from_worker : Unix.file_descr;  (** parent reads reply frames *)
+  mutable current : 'a job option;
+}
+
+type ('a, 'b) t = {
+  job_count : int;
+  f : 'a -> 'b;
+  mutable workers : 'a worker list;
+  completed : (int * 'b reply) Queue.t;
+      (** results produced outside [next]'s read path (crashed retries) *)
+  mutable closed : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Length-prefixed framing over raw fds                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Upper bound on an announced frame length: anything bigger than this is
+   not a frame we ever send, so the peer must be corrupt. *)
+let frame_limit = 1 lsl 30
+
+let rec write_all fd buf ofs len =
+  if len > 0 then begin
+    let n =
+      match Unix.write fd buf ofs len with
+      | n -> n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (ofs + n) (len - n)
+  end
+
+let write_frame fd s =
+  let n = String.length s in
+  let hdr = Bytes.create 8 in
+  Bytes.set_int64_be hdr 0 (Int64.of_int n);
+  write_all fd hdr 0 8;
+  write_all fd (Bytes.of_string s) 0 n
+
+let rec read_all fd buf ofs len =
+  if len = 0 then true
+  else
+    match Unix.read fd buf ofs len with
+    | 0 -> false
+    | n -> read_all fd buf (ofs + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all fd buf ofs len
+
+(* [None] on EOF, short read, unreadable fd or absurd length: every one of
+   those means the peer is gone or corrupt, which callers treat alike. *)
+let read_frame fd =
+  match
+    let hdr = Bytes.create 8 in
+    if not (read_all fd hdr 0 8) then None
+    else
+      let n = Int64.to_int (Bytes.get_int64_be hdr 0) in
+      if n < 0 || n > frame_limit then None
+      else
+        let buf = Bytes.create n in
+        if read_all fd buf 0 n then Some (Bytes.to_string buf) else None
+  with
+  | r -> r
+  | exception Unix.Unix_error (_, _, _) -> None
+
+(* ------------------------------------------------------------------ *)
+(* Worker side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Children exit through [Unix._exit]: running [at_exit] in a fork would
+   re-flush whatever buffered channels the parent had open. *)
+let worker_loop f rd wr =
+  let rec loop () =
+    match read_frame rd with
+    | None -> Unix._exit 0 (* parent closed the job pipe: normal shutdown *)
+    | Some frame ->
+      let reply =
+        match f (Marshal.from_string frame 0) with
+        | b -> Ok b
+        | exception e -> Error (Printexc.to_string e)
+      in
+      (match write_frame wr (Marshal.to_string (reply : (_, string) result) []) with
+      | () -> loop ()
+      | exception _ -> Unix._exit 1)
+  in
+  loop ()
+
+let spawn t =
+  let job_r, job_w = Unix.pipe ~cloexec:false () in
+  let res_r, res_w = Unix.pipe ~cloexec:false () in
+  match Unix.fork () with
+  | 0 ->
+    (* Close every parent-side fd of the *other* workers: a sibling holding
+       a duplicate of a dead worker's pipe would hide its EOF forever. *)
+    List.iter
+      (fun w ->
+        (try Unix.close w.to_worker with Unix.Unix_error (_, _, _) -> ());
+        try Unix.close w.from_worker with Unix.Unix_error (_, _, _) -> ())
+      t.workers;
+    Unix.close job_w;
+    Unix.close res_r;
+    (try worker_loop t.f job_r res_w with _ -> ());
+    Unix._exit 1
+  | pid ->
+    Unix.close job_r;
+    Unix.close res_w;
+    { pid; to_worker = job_w; from_worker = res_r; current = None }
+
+(* ------------------------------------------------------------------ *)
+(* Parent side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let create ~jobs ~f =
+  if jobs < 1 then invalid_arg "Parpool.create: jobs must be >= 1";
+  (* Writes to a worker that died must raise EPIPE, not kill the parent. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let t = { job_count = jobs; f; workers = []; completed = Queue.create (); closed = false } in
+  for _ = 1 to jobs do
+    t.workers <- t.workers @ [ spawn t ]
+  done;
+  t
+
+let jobs t = t.job_count
+
+let idle t = List.length (List.filter (fun w -> Option.is_none w.current) t.workers)
+
+let pending t =
+  List.length (List.filter (fun w -> Option.is_some w.current) t.workers)
+  + Queue.length t.completed
+
+let reap t w =
+  (try Unix.close w.to_worker with Unix.Unix_error (_, _, _) -> ());
+  (try Unix.close w.from_worker with Unix.Unix_error (_, _, _) -> ());
+  (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error (_, _, _) -> ());
+  t.workers <- List.filter (fun w' -> w'.pid <> w.pid) t.workers
+
+(* Hand [job] to [w]; on a write failure the worker died while idle, so it
+   is replaced and the job retried (once) on the replacement. *)
+let rec send t w job =
+  match write_frame w.to_worker (Marshal.to_string job.payload []) with
+  | () -> w.current <- Some job
+  | exception Unix.Unix_error (_, _, _) ->
+    reap t w;
+    let w' = spawn t in
+    t.workers <- t.workers @ [ w' ];
+    if job.attempt = 0 then send t w' { job with attempt = 1 }
+    else Queue.add (job.key, Crashed) t.completed
+
+let submit t ~key payload =
+  if t.closed then invalid_arg "Parpool.submit: pool is shut down";
+  match List.find_opt (fun w -> Option.is_none w.current) t.workers with
+  | None -> invalid_arg "Parpool.submit: no idle worker (check Parpool.idle first)"
+  | Some w -> send t w { key; payload; attempt = 0 }
+
+(* The worker died mid-job: replace it and either retry the job on the
+   replacement or, if this already was the retry, give up on the job. *)
+let crash t w job =
+  reap t w;
+  let w' = spawn t in
+  t.workers <- t.workers @ [ w' ];
+  if job.attempt = 0 then send t w' { job with attempt = 1 }
+  else Queue.add (job.key, Crashed) t.completed
+
+let rec next t =
+  match Queue.take_opt t.completed with
+  | Some r -> r
+  | None -> (
+    let busy = List.filter (fun w -> Option.is_some w.current) t.workers in
+    if busy = [] then invalid_arg "Parpool.next: nothing pending";
+    let ready, _, _ =
+      match Unix.select (List.map (fun w -> w.from_worker) busy) [] [] (-1.0) with
+      | r -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    match List.find_opt (fun w -> List.mem w.from_worker ready) busy with
+    | None -> next t
+    | Some w -> (
+      match w.current with
+      | None -> next t
+      | Some job -> (
+        match read_frame w.from_worker with
+        | Some frame -> (
+          w.current <- None;
+          match (Marshal.from_string frame 0 : (_, string) result) with
+          | Ok b -> (job.key, Done b)
+          | Error msg -> (job.key, Failed msg)
+          | exception _ ->
+            (* unmarshalable reply: treat like a dead worker *)
+            crash t w job;
+            next t)
+        | None ->
+          crash t w job;
+          next t)))
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* Closing the job pipes makes idle workers exit on their own; busy or
+       wedged ones are terminated so shutdown can never hang. *)
+    List.iter
+      (fun w -> try Unix.close w.to_worker with Unix.Unix_error (_, _, _) -> ())
+      t.workers;
+    List.iter
+      (fun w ->
+        (try Unix.kill w.pid Sys.sigterm with Unix.Unix_error (_, _, _) -> ());
+        (try Unix.close w.from_worker with Unix.Unix_error (_, _, _) -> ());
+        try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error (_, _, _) -> ())
+      t.workers;
+    t.workers <- []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* map                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let map ~jobs ~f xs =
+  if jobs <= 1 then
+    (* graceful degradation: same reply surface, no processes involved *)
+    List.map
+      (fun x ->
+        match f x with b -> Done b | exception e -> Failed (Printexc.to_string e))
+      xs
+  else begin
+    let t = create ~jobs ~f in
+    let n = List.length xs in
+    let results = Array.make n None in
+    Fun.protect
+      ~finally:(fun () -> shutdown t)
+      (fun () ->
+        let remaining = ref xs in
+        let key = ref 0 in
+        let collected = ref 0 in
+        while !collected < n do
+          match !remaining with
+          | x :: rest when idle t > 0 ->
+            submit t ~key:!key x;
+            incr key;
+            remaining := rest
+          | _ ->
+            let k, r = next t in
+            results.(k) <- Some r;
+            incr collected
+        done);
+    Array.to_list (Array.map (function Some r -> r | None -> Crashed) results)
+  end

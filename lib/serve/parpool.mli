@@ -1,0 +1,75 @@
+(** Fork-based worker pool for embarrassingly parallel request batches.
+
+    Sunstone's per-request searches are independent (the paper's
+    scalability argument, Table VIII, schedules every layer separately),
+    so the serving layer can fan them out across processes without any
+    shared state. This module is the generic substrate: a fixed-size pool
+    of [Unix.fork]ed workers, each running the same job function in a loop
+    over a pair of pipes.
+
+    Wire protocol: every job and every reply is one length-prefixed frame
+    — an 8-byte big-endian payload length followed by the [Marshal]ed
+    value. Workers are forked from the calling process, so marshalling of
+    plain data (no closures, no custom blocks) is safe in both directions.
+    Frames with an absurd announced length (negative or over 1 GiB) are
+    treated as a protocol breach, i.e. a worker crash.
+
+    Crash containment: a worker that dies mid-job (killed, segfault,
+    unmarshalable reply) is reaped, a fresh worker is forked in its place,
+    and the in-flight job is retried once. If the retry also dies the job
+    is reported as {!Crashed} — the pool itself keeps serving; one bad
+    request can never abort the batch. A job function that merely
+    {e raises} is reported as {!Failed} without retry (a deterministic
+    exception would fail again) and the worker survives.
+
+    The pool never degrades the calling process: workers exit through
+    [Unix._exit], so inherited buffered channels are never double-flushed.
+    {!create} sets [SIGPIPE] to ignore for the whole process (writes to a
+    dead worker must surface as [EPIPE], not kill the parent) — acceptable
+    for the CLI/bench/server processes this library serves.
+
+    Jobs are identified by an integer [key] chosen by the caller;
+    completions arrive in whatever order workers finish, so callers that
+    need input order must re-sequence by key (see {!Pipeline}). *)
+
+type ('a, 'b) t
+(** A pool mapping ['a] jobs to ['b] results. *)
+
+type 'b reply =
+  | Done of 'b  (** the job function returned normally *)
+  | Failed of string  (** the job function raised; payload is [Printexc.to_string] *)
+  | Crashed  (** the worker process died twice running this job *)
+
+val create : jobs:int -> f:('a -> 'b) -> ('a, 'b) t
+(** [create ~jobs ~f] forks [jobs] workers each looping [f] over framed
+    jobs. [jobs] must be at least 1 ([Invalid_argument] otherwise); for
+    in-process execution use {!map} with [jobs <= 1] instead. *)
+
+val jobs : ('a, 'b) t -> int
+(** The configured worker count (constant: crashed workers are replaced). *)
+
+val idle : ('a, 'b) t -> int
+(** Workers currently without an in-flight job. *)
+
+val pending : ('a, 'b) t -> int
+(** Completions {!next} still has to deliver: in-flight jobs plus results
+    already collected internally (e.g. a give-up after a crashed retry). *)
+
+val submit : ('a, 'b) t -> key:int -> 'a -> unit
+(** Hands a job to an idle worker. [Invalid_argument] if {!idle} is [0] or
+    the pool was {!shutdown}; callers drive admission with {!idle}. *)
+
+val next : ('a, 'b) t -> int * 'b reply
+(** Blocks until some in-flight job completes and returns [(key, reply)].
+    [Invalid_argument] if {!pending} is [0]. *)
+
+val shutdown : ('a, 'b) t -> unit
+(** Terminates and reaps every worker (idempotent). In-flight jobs are
+    abandoned. *)
+
+val map : jobs:int -> f:('a -> 'b) -> 'a list -> 'b reply list
+(** [map ~jobs ~f xs] applies [f] to every element, preserving order.
+    With [jobs <= 1] this degrades gracefully to the in-process path — no
+    fork, no pipes, exceptions still reported as {!Failed} — so callers
+    can expose a [--jobs] knob whose [1] setting has zero new moving
+    parts. With [jobs >= 2] a temporary pool is created and shut down. *)

@@ -9,6 +9,10 @@ type summary = {
   computed : int;
   errors : int;
   wall_s : float;
+  hit_s : float;
+  computed_s : float;
+  error_s : float;
+  jobs : int;
   cache_stats : Cache.stats option;
 }
 
@@ -45,11 +49,15 @@ let request_config ~base json =
   in
   Ok { base with Opt.beam_width = beam; direction }
 
+(* Default ids use the same 1-based line number as the [line] field of
+   error responses, so "line3" always means input line 3. *)
+let default_id ~index = Printf.sprintf "line%d" (index + 1)
+
 let request_id ~index json =
   match Json.member "id" json with
   | Some (Json.String s) -> s
   | Some v -> Json.to_string v
-  | None -> Printf.sprintf "line%d" index
+  | None -> default_id ~index
 
 (* ------------------------------------------------------------------ *)
 (* Response construction                                                *)
@@ -87,7 +95,7 @@ let result_response ~id ~status ~fingerprint ~workload_name ~arch_name ~mapping_
     ]
 
 (* ------------------------------------------------------------------ *)
-(* The pipeline proper                                                  *)
+(* The two phases of a request                                          *)
 (* ------------------------------------------------------------------ *)
 
 (* A usable cached document decodes into a valid mapping and cost for this
@@ -104,122 +112,398 @@ let decode_cached w doc =
    produced them (empty for plain decode failures). *)
 let plain r = Result.map_error (fun msg -> (msg, [])) r
 
-let handle_request ?cache ~config ~index line =
+(* Everything about a request that can be decided without searching. *)
+type parsed = {
+  id : string;
+  workload_name : string;
+  w : Sun_tensor.Workload.t;
+  arch_name : string;
+  a : Sun_arch.Arch.t;
+  config : Opt.config;
+  fingerprint : string;
+  eval_mapping : Json.t option;
+}
+
+let parse_request ~config:base ~index line =
+  match Json.of_string line with
+  | Error msg -> Error (default_id ~index, "bad request: " ^ msg, [])
+  | Ok json ->
+    let id = request_id ~index json in
+    Result.map_error
+      (fun (msg, diagnostics) -> (id, msg, diagnostics))
+      (let* () =
+         match Json.member "v" json with
+         | None -> Ok ()
+         | Some (Json.Int v) when v = Codec.version -> Ok ()
+         | Some v -> Error (Printf.sprintf "unsupported request version %s" (Json.to_string v), [])
+       in
+       let* workload_name, w =
+         plain (resolve "workload" Codec.decode_workload Registry.find_workload json)
+       in
+       let* arch_name, a = plain (resolve "arch" Codec.decode_arch Registry.find_arch json) in
+       let* config = plain (request_config ~base json) in
+       (* static well-formedness gate: an inline arch or workload that would
+          crash or nonsense-cost the optimizer is rejected with diagnostics *)
+       let wf = Sun_analysis.Wellformed.check_request ~config w a in
+       let* () =
+         if D.has_errors wf then Error ("request rejected by static analysis", D.errors wf)
+         else Ok ()
+       in
+       Ok
+         {
+           id;
+           workload_name;
+           w;
+           arch_name;
+           a;
+           config;
+           fingerprint = Fingerprint.request ~config w a;
+           eval_mapping = Json.member "mapping" json;
+         })
+
+(* Phase 1 (always run in the parent, which is the only cache user): decide
+   whether a request is already answerable — malformed, statically rejected,
+   or a cache hit — or needs compute. [in_flight] lets the parallel driver
+   defer a search whose fingerprint is already being computed *before* the
+   cache is consulted, so cache counters match the sequential run exactly. *)
+type classified =
+  | Final of outcome * Json.t * float  (** response ready; per-request wall seconds *)
+  | Deferred of string  (** same fingerprint already dispatched; retry after it lands *)
+  | Dispatch of string option  (** needs compute; [Some fp] = cacheable search *)
+
+let classify ?cache ?(in_flight = fun _ -> false) ~config ~index line =
   let timer = Sun_util.Stopwatch.start () in
   let line_no = index + 1 in
-  let finish outcome response = (outcome, response) in
-  match Json.of_string line with
-  | Error msg ->
-    finish Failed
-      (error_response ~line:line_no ~id:(Printf.sprintf "line%d" index) ("bad request: " ^ msg))
-  | Ok json -> (
-    let id = request_id ~index json in
-    let handled =
-      let* () =
-        match Json.member "v" json with
-        | None -> Ok ()
-        | Some (Json.Int v) when v = Codec.version -> Ok ()
-        | Some v -> Error (Printf.sprintf "unsupported request version %s" (Json.to_string v), [])
-      in
-      let* workload_name, w =
-        plain (resolve "workload" Codec.decode_workload Registry.find_workload json)
-      in
-      let* arch_name, a = plain (resolve "arch" Codec.decode_arch Registry.find_arch json) in
-      let* config = plain (request_config ~base:config json) in
-      (* static well-formedness gate: an inline arch or workload that would
-         crash or nonsense-cost the optimizer is rejected with diagnostics *)
-      let wf = Sun_analysis.Wellformed.check_request ~config w a in
-      let* () =
-        if D.has_errors wf then Error ("request rejected by static analysis", D.errors wf)
-        else Ok ()
-      in
-      let fingerprint = Fingerprint.request ~config w a in
-      match Json.member "mapping" json with
-      | Some mapping_json ->
-        (* evaluate a caller-supplied mapping instead of searching *)
-        let* levels = plain (Codec.decode_mapping_raw mapping_json) in
-        let diags = Sun_analysis.Legality.check_all w a levels in
-        let* () =
-          if D.has_errors diags then Error ("mapping rejected by static analysis", D.errors diags)
-          else Ok ()
-        in
-        let* m = plain (Sun_mapping.Mapping.make w levels) in
-        let* cost = plain (Sun_cost.Model.evaluate w a m) in
-        Ok
-          ( Computed,
-            result_response ~id ~status:"evaluated" ~fingerprint ~workload_name ~arch_name
-              ~mapping_json ~cost_json:(Codec.encode_cost cost) ~cost
-              ~wall_s:(Sun_util.Stopwatch.elapsed_s timer) )
-      | None -> (
-        let cached =
-          match cache with
-          | None -> None
-          | Some c -> (
-            match Cache.find c fingerprint with
+  match parse_request ~config ~index line with
+  | Error (id, msg, diagnostics) ->
+    Final
+      ( Failed,
+        error_response ~diagnostics ~line:line_no ~id msg,
+        Sun_util.Stopwatch.elapsed_s timer )
+  | Ok p -> (
+    match p.eval_mapping with
+    | Some _ -> Dispatch None (* evaluations never touch the cache *)
+    | None -> (
+      match cache with
+      | None -> Dispatch None (* caching disabled: every search computes *)
+      | Some c ->
+        if in_flight p.fingerprint then Deferred p.fingerprint
+        else (
+          let cached =
+            match Cache.find c p.fingerprint with
             | None -> None
             | Some doc -> (
-              match decode_cached w doc with Ok hit -> Some hit | Error _ -> None))
-        in
-        match cached with
-        | Some (mapping_json, cost_json, cost) ->
-          Ok
-            ( Hit,
-              result_response ~id ~status:"hit" ~fingerprint ~workload_name ~arch_name ~mapping_json
-                ~cost_json ~cost ~wall_s:(Sun_util.Stopwatch.elapsed_s timer) )
-        | None -> (
-          match Opt.optimize ~config w a with
-          | Error msg -> Error (Printf.sprintf "no valid mapping: %s" msg, [])
-          | Ok r ->
-            let mapping_json = Codec.encode_mapping r.Opt.mapping in
-            let cost_json = Codec.encode_cost r.Opt.cost in
-            (match cache with
-            | Some c ->
-              Cache.store c fingerprint
-                (Json.Obj
-                   [ ("v", Json.Int Codec.version); ("mapping", mapping_json); ("cost", cost_json) ])
-            | None -> ());
-            Ok
-              ( Computed,
-                result_response ~id ~status:"computed" ~fingerprint ~workload_name ~arch_name
-                  ~mapping_json ~cost_json ~cost:r.Opt.cost
-                  ~wall_s:(Sun_util.Stopwatch.elapsed_s timer) )))
-    in
-    match handled with
-    | Ok (outcome, response) -> finish outcome response
-    | Error (msg, diagnostics) ->
-      finish Failed (error_response ~diagnostics ~line:line_no ~id msg))
+              match decode_cached p.w doc with Ok hit -> Some hit | Error _ -> None)
+          in
+          match cached with
+          | Some (mapping_json, cost_json, cost) ->
+            Final
+              ( Hit,
+                result_response ~id:p.id ~status:"hit" ~fingerprint:p.fingerprint
+                  ~workload_name:p.workload_name ~arch_name:p.arch_name ~mapping_json ~cost_json
+                  ~cost ~wall_s:(Sun_util.Stopwatch.elapsed_s timer),
+                Sun_util.Stopwatch.elapsed_s timer )
+          | None -> Dispatch (Some p.fingerprint))))
 
-let run_channels ?cache ?(config = Opt.default_config) ic oc =
+(* Phase 2 (worker side, or inline when [jobs <= 1]): the actual search or
+   evaluation. Never consults the cache; instead returns the document the
+   parent should store, keeping the parent the single cache writer. *)
+let compute ~config ~index line =
   let timer = Sun_util.Stopwatch.start () in
-  let requests = ref 0 and hits = ref 0 and computed = ref 0 and errors = ref 0 in
+  let line_no = index + 1 in
+  match parse_request ~config ~index line with
+  | Error (id, msg, diagnostics) ->
+    (Failed, error_response ~diagnostics ~line:line_no ~id msg, None,
+     Sun_util.Stopwatch.elapsed_s timer)
+  | Ok p -> (
+    let finish = function
+      | Ok (outcome, response, store) -> (outcome, response, store, Sun_util.Stopwatch.elapsed_s timer)
+      | Error (msg, diagnostics) ->
+        (Failed, error_response ~diagnostics ~line:line_no ~id:p.id msg, None,
+         Sun_util.Stopwatch.elapsed_s timer)
+    in
+    match p.eval_mapping with
+    | Some mapping_json ->
+      (* evaluate a caller-supplied mapping instead of searching *)
+      finish
+        (let* levels = plain (Codec.decode_mapping_raw mapping_json) in
+         let diags = Sun_analysis.Legality.check_all p.w p.a levels in
+         let* () =
+           if D.has_errors diags then Error ("mapping rejected by static analysis", D.errors diags)
+           else Ok ()
+         in
+         let* m = plain (Sun_mapping.Mapping.make p.w levels) in
+         let* cost = plain (Sun_cost.Model.evaluate p.w p.a m) in
+         Ok
+           ( Computed,
+             result_response ~id:p.id ~status:"evaluated" ~fingerprint:p.fingerprint
+               ~workload_name:p.workload_name ~arch_name:p.arch_name ~mapping_json
+               ~cost_json:(Codec.encode_cost cost) ~cost
+               ~wall_s:(Sun_util.Stopwatch.elapsed_s timer),
+             None ))
+    | None ->
+      finish
+        (match Opt.optimize ~config:p.config p.w p.a with
+        | Error msg -> Error (Printf.sprintf "no valid mapping: %s" msg, [])
+        | Ok r ->
+          let mapping_json = Codec.encode_mapping r.Opt.mapping in
+          let cost_json = Codec.encode_cost r.Opt.cost in
+          let doc =
+            Json.Obj
+              [ ("v", Json.Int Codec.version); ("mapping", mapping_json); ("cost", cost_json) ]
+          in
+          Ok
+            ( Computed,
+              result_response ~id:p.id ~status:"computed" ~fingerprint:p.fingerprint
+                ~workload_name:p.workload_name ~arch_name:p.arch_name ~mapping_json ~cost_json
+                ~cost:r.Opt.cost ~wall_s:(Sun_util.Stopwatch.elapsed_s timer),
+              Some (p.fingerprint, doc) )))
+
+(* ------------------------------------------------------------------ *)
+(* Shared bookkeeping                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type counters = {
+  mutable c_requests : int;
+  mutable c_hits : int;
+  mutable c_computed : int;
+  mutable c_errors : int;
+  mutable c_hit_s : float;
+  mutable c_computed_s : float;
+  mutable c_error_s : float;
+}
+
+let fresh_counters () =
+  { c_requests = 0; c_hits = 0; c_computed = 0; c_errors = 0; c_hit_s = 0.; c_computed_s = 0.;
+    c_error_s = 0. }
+
+let count cnt outcome wall =
+  match outcome with
+  | Hit ->
+    cnt.c_hits <- cnt.c_hits + 1;
+    cnt.c_hit_s <- cnt.c_hit_s +. wall
+  | Computed ->
+    cnt.c_computed <- cnt.c_computed + 1;
+    cnt.c_computed_s <- cnt.c_computed_s +. wall
+  | Failed ->
+    cnt.c_errors <- cnt.c_errors + 1;
+    cnt.c_error_s <- cnt.c_error_s +. wall
+
+let store_if ?cache = function
+  | Some (key, doc) -> (
+    match cache with Some c -> Cache.store c key doc | None -> ())
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Sequential driver (jobs <= 1)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_sequential ?cache ~config cnt ic oc =
   let index = ref 0 in
-  (try
-     while true do
-       let line = input_line ic in
-       incr index;
-       if String.trim line <> "" then begin
-         incr requests;
-         let outcome, response = handle_request ?cache ~config ~index:(!index - 1) line in
-         (match outcome with
-         | Hit -> incr hits
-         | Computed -> incr computed
-         | Failed -> incr errors);
-         output_string oc (Json.to_string response);
-         output_char oc '\n'
-       end
-     done
-   with End_of_file -> ());
+  try
+    while true do
+      let line = input_line ic in
+      incr index;
+      if String.trim line <> "" then begin
+        cnt.c_requests <- cnt.c_requests + 1;
+        let idx = !index - 1 in
+        let outcome, response, wall =
+          match classify ?cache ~config ~index:idx line with
+          | Final (outcome, response, wall) -> (outcome, response, wall)
+          | Deferred _ | Dispatch _ ->
+            let outcome, response, store, wall = compute ~config ~index:idx line in
+            store_if ?cache store;
+            (outcome, response, wall)
+        in
+        count cnt outcome wall;
+        output_string oc (Json.to_string response);
+        output_char oc '\n'
+      end
+    done
+  with End_of_file -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Parallel driver (jobs >= 2)                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Test-only crash hooks, honored exclusively on the worker side so the
+   sequential path has zero extra moving parts: a request carrying
+   ["x-sunstone-test-crash": true] kills its worker mid-job (both the first
+   attempt and the pool's retry, so the request surfaces as an error);
+   ["x-sunstone-test-crash-once": PATH] kills the worker only while PATH
+   exists and removes it first, so the retry succeeds. *)
+let worker_crash_hooks line =
+  match Json.of_string line with
+  | Error _ -> ()
+  | Ok json -> (
+    (match Json.member "x-sunstone-test-crash-once" json with
+    | Some (Json.String path) when Sys.file_exists path ->
+      (try Sys.remove path with Sys_error _ -> ());
+      Unix.kill (Unix.getpid ()) Sys.sigkill
+    | _ -> ());
+    match Json.member "x-sunstone-test-crash" json with
+    | Some (Json.Bool true) -> Unix.kill (Unix.getpid ()) Sys.sigkill
+    | _ -> ())
+
+(* The id of a crashed request has to be recovered in the parent: the
+   worker that knew it is gone. *)
+let crash_error_response ~index ~line msg =
+  let id =
+    match Json.of_string line with
+    | Ok json -> request_id ~index json
+    | Error _ -> default_id ~index
+  in
+  error_response ~line:(index + 1) ~id msg
+
+let run_parallel ?cache ~config ~jobs cnt ic oc =
+  let worker (index, line) =
+    worker_crash_hooks line;
+    let outcome, response, store, wall = compute ~config ~index line in
+    (outcome, Json.to_string response, store, wall)
+  in
+  let pool = Parpool.create ~jobs ~f:worker in
+  Fun.protect ~finally:(fun () -> Parpool.shutdown pool) @@ fun () ->
+  let index = ref 0 in
+  let next_seq = ref 0 in
+  let emit_next = ref 0 in
+  let out_buf : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  (* fingerprints with a search in flight, and the requests waiting on them *)
+  let in_flight_fp : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let deferred : (string, (int * int * string) Queue.t) Hashtbl.t = Hashtbl.create 16 in
+  (* seq -> (index, line, fingerprint) for crash reporting and release *)
+  let dispatched : (int, int * string * string option) Hashtbl.t = Hashtbl.create 16 in
+  let todo : (int * int * string) Queue.t = Queue.create () in
+  let eof = ref false in
+  (* Responses leave strictly in input order, whatever order workers finish. *)
+  let flush_ready () =
+    let continue = ref true in
+    while !continue do
+      match Hashtbl.find_opt out_buf !emit_next with
+      | Some s ->
+        output_string oc s;
+        output_char oc '\n';
+        Hashtbl.remove out_buf !emit_next;
+        incr emit_next
+      | None -> continue := false
+    done
+  in
+  let finish seq outcome response wall =
+    count cnt outcome wall;
+    Hashtbl.replace out_buf seq response;
+    flush_ready ()
+  in
+  let read_next () =
+    if !eof then None
+    else
+      let rec go () =
+        match input_line ic with
+        | exception End_of_file ->
+          eof := true;
+          None
+        | line ->
+          incr index;
+          if String.trim line = "" then go ()
+          else begin
+            cnt.c_requests <- cnt.c_requests + 1;
+            let seq = !next_seq in
+            incr next_seq;
+            Some (seq, !index - 1, line)
+          end
+      in
+      go ()
+  in
+  let process (seq, idx, line) =
+    match classify ?cache ~in_flight:(Hashtbl.mem in_flight_fp) ~config ~index:idx line with
+    | Final (outcome, response, wall) -> finish seq outcome (Json.to_string response) wall
+    | Deferred fp ->
+      let q =
+        match Hashtbl.find_opt deferred fp with
+        | Some q -> q
+        | None ->
+          let q = Queue.create () in
+          Hashtbl.replace deferred fp q;
+          q
+      in
+      Queue.add (seq, idx, line) q
+    | Dispatch fp ->
+      (match fp with Some fp -> Hashtbl.replace in_flight_fp fp () | None -> ());
+      Hashtbl.replace dispatched seq (idx, line, fp);
+      Parpool.submit pool ~key:seq (idx, line)
+  in
+  (* When a search lands, everything deferred on its fingerprint gets
+     re-classified: normally a cache hit now, or a fresh dispatch if the
+     owner failed to produce a storable mapping. *)
+  let release fp =
+    Hashtbl.remove in_flight_fp fp;
+    match Hashtbl.find_opt deferred fp with
+    | None -> ()
+    | Some q ->
+      Hashtbl.remove deferred fp;
+      Queue.iter (fun item -> Queue.add item todo) q
+  in
+  let on_completion (seq, reply) =
+    match Hashtbl.find_opt dispatched seq with
+    | None -> () (* unreachable: every submitted key is in [dispatched] *)
+    | Some (idx, line, fp) ->
+      Hashtbl.remove dispatched seq;
+      (match reply with
+      | Parpool.Done (outcome, response, store, wall) ->
+        store_if ?cache store;
+        finish seq outcome response wall
+      | Parpool.Failed msg ->
+        finish seq Failed
+          (Json.to_string (crash_error_response ~index:idx ~line ("worker error: " ^ msg)))
+          0.
+      | Parpool.Crashed ->
+        finish seq Failed
+          (Json.to_string (crash_error_response ~index:idx ~line "worker crashed"))
+          0.);
+      match fp with Some fp -> release fp | None -> ()
+  in
+  let rec drive () =
+    let want_more = ref true in
+    while !want_more && Parpool.idle pool > 0 do
+      match Queue.take_opt todo with
+      | Some item -> process item
+      | None -> (
+        match read_next () with
+        | Some item -> process item
+        | None -> want_more := false)
+    done;
+    if Parpool.pending pool > 0 then begin
+      on_completion (Parpool.next pool);
+      drive ()
+    end
+    (* pending = 0 implies the fill loop drained [todo] and the input, and
+       released every deferred request, so the batch is complete *)
+  in
+  drive ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_channels ?cache ?(config = Opt.default_config) ?(jobs = 1) ic oc =
+  let timer = Sun_util.Stopwatch.start () in
+  let jobs = max 1 jobs in
+  let cnt = fresh_counters () in
+  if jobs <= 1 then run_sequential ?cache ~config cnt ic oc
+  else run_parallel ?cache ~config ~jobs cnt ic oc;
   flush oc;
   {
-    requests = !requests;
-    hits = !hits;
-    computed = !computed;
-    errors = !errors;
+    requests = cnt.c_requests;
+    hits = cnt.c_hits;
+    computed = cnt.c_computed;
+    errors = cnt.c_errors;
     wall_s = Sun_util.Stopwatch.elapsed_s timer;
+    hit_s = cnt.c_hit_s;
+    computed_s = cnt.c_computed_s;
+    error_s = cnt.c_error_s;
+    jobs;
     cache_stats = Option.map Cache.stats cache;
   }
 
-let run_files ?cache ?config ~input ~output () =
+let run_files ?cache ?config ?jobs ~input ~output () =
   let ic = if input = "-" then stdin else open_in input in
   Fun.protect
     ~finally:(fun () -> if input <> "-" then close_in_noerr ic)
@@ -227,7 +511,7 @@ let run_files ?cache ?config ~input ~output () =
       let oc = if output = "-" then stdout else open_out output in
       Fun.protect
         ~finally:(fun () -> if output <> "-" then close_out_noerr oc)
-        (fun () -> run_channels ?cache ?config ic oc))
+        (fun () -> run_channels ?cache ?config ?jobs ic oc))
 
 let summary_line s =
   let cache_part =
@@ -235,5 +519,7 @@ let summary_line s =
     | None -> "cache disabled"
     | Some st -> Format.asprintf "cache: %a" Cache.pp_stats st
   in
-  Printf.sprintf "%d requests: %d hits, %d computed, %d errors in %.2fs (%s)" s.requests s.hits
-    s.computed s.errors s.wall_s cache_part
+  Printf.sprintf
+    "%d requests: %d hits, %d computed, %d errors in %.2fs (jobs %d; request time: %.2fs hit, \
+     %.2fs computed, %.2fs error; %s)"
+    s.requests s.hits s.computed s.errors s.wall_s s.jobs s.hit_s s.computed_s s.error_s cache_part

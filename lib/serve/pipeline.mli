@@ -11,8 +11,9 @@
     - [workload] and [arch] are either registry names ({!Registry}) or
       inline {!Codec} documents, so callers can schedule workloads that
       have no built-in name;
-    - [id] is optional and echoed back (defaults to the 0-based line
-      index rendered as ["line<N>"]);
+    - [id] is optional and echoed back (defaults to the 1-based line
+      number rendered as ["line<N>"], matching the ["line"] field of
+      error responses);
     - [beam] and [top_down] optionally override the pipeline's base
       optimizer config *for that request* (and are folded into its
       fingerprint);
@@ -43,7 +44,30 @@
     malformed line yields an error response, never a crash, and JSON parse
     errors locate the fault by offset, line and column. Responses for
     cache hits are byte-identical in mapping and cost to the run that
-    populated the cache (floats round-trip exactly through the codec). *)
+    populated the cache (floats round-trip exactly through the codec).
+
+    {2 Parallel serving}
+
+    With [jobs >= 2] the pipeline fans requests out over a {!Parpool} of
+    forked workers while preserving the sequential contract:
+
+    - the parent alone parses lines, consults the cache (hits never reach
+      a worker) and writes cache entries, so LRU order and {!Cache.stats}
+      stay exact — workers never see the cache at all;
+    - a search whose fingerprint is already being computed is parked
+      until the first one lands, then served as a cache hit, exactly as
+      it would have been sequentially;
+    - responses are re-sequenced so output order always equals input
+      order regardless of completion order;
+    - a worker that dies mid-request is replaced and the request retried
+      once; a second death yields an [status:"error"] response for that
+      request only — the batch always completes.
+
+    Consequently [jobs = N] and [jobs = 1] produce identical responses
+    (up to [wall_s] timings) whenever the batch's distinct fingerprints
+    fit in the cache's in-memory capacity; past that, LRU eviction order
+    — and therefore the hit/computed split — may differ, because the
+    parallel parent performs lookups ahead of completions. *)
 
 type outcome = Hit | Computed | Failed
 
@@ -52,21 +76,28 @@ type summary = {
   hits : int;
   computed : int;
   errors : int;
-  wall_s : float;
+  wall_s : float;  (** whole-batch wall time *)
+  hit_s : float;  (** cumulative per-request wall time of cache hits *)
+  computed_s : float;  (** ... of searches and evaluations (sums worker time) *)
+  error_s : float;  (** ... of failed requests *)
+  jobs : int;  (** worker processes used (1 = in-process, sequential) *)
   cache_stats : Cache.stats option;  (** [None] when caching is disabled *)
 }
 
 val run_channels :
-  ?cache:Cache.t -> ?config:Sun_core.Optimizer.config -> in_channel -> out_channel -> summary
+  ?cache:Cache.t -> ?config:Sun_core.Optimizer.config -> ?jobs:int -> in_channel -> out_channel ->
+  summary
 (** Streams requests to responses. [?cache] absent disables caching (every
     request is a fresh search); [?config] is the base optimizer config
-    (default {!Sun_core.Optimizer.default_config}). *)
+    (default {!Sun_core.Optimizer.default_config}); [?jobs] (default [1],
+    values [< 1] clamped to [1]) spreads non-hit requests over that many
+    forked workers. *)
 
 val run_files :
-  ?cache:Cache.t -> ?config:Sun_core.Optimizer.config -> input:string -> output:string -> unit ->
-  summary
+  ?cache:Cache.t -> ?config:Sun_core.Optimizer.config -> ?jobs:int -> input:string ->
+  output:string -> unit -> summary
 (** File front end; ["-"] means stdin / stdout. *)
 
 val summary_line : summary -> string
 (** One human-readable line, e.g.
-    ["36 requests: 24 hits, 12 computed, 0 errors in 1.8s (cache: ...)"]. *)
+    ["36 requests: 24 hits, 12 computed, 0 errors in 1.8s (jobs 4; ...)"]. *)

@@ -17,9 +17,22 @@ let split t =
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
-  (* keep 62 bits so the native-int conversion stays non-negative *)
-  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  r mod bound
+  (* Rejection sampling: the draw below keeps 62 bits, uniform over
+     [0, 2^62), and [r mod bound] alone is biased toward small values
+     whenever [bound] does not divide 2^62, so draws past the largest
+     multiple of [bound] are redrawn.  2^62 itself overflows the 63-bit
+     native int (max_int = 2^62 - 1), so the residue is derived from
+     max_int: 2^62 mod bound = ((max_int mod bound) + 1) mod bound.
+     Rejecting r > max_int - rem discards exactly the top [rem] values;
+     a first draw in range (the overwhelmingly common case for the small
+     bounds used here) yields exactly the value the pre-rejection
+     implementation did, keeping existing seeded sequences stable. *)
+  let rem = ((max_int mod bound) + 1) mod bound in
+  let rec go () =
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    if r > max_int - rem then go () else r mod bound
+  in
+  go ()
 
 let float t bound =
   let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in

@@ -13,7 +13,10 @@ val split : t -> t
 (** An independent generator derived from the current state. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+(** [int t bound] is uniform in [\[0, bound)] — exactly, not merely
+    approximately: draws are rejection-sampled so no modulo bias favors
+    small values for bounds that do not divide the 62-bit draw range.
+    [bound] must be positive. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)

@@ -2,6 +2,7 @@ module J = Sun_serve.Json
 module Codec = Sun_serve.Codec
 module Fp = Sun_serve.Fingerprint
 module Cache = Sun_serve.Cache
+module Parpool = Sun_serve.Parpool
 module Pipeline = Sun_serve.Pipeline
 module Registry = Sun_serve.Registry
 module W = Sun_tensor.Workload
@@ -12,6 +13,11 @@ module Opt = Sun_core.Optimizer
 let ok = function
   | Ok x -> x
   | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let contains_substring haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
 
 let expect_error what = function
   | Ok _ -> Alcotest.failf "%s: expected an error" what
@@ -290,6 +296,145 @@ let test_cache_key_sanitization () =
   Alcotest.(check bool) "no path escape" true
     (Array.for_all (fun f -> not (String.length f > 5 && String.sub f 0 6 = "escape")) (Sys.readdir dir))
 
+let test_cache_failed_persist_leaves_dir_clean () =
+  let dir = fresh_dir "sun_cache_leak" in
+  Unix.mkdir dir 0o755;
+  (* occupy the entry's final path with a directory: the atomic rename at
+     the end of the persist must fail after the temp file was written *)
+  Unix.mkdir (Filename.concat dir "key1.json") 0o755;
+  let c = Cache.create ~dir () in
+  Cache.store c "key1" (J.Int 1);
+  (* the failure is swallowed and the memory tier still serves... *)
+  Alcotest.(check bool) "memory tier unaffected" true (Cache.find c "key1" = Some (J.Int 1));
+  (* ...but the failed write must not leave its temp file behind *)
+  Alcotest.(check bool) "no tmp litter" true
+    (Array.for_all (fun f -> not (contains_substring f ".tmp.")) (Sys.readdir dir))
+
+let test_cache_shared_dir_interleaved () =
+  let dir = fresh_dir "sun_cache_shared" in
+  let c1 = Cache.create ~dir () in
+  let c2 = Cache.create ~dir () in
+  let key i = Printf.sprintf "k%d" i in
+  for i = 0 to 49 do
+    Cache.store c1 (key i) (J.Obj [ ("writer", J.Int 1); ("i", J.Int i) ]);
+    Cache.store c2 (key i) (J.Obj [ ("writer", J.Int 2); ("i", J.Int i) ])
+  done;
+  (* a fresh instance over the same directory: every entry must parse and
+     be exactly one writer's complete document — never an interleaving *)
+  let c3 = Cache.create ~dir ~capacity:64 () in
+  for i = 0 to 49 do
+    match Cache.find c3 (key i) with
+    | Some (J.Obj [ ("writer", J.Int w); ("i", J.Int i') ]) ->
+      Alcotest.(check int) "entry index intact" i i';
+      Alcotest.(check bool) "entry from one writer" true (w = 1 || w = 2)
+    | _ -> Alcotest.failf "entry %s missing or mangled" (key i)
+  done;
+  Alcotest.(check int) "no corrupt entries" 0 (Cache.stats c3).Cache.corrupt
+
+let test_cache_concurrent_fork_writers () =
+  let dir = fresh_dir "sun_cache_fork" in
+  let key k = Printf.sprintf "k%d" k in
+  let children =
+    List.init 4 (fun child ->
+        match Unix.fork () with
+        | 0 ->
+          (try
+             let c = Cache.create ~dir () in
+             for i = 0 to 24 do
+               Cache.store c (key (i mod 10)) (J.Obj [ ("child", J.Int child); ("i", J.Int i) ])
+             done
+           with _ -> Unix._exit 1);
+          Unix._exit 0
+        | pid -> pid)
+  in
+  List.iter
+    (fun pid ->
+      let _, status = Unix.waitpid [] pid in
+      Alcotest.(check bool) "writer exited cleanly" true (status = Unix.WEXITED 0))
+    children;
+  (* the pid-tagged temp + atomic rename protocol: whatever the interleaving,
+     every entry is one writer's complete document *)
+  let c = Cache.create ~dir () in
+  for k = 0 to 9 do
+    match Cache.find c (key k) with
+    | Some (J.Obj [ ("child", J.Int child); ("i", J.Int i) ]) ->
+      Alcotest.(check bool) "child id valid" true (child >= 0 && child < 4);
+      Alcotest.(check int) "value belongs to this key" k (i mod 10)
+    | _ -> Alcotest.failf "entry %s missing or mangled" (key k)
+  done;
+  Alcotest.(check int) "no corrupt entries" 0 (Cache.stats c).Cache.corrupt
+
+let cache_qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"in-memory LRU never exceeds capacity" ~count:300
+      (list (pair bool (int_bound 20)))
+      (fun ops ->
+        let c = Cache.create ~capacity:4 () in
+        List.for_all
+          (fun (is_store, k) ->
+            let keyname = Printf.sprintf "k%d" k in
+            if is_store then Cache.store c keyname (J.Int k) else ignore (Cache.find c keyname);
+            Cache.size c <= Cache.capacity c)
+          ops);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Parpool                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let all_done replies =
+  List.map (function Parpool.Done x -> x | _ -> Alcotest.fail "expected Done") replies
+
+let test_parpool_map_matches_inprocess () =
+  let xs = List.init 50 Fun.id in
+  let f x = (x * x) + 1 in
+  let sequential = Parpool.map ~jobs:1 ~f xs in
+  let forked = Parpool.map ~jobs:4 ~f xs in
+  Alcotest.(check (list int)) "jobs 1 = plain map" (List.map f xs) (all_done sequential);
+  Alcotest.(check (list int)) "jobs 4 = jobs 1, order preserved" (all_done sequential)
+    (all_done forked)
+
+let test_parpool_exception_is_failed () =
+  let f x = if x = 2 then failwith "kaboom" else x * 10 in
+  let check_replies label replies =
+    match replies with
+    | [ Parpool.Done 10; Parpool.Failed msg; Parpool.Done 30; Parpool.Done 40 ] ->
+      Alcotest.(check bool) (label ^ " carries the exception") true
+        (contains_substring msg "kaboom")
+    | _ -> Alcotest.fail (label ^ ": expected Done/Failed/Done/Done")
+  in
+  (* identical reply surface in-process and forked; later jobs keep flowing
+     through the worker that raised *)
+  check_replies "jobs 1" (Parpool.map ~jobs:1 ~f [ 1; 2; 3; 4 ]);
+  check_replies "jobs 2" (Parpool.map ~jobs:2 ~f [ 1; 2; 3; 4 ])
+
+let test_parpool_crash_is_contained () =
+  (* job 1 kills its worker on every attempt: the pool must retry once,
+     give up on that job only, and keep serving the rest *)
+  let f x =
+    if x = 1 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+    x + 1
+  in
+  match Parpool.map ~jobs:2 ~f [ 0; 1; 2; 3 ] with
+  | [ Parpool.Done 1; Parpool.Crashed; Parpool.Done 3; Parpool.Done 4 ] -> ()
+  | _ -> Alcotest.fail "expected Done/Crashed/Done/Done"
+
+let test_parpool_crash_retry_succeeds () =
+  (* job 1 kills its worker only while the flag file exists (removing it
+     first), so the pool's single retry must succeed *)
+  let flag = Filename.temp_file "sun_parpool_crash" "" in
+  let f x =
+    if x = 1 && Sys.file_exists flag then begin
+      (try Sys.remove flag with Sys_error _ -> ());
+      Unix.kill (Unix.getpid ()) Sys.sigkill
+    end;
+    x + 1
+  in
+  let replies = Parpool.map ~jobs:2 ~f [ 0; 1; 2 ] in
+  Alcotest.(check (list int)) "crash-once is retried transparently" [ 1; 2; 3 ] (all_done replies);
+  if Sys.file_exists flag then Sys.remove flag
+
 (* ------------------------------------------------------------------ *)
 (* Pipeline                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -317,11 +462,11 @@ let batch_requests =
     {|{"id":"r2","workload":"matmul","arch":"toy"}|};
   ]
 
-let run_batch ?cache requests =
+let run_batch ?cache ?jobs requests =
   let input = Filename.temp_file "sun_pipe_in" ".jsonl" in
   let output = Filename.temp_file "sun_pipe_out" ".jsonl" in
   write_lines input requests;
-  let summary = Pipeline.run_files ?cache ~input ~output () in
+  let summary = Pipeline.run_files ?cache ?jobs ~input ~output () in
   let lines = read_lines output in
   let responses = List.map (fun l -> ok (J.of_string l)) lines in
   Sys.remove input;
@@ -547,6 +692,149 @@ let test_pipeline_in_memory_dedup () =
   Alcotest.(check int) "no cache: all computed" 3 s'.Pipeline.computed;
   Alcotest.(check bool) "no cache stats" true (s'.Pipeline.cache_stats = None)
 
+(* Default request ids use the same 1-based numbering as the [line] field
+   of error responses: the first input line is "line1", never "line0". *)
+let test_pipeline_default_ids_one_based () =
+  let requests =
+    [
+      {|{"workload":"conv1d","arch":"toy"}|};
+      {|{"workload":"conv1d",|};
+    ]
+  in
+  let _, responses, _ = run_batch ~cache:(Cache.create ()) requests in
+  let id_of r = ok (J.as_string (response_field "id" r)) in
+  Alcotest.(check string) "first line defaults to line1" "line1" (id_of (List.nth responses 0));
+  let malformed = List.nth responses 1 in
+  Alcotest.(check string) "default id matches line field" "line2" (id_of malformed);
+  Alcotest.(check int) "line field agrees" 2 (ok (J.as_int (response_field "line" malformed)))
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline: parallel serving                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* wall_s is the one legitimately nondeterministic response field *)
+let normalize_wall = function
+  | J.Obj fields ->
+    J.Obj (List.map (fun (k, v) -> if k = "wall_s" then (k, J.Int 0) else (k, v)) fields)
+  | v -> v
+
+let parity_requests () =
+  let inline_workload = J.to_string (Codec.encode_workload conv1d) in
+  [
+    {|{"v":1,"id":"r1","workload":"conv1d","arch":"toy"}|};
+    {|{"workload":"conv1d","arch":"toy"}|};
+    {|{"workload":"matmul","arch":"toy","id":"r3","beam":4}|};
+    {|{"workload":"nope","arch":"toy","id":"bad-workload"}|};
+    "this line is not json";
+    "";
+    {|{"workload":"conv1d","arch":"nope","id":"bad-arch"}|};
+    {|{"v":7,"workload":"matmul","arch":"toy","id":"bad-version"}|};
+    Printf.sprintf {|{"workload":%s,"arch":"toy","id":"inline"}|} inline_workload;
+    {|{"workload":"matmul","arch":"toy","beam":4}|};
+  ]
+
+let test_pipeline_jobs_parity () =
+  let requests = parity_requests () in
+  let s1, r1, _ =
+    run_batch ~cache:(Cache.create ~dir:(fresh_dir "sun_parity_seq") ()) ~jobs:1 requests
+  in
+  let s4, r4, _ =
+    run_batch ~cache:(Cache.create ~dir:(fresh_dir "sun_parity_par") ()) ~jobs:4 requests
+  in
+  Alcotest.(check int) "same requests" s1.Pipeline.requests s4.Pipeline.requests;
+  Alcotest.(check int) "same hits" s1.Pipeline.hits s4.Pipeline.hits;
+  Alcotest.(check int) "same computed" s1.Pipeline.computed s4.Pipeline.computed;
+  Alcotest.(check int) "same errors" s1.Pipeline.errors s4.Pipeline.errors;
+  Alcotest.(check int) "jobs recorded (seq)" 1 s1.Pipeline.jobs;
+  Alcotest.(check int) "jobs recorded (par)" 4 s4.Pipeline.jobs;
+  (* the single-writer cache discipline keeps the counters exact, not
+     merely approximately right *)
+  (match (s1.Pipeline.cache_stats, s4.Pipeline.cache_stats) with
+  | Some a, Some b ->
+    Alcotest.(check int) "same cache hits" a.Cache.hits b.Cache.hits;
+    Alcotest.(check int) "same cache misses" a.Cache.misses b.Cache.misses;
+    Alcotest.(check int) "same cache stores" a.Cache.stores b.Cache.stores
+  | _ -> Alcotest.fail "expected cache stats on both runs");
+  Alcotest.(check int) "same response count" (List.length r1) (List.length r4);
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string)
+        (Printf.sprintf "response %d byte-identical (modulo wall_s)" i)
+        (J.to_string (normalize_wall a))
+        (J.to_string (normalize_wall b)))
+    (List.combine r1 r4)
+
+let test_pipeline_parallel_dedup () =
+  (* three identical searches racing over four workers must still collapse
+     to one computation: the in-flight fingerprint defers the other two
+     until the first lands, exactly as the sequential pipeline would *)
+  let requests =
+    [
+      {|{"workload":"conv1d","arch":"toy"}|};
+      {|{"workload":"conv1d","arch":"toy"}|};
+      {|{"workload":"conv1d","arch":"toy"}|};
+    ]
+  in
+  let cache = Cache.create () in
+  let s, responses, _ = run_batch ~cache ~jobs:4 requests in
+  Alcotest.(check int) "one search" 1 s.Pipeline.computed;
+  Alcotest.(check int) "two hits" 2 s.Pipeline.hits;
+  Alcotest.(check int) "no errors" 0 s.Pipeline.errors;
+  let st = Cache.stats cache in
+  Alcotest.(check int) "exactly one cache miss" 1 st.Cache.misses;
+  Alcotest.(check int) "exactly one store" 1 st.Cache.stores;
+  Alcotest.(check int) "two cache hits" 2 st.Cache.hits;
+  let statuses = List.map (fun r -> ok (J.as_string (response_field "status" r))) responses in
+  Alcotest.(check (list string)) "statuses in input order" [ "computed"; "hit"; "hit" ] statuses;
+  (* without a cache there is nothing to dedup against: parity with the
+     sequential no-cache behavior means every request searches *)
+  let s', _, _ = run_batch ~jobs:4 requests in
+  Alcotest.(check int) "no cache: all computed" 3 s'.Pipeline.computed
+
+let test_pipeline_worker_crash_contained () =
+  let requests =
+    [
+      {|{"workload":"conv1d","arch":"toy","id":"ok1"}|};
+      {|{"workload":"matmul","arch":"toy","id":"boom","x-sunstone-test-crash":true}|};
+      {|{"workload":"conv1d","arch":"toy","id":"ok2"}|};
+    ]
+  in
+  let s, responses, _ = run_batch ~cache:(Cache.create ()) ~jobs:2 requests in
+  Alcotest.(check int) "pipeline completed all three" 3 s.Pipeline.requests;
+  Alcotest.(check int) "crash is one error" 1 s.Pipeline.errors;
+  Alcotest.(check int) "first conv1d computed" 1 s.Pipeline.computed;
+  Alcotest.(check int) "second conv1d still hits" 1 s.Pipeline.hits;
+  let statuses = List.map (fun r -> ok (J.as_string (response_field "status" r))) responses in
+  Alcotest.(check (list string)) "only the crashed request errors"
+    [ "computed"; "error"; "hit" ]
+    statuses;
+  let crashed = List.nth responses 1 in
+  Alcotest.(check string) "crash echoes the request id" "boom"
+    (ok (J.as_string (response_field "id" crashed)));
+  Alcotest.(check int) "crash reports its line" 2 (ok (J.as_int (response_field "line" crashed)));
+  Alcotest.(check bool) "crash is named as such" true
+    (contains_substring (ok (J.as_string (response_field "error" crashed))) "worker crashed")
+
+let test_pipeline_worker_crash_once_is_retried () =
+  (* the worker dies mid-request on the first attempt only: the pool's
+     retry must answer the request as if nothing happened *)
+  let flag = Filename.temp_file "sun_pipe_crash_once" "" in
+  let requests =
+    [
+      {|{"workload":"conv1d","arch":"toy","id":"steady"}|};
+      Printf.sprintf {|{"workload":"matmul","arch":"toy","id":"flaky","x-sunstone-test-crash-once":%S}|}
+        flag;
+    ]
+  in
+  let s, responses, _ = run_batch ~cache:(Cache.create ()) ~jobs:2 requests in
+  Alcotest.(check int) "no errors after retry" 0 s.Pipeline.errors;
+  Alcotest.(check int) "both computed" 2 s.Pipeline.computed;
+  let flaky = List.nth responses 1 in
+  Alcotest.(check string) "retried request answered normally" "computed"
+    (ok (J.as_string (response_field "status" flaky)));
+  Alcotest.(check bool) "crash flag consumed" false (Sys.file_exists flag);
+  if Sys.file_exists flag then Sys.remove flag
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -580,6 +868,19 @@ let () =
           Alcotest.test_case "disk persistence" `Quick test_cache_disk_persistence;
           Alcotest.test_case "corrupt entry tolerated" `Quick test_cache_corrupt_entry;
           Alcotest.test_case "key sanitization" `Quick test_cache_key_sanitization;
+          Alcotest.test_case "failed persist leaves dir clean" `Quick
+            test_cache_failed_persist_leaves_dir_clean;
+          Alcotest.test_case "shared dir, interleaved writers" `Quick
+            test_cache_shared_dir_interleaved;
+          Alcotest.test_case "concurrent fork writers" `Quick test_cache_concurrent_fork_writers;
+        ] );
+      ("cache properties", List.map QCheck_alcotest.to_alcotest cache_qcheck_props);
+      ( "parpool",
+        [
+          Alcotest.test_case "map matches in-process" `Quick test_parpool_map_matches_inprocess;
+          Alcotest.test_case "exception becomes Failed" `Quick test_parpool_exception_is_failed;
+          Alcotest.test_case "crash is contained" `Quick test_parpool_crash_is_contained;
+          Alcotest.test_case "crash-once is retried" `Quick test_parpool_crash_retry_succeeds;
         ] );
       ( "pipeline",
         [
@@ -590,5 +891,11 @@ let () =
           Alcotest.test_case "mixed batch with static analysis" `Quick
             test_pipeline_mixed_static_analysis;
           Alcotest.test_case "in-memory dedup" `Quick test_pipeline_in_memory_dedup;
+          Alcotest.test_case "default ids are 1-based" `Quick test_pipeline_default_ids_one_based;
+          Alcotest.test_case "--jobs 4 parity with --jobs 1" `Quick test_pipeline_jobs_parity;
+          Alcotest.test_case "parallel in-flight dedup" `Quick test_pipeline_parallel_dedup;
+          Alcotest.test_case "worker crash contained" `Quick test_pipeline_worker_crash_contained;
+          Alcotest.test_case "worker crash-once retried" `Quick
+            test_pipeline_worker_crash_once_is_retried;
         ] );
     ]

@@ -67,6 +67,42 @@ let test_rng_bounds () =
     Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
   done
 
+(* Golden first draws for a fixed seed: rejection sampling must not have
+   perturbed existing sequences (a first draw in range returns exactly what
+   the pre-rejection implementation returned). *)
+let test_rng_sequence_stability () =
+  let t = Rng.create 42 in
+  check_list "seed 42, bound 1000"
+    [ 853; 72; 964; 941; 812; 265; 231; 977 ]
+    (List.init 8 (fun _ -> Rng.int t 1000))
+
+let test_rng_uniformity_smoke () =
+  (* with the old modulo bias this is exact-uniform only when the bound
+     divides 2^62; the rejection loop makes every bucket fair *)
+  let t = Rng.create 11 in
+  let buckets = Array.make 3 0 in
+  for _ = 1 to 30000 do
+    let v = Rng.int t 3 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d near 10000 (got %d)" i n)
+        true
+        (abs (n - 10000) < 500))
+    buckets
+
+let test_rng_large_bound_rejection_path () =
+  (* bound = 3 * 2^60 rejects ~25% of raw draws: the redraw loop must
+     terminate and stay in range even when rejection is frequent *)
+  let big = 0x3000_0000_0000_0000 in
+  let t = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int t big in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < big)
+  done
+
 let test_rng_shuffle_permutes () =
   let t = Rng.create 3 in
   let xs = Listx.range 20 in
@@ -143,6 +179,9 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "sequence stability" `Quick test_rng_sequence_stability;
+          Alcotest.test_case "uniformity smoke" `Quick test_rng_uniformity_smoke;
+          Alcotest.test_case "large-bound rejection" `Quick test_rng_large_bound_rejection_path;
           Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
         ] );
       ( "stopwatch",
