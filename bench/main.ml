@@ -138,12 +138,67 @@ let serve_bench () =
     [ 1; 2; 4 ];
   Sys.remove reqs_path
 
+(* Auditor scaling: time Audit.check_kernels over growing prefixes of the
+   bundled kernel family and persist the curve (plus the per-kernel
+   exhaustive-enumeration sizes that drive it) to BENCH_audit.json, so the
+   differential oracle's cost stays visible as kernels are added. *)
+let audit_bench () =
+  let module Audit = Sun_analysis.Audit in
+  let module Json = Sun_serve.Json in
+  let total = List.length (Audit.kernels ()) in
+  Printf.printf "audit: differential oracle over %d bundled kernels\n%!" total;
+  let rows =
+    List.map
+      (fun limit ->
+        let started = Unix.gettimeofday () in
+        let reports = Audit.check_kernels ~limit () in
+        let elapsed = Unix.gettimeofday () -. started in
+        let mappings =
+          List.fold_left (fun acc r -> acc + r.Audit.mappings_enumerated) 0 reports
+        in
+        let diags =
+          List.fold_left (fun acc r -> acc + List.length r.Audit.diagnostics) 0 reports
+        in
+        Printf.printf "  kernels %-2d %8.3fs  %7d mappings enumerated, %d diagnostics\n%!"
+          limit elapsed mappings diags;
+        Json.Obj
+          [
+            ("kernels", Json.Int limit);
+            ("wall_s", Json.Float elapsed);
+            ("mappings_enumerated", Json.Int mappings);
+            ("diagnostics", Json.Int diags);
+            ( "reports",
+              Json.List
+                (List.map
+                   (fun r ->
+                     Json.Obj
+                       [
+                         ("kernel", Json.String r.Audit.kernel);
+                         ("orders_kept", Json.Int r.Audit.orders_kept);
+                         ("orders_total", Json.Int r.Audit.orders_total);
+                         ("frontier_checked", Json.Int r.Audit.frontier_checked);
+                         ("mappings_enumerated", Json.Int r.Audit.mappings_enumerated);
+                         ("exhaustive_edp", Json.Float r.Audit.exhaustive_edp);
+                         ("search_edp", Json.Float r.Audit.search_edp);
+                       ])
+                   reports) );
+          ])
+      (List.init total (fun i -> i + 1))
+  in
+  let out = "BENCH_audit.json" in
+  let oc = open_out out in
+  output_string oc (Json.to_string_pretty (Json.Obj [ ("audit", Json.List rows) ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "audit: wrote %s\n" out
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let known = List.map fst Sun_experiments.Figures.all in
   match args with
   | [ "micro" ] -> micro_suite ()
   | [ "serve" ] -> serve_bench ()
+  | [ "audit" ] -> audit_bench ()
   | [] -> List.iter (fun (name, driver) -> run_experiment name driver) Sun_experiments.Figures.all
   | names ->
     List.iter
@@ -151,7 +206,7 @@ let () =
         match List.assoc_opt name Sun_experiments.Figures.all with
         | Some driver -> run_experiment name driver
         | None ->
-          Printf.eprintf "unknown experiment %S; known: %s, 'micro' or 'serve'\n" name
+          Printf.eprintf "unknown experiment %S; known: %s, 'micro', 'serve' or 'audit'\n" name
             (String.concat ", " known);
           exit 2)
       names

@@ -11,11 +11,25 @@ dune build
 echo "== dune runtest"
 dune runtest
 
-echo "== lint (partial functions in lib/)"
-sh bin/lint.sh
+echo "== lint (fork-safety + partial functions in lib/)"
+dune exec bin/lint_src.exe
 
 echo "== sunstone check (static analysis over the registry)"
 dune exec bin/sunstone_cli.exe -- check --admissibility
+
+echo "== sunstone audit (differential pruning oracles + unit lint)"
+dune exec bin/sunstone_cli.exe -- audit --kernels 3
+
+echo "== audit injection (a broken pruning rule must fail the audit)"
+# The auditor itself is gated: deliberately breaking a pruning rule through
+# the test hook must turn the exit code non-zero, or the oracle is vacuous.
+for rule in order frontier; do
+  if dune exec bin/sunstone_cli.exe -- audit --kernels 1 --inject "$rule" >/dev/null 2>&1; then
+    echo "audit injection: --inject $rule did not fail the audit" >&2
+    exit 1
+  fi
+done
+echo "audit injection: ok (both injected faults detected)"
 
 echo "== batch --jobs parity (sequential vs 4 workers, mixed fixture)"
 # The parallel pipeline must produce byte-identical, order-preserving

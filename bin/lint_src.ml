@@ -1,0 +1,33 @@
+(* Source lint gate: the OCaml successor of the old bin/lint.sh shell grep.
+   Scans lib/ (or the roots given on the command line) with the Forksafe
+   checker — partial functions, Marshal / fork outside the pool, shared
+   channel writes, mutable toplevel state — honouring the same
+   bin/lint_allowlist.txt fixed-substring format. Exit 1 on any hit. *)
+
+module Forksafe = Sun_analysis.Forksafe
+module D = Sun_analysis.Diagnostic
+
+let () =
+  let roots =
+    match List.tl (Array.to_list Sys.argv) with [] -> [ "lib" ] | roots -> roots
+  in
+  let allowlist = Forksafe.load_allowlist "bin/lint_allowlist.txt" in
+  let reports = List.map (fun root -> Forksafe.scan ~allowlist ~root ()) roots in
+  let files = List.fold_left (fun acc r -> acc + r.Forksafe.files_scanned) 0 reports in
+  let suppressed = List.fold_left (fun acc r -> acc + r.Forksafe.suppressed) 0 reports in
+  let hits = List.concat_map (fun r -> r.Forksafe.hits) reports in
+  if hits = [] then
+    Printf.printf "lint: ok (%d files scanned, %d allowlisted hit%s)\n" files suppressed
+      (if suppressed = 1 then "" else "s")
+  else begin
+    Printf.eprintf "lint: fork-unsafe or partial patterns in library code:\n";
+    List.iter
+      (fun h ->
+        Printf.eprintf "%s [%s %s]\n" (Forksafe.hit_string h)
+          (D.code_id h.Forksafe.diag.D.code)
+          (D.code_name h.Forksafe.diag.D.code))
+      hits;
+    Printf.eprintf
+      "lint: convert to Result/diagnostics, or allowlist the line in bin/lint_allowlist.txt\n";
+    exit 1
+  end

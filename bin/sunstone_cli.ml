@@ -437,6 +437,110 @@ let check_cmd =
           admissibility and config/arch well-formedness")
     Term.(const run $ mapping_arg $ admissibility_arg $ json_arg)
 
+(* ------------------------------------------------------------------ *)
+(* sunstone audit: the mapspace auditor                                 *)
+(* ------------------------------------------------------------------ *)
+
+let audit_cmd =
+  let module Audit = Sun_analysis.Audit in
+  let kernels_arg =
+    let doc =
+      "Audit only the first $(docv) bundled kernels (cheapest first); 0 means all of them."
+    in
+    Arg.(value & opt int 0 & info [ "kernels" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit machine-readable JSON instead of human-readable lines." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Test hook: deliberately break the pruning the oracles audit ($(b,order) drops a \
+       load-bearing trie candidate, $(b,frontier) shrinks a tiling frontier) to prove the \
+       auditor fires. The exit code must become non-zero."
+    in
+    let inject_conv =
+      Arg.enum
+        [ ("order", Audit.Drop_order_candidate); ("frontier", Audit.Shrink_frontier) ]
+    in
+    Arg.(value & opt (some inject_conv) None & info [ "inject" ] ~docv:"RULE" ~doc)
+  in
+  let src_arg =
+    let doc = "Repository root for the fork-safety source scan (its lib/ subtree is scanned)." in
+    Arg.(value & opt string "." & info [ "src" ] ~docv:"DIR" ~doc)
+  in
+  let run kernels json inject src =
+    let inject = Option.value ~default:Audit.No_injection inject in
+    let audits =
+      List.map
+        (fun (r : Audit.kernel_report) ->
+          {
+            pass = "audit";
+            subject = Printf.sprintf "%s on %s" r.Audit.kernel r.Audit.arch;
+            note =
+              Printf.sprintf
+                "%d/%d orders kept, %d frontier tiles, %d mappings enumerated, exhaustive EDP \
+                 %.6e, pruned EDP %.6e"
+                r.Audit.orders_kept r.Audit.orders_total r.Audit.frontier_checked
+                r.Audit.mappings_enumerated r.Audit.exhaustive_edp r.Audit.search_edp;
+            diags = r.Audit.diagnostics;
+          })
+        (Audit.check_kernels ~inject ~limit:kernels ())
+    in
+    let units =
+      List.map
+        (fun (r : Sun_analysis.Unitlint.report) ->
+          {
+            pass = "units";
+            subject = r.Sun_analysis.Unitlint.arch;
+            note =
+              Printf.sprintf "%d quantities checked" r.Sun_analysis.Unitlint.quantities_checked;
+            diags = r.Sun_analysis.Unitlint.diagnostics;
+          })
+        (Sun_analysis.Unitlint.check_presets ())
+    in
+    let forksafe =
+      let root = Filename.concat src "lib" in
+      if Sys.file_exists root && Sys.is_directory root then begin
+        let allowlist =
+          Sun_analysis.Forksafe.load_allowlist
+            (Filename.concat src (Filename.concat "bin" "lint_allowlist.txt"))
+        in
+        let r = Sun_analysis.Forksafe.scan ~allowlist ~root () in
+        [
+          {
+            pass = "forksafe";
+            subject = root;
+            note =
+              Printf.sprintf "%d files scanned, %d allowlisted"
+                r.Sun_analysis.Forksafe.files_scanned r.Sun_analysis.Forksafe.suppressed;
+            diags = Sun_analysis.Forksafe.diagnostics r;
+          };
+        ]
+      end
+      else
+        [
+          {
+            pass = "forksafe";
+            subject = root;
+            note = "";
+            diags =
+              [
+                Diag.info Diag.Audit_skipped
+                  (Printf.sprintf "source scan skipped: %s is not a directory" root);
+              ];
+          };
+        ]
+    in
+    print_check_results ~json (audits @ units @ forksafe)
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Run the mapspace auditor: differential trie/tiling oracles against brute force, the \
+          cost-model unit lint, and the fork-safety source scan")
+    Term.(const run $ kernels_arg $ json_arg $ inject_arg $ src_arg)
+
 let experiment_cmd =
   let exp_arg =
     let doc = "Experiment id: table1, table3, table6, fig6, fig7, fig8, fig9." in
@@ -472,5 +576,6 @@ let () =
             batch_cmd;
             export_cmd;
             check_cmd;
+            audit_cmd;
             experiment_cmd;
           ]))

@@ -15,6 +15,22 @@ type code =
   | Config_invalid
   | Workload_malformed
   | Operand_unstored
+  | Order_not_subsumed
+  | Trie_incomplete
+  | Frontier_not_maximal
+  | Frontier_overflow
+  | Frontier_incomplete
+  | Best_mismatch
+  | Cost_drift
+  | Audit_skipped
+  | Marshal_outside_pool
+  | Fork_outside_pool
+  | Shared_channel_write
+  | Toplevel_mutable
+  | Partial_function
+  | Unit_nonfinite
+  | Unit_negative
+  | Unit_implausible
 
 type location = {
   level : int option;
@@ -40,6 +56,22 @@ let code_id = function
   | Config_invalid -> "SA021"
   | Workload_malformed -> "SA022"
   | Operand_unstored -> "SA030"
+  | Order_not_subsumed -> "SA031"
+  | Trie_incomplete -> "SA032"
+  | Frontier_not_maximal -> "SA033"
+  | Frontier_overflow -> "SA034"
+  | Frontier_incomplete -> "SA035"
+  | Best_mismatch -> "SA036"
+  | Cost_drift -> "SA037"
+  | Audit_skipped -> "SA038"
+  | Marshal_outside_pool -> "SA040"
+  | Fork_outside_pool -> "SA041"
+  | Shared_channel_write -> "SA042"
+  | Toplevel_mutable -> "SA043"
+  | Partial_function -> "SA044"
+  | Unit_nonfinite -> "SA050"
+  | Unit_negative -> "SA051"
+  | Unit_implausible -> "SA052"
 
 let code_name = function
   | Capacity_overflow -> "capacity-overflow"
@@ -56,8 +88,42 @@ let code_name = function
   | Config_invalid -> "config-invalid"
   | Workload_malformed -> "workload-malformed"
   | Operand_unstored -> "operand-unstored"
+  | Order_not_subsumed -> "order-not-subsumed"
+  | Trie_incomplete -> "trie-incomplete"
+  | Frontier_not_maximal -> "frontier-not-maximal"
+  | Frontier_overflow -> "frontier-overflow"
+  | Frontier_incomplete -> "frontier-incomplete"
+  | Best_mismatch -> "pruned-best-mismatch"
+  | Cost_drift -> "cost-drift"
+  | Audit_skipped -> "audit-skipped"
+  | Marshal_outside_pool -> "marshal-outside-pool"
+  | Fork_outside_pool -> "fork-outside-pool"
+  | Shared_channel_write -> "shared-channel-write"
+  | Toplevel_mutable -> "toplevel-mutable-state"
+  | Partial_function -> "partial-function"
+  | Unit_nonfinite -> "unit-nonfinite"
+  | Unit_negative -> "unit-negative"
+  | Unit_implausible -> "unit-implausible"
+
+let all_codes =
+  [
+    Capacity_overflow; Unroll_overflow; Bad_coverage; Bad_order; Level_mismatch; Unknown_dim;
+    Nonpositive_factor; Pruning_unsound; Bound_overshoot; Optimum_pruned; Arch_malformed;
+    Config_invalid; Workload_malformed; Operand_unstored; Order_not_subsumed; Trie_incomplete;
+    Frontier_not_maximal; Frontier_overflow; Frontier_incomplete; Best_mismatch; Cost_drift;
+    Audit_skipped; Marshal_outside_pool; Fork_outside_pool; Shared_channel_write;
+    Toplevel_mutable; Partial_function; Unit_nonfinite; Unit_negative; Unit_implausible;
+  ]
+
+let code_of_id id = List.find_opt (fun c -> code_id c = id) all_codes
 
 let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let severity_of_name = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
 
 let no_location = { level = None; dim = None; operand = None; partition = None }
 

@@ -24,6 +24,22 @@ type code =
   | Config_invalid  (** SA021: optimizer config outside its documented domain *)
   | Workload_malformed  (** SA022: workload breaks its own structural invariants *)
   | Operand_unstored  (** SA030: no partition at any level accepts an operand's role *)
+  | Order_not_subsumed  (** SA031: a pruned loop order has no dominating trie candidate *)
+  | Trie_incomplete  (** SA032: the order trie misses a signature-distinct order class *)
+  | Frontier_not_maximal  (** SA033: a tiling frontier point can still grow and fit *)
+  | Frontier_overflow  (** SA034: a tiling frontier point does not actually fit *)
+  | Frontier_incomplete  (** SA035: frontier differs from the brute-force maximal set *)
+  | Best_mismatch  (** SA036: pruned-search best differs from the exhaustive best *)
+  | Cost_drift  (** SA037: a served mapping's claimed cost differs on re-evaluation *)
+  | Audit_skipped  (** SA038: an audit oracle was skipped (bounds exceeded) *)
+  | Marshal_outside_pool  (** SA040: [Marshal] used outside the fork pool module *)
+  | Fork_outside_pool  (** SA041: [Unix.fork] used outside the fork pool module *)
+  | Shared_channel_write  (** SA042: stdout/stderr write from library (worker-reachable) code *)
+  | Toplevel_mutable  (** SA043: mutable toplevel state reachable from worker code *)
+  | Partial_function  (** SA044: banned partial function or escape hatch in lib/ *)
+  | Unit_nonfinite  (** SA050: a cost-model quantity is NaN or infinite *)
+  | Unit_negative  (** SA051: a cost-model quantity that must be nonnegative is negative *)
+  | Unit_implausible  (** SA052: a cost-model quantity far outside its plausible range *)
 
 type location = {
   level : int option;
@@ -40,7 +56,16 @@ val code_id : code -> string
 val code_name : code -> string
 (** Stable kebab-case slug, e.g. ["capacity-overflow"]. *)
 
+val all_codes : code list
+(** Every code, in SA-id order; the round-trip tests enumerate this. *)
+
+val code_of_id : string -> code option
+(** Inverse of {!code_id}; [None] on unknown ids. *)
+
 val severity_name : severity -> string
+
+val severity_of_name : string -> severity option
+(** Inverse of {!severity_name}. *)
 
 val no_location : location
 

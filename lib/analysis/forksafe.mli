@@ -1,0 +1,47 @@
+(** Fork-safety and hygiene source checker (pass 7): SA040-SA044.
+
+    The parallel batch pipeline forks workers that share the parent's file
+    descriptors and address space snapshot, so library code reachable from
+    a worker must not: marshal values outside the pool's framed protocol
+    (SA040), fork on its own (SA041), write to the shared stdout/stderr
+    channels (SA042 — worker output would interleave with the parent's
+    JSONL stream), or mutate toplevel state whose post-fork divergence
+    silently differs between parent and workers (SA043). SA044 carries over
+    the partial-function / escape-hatch ban of the old [bin/lint.sh].
+
+    This is a textual scanner over [*.ml] files, not a typed analysis: each
+    rule is a substring with an identifier-boundary check on the preceding
+    character (so [pp_print_string] does not trip the [print_string] rule),
+    comments are stripped with a nesting-aware tracker, and intentional
+    sites are suppressed through the same allowlist file format the shell
+    lint used — fixed substrings matched against the ["file:line:code"]
+    rendering of a hit. [Marshal] and [Unix.fork] are permitted in paths
+    containing ["parpool"], the one module whose job they are. *)
+
+type hit = {
+  file : string;
+  line : int;
+  text : string;  (** the offending source line, trimmed *)
+  diag : Diagnostic.t;
+}
+
+type report = {
+  files_scanned : int;
+  hits : hit list;  (** after allowlist suppression *)
+  suppressed : int;
+}
+
+val hit_string : hit -> string
+(** Grep-style ["file:line:code"] rendering — the string allowlist entries
+    are matched against. *)
+
+val diagnostics : report -> Diagnostic.t list
+
+val scan : ?allowlist:string list -> root:string -> unit -> report
+(** Scan every [*.ml] under [root] (skipping [_build] and dot-directories).
+    [allowlist] entries are fixed substrings; a hit whose {!hit_string}
+    contains any of them is suppressed. *)
+
+val load_allowlist : string -> string list
+(** Parse an allowlist file (blank lines and [#] comments ignored); a
+    missing file is an empty allowlist. *)

@@ -1,0 +1,67 @@
+module A = Sun_arch.Arch
+module U = Sun_cost.Units
+module D = Diagnostic
+
+type report = {
+  arch : string;
+  quantities_checked : int;
+  diagnostics : Diagnostic.t list;
+}
+
+(* Plausibility window for per-event energies, in pJ. A 16-bit DRAM access
+   is a few hundred pJ and a small SRAM read a fraction of one; anything
+   above a microjoule or (when nonzero) below a microfemtojoule in a pJ
+   field is a unit slip, not a design point. *)
+let max_plausible_pj = 1e6
+let min_plausible_pj = 1e-6
+
+let check_arch (a : A.t) =
+  let diags = ref [] in
+  let checked = ref 0 in
+  let add d = diags := !diags @ [ d ] in
+  let quantity ?level ?partition ~what ?(allow_zero = true) ?(plausible = true) v =
+    incr checked;
+    let r : _ U.rate U.t = U.rate v in
+    if not (U.is_finite r) then
+      add
+        (D.error ?level ?partition D.Unit_nonfinite
+           (Printf.sprintf "%s is %s" what (if Float.is_nan v then "NaN" else "infinite")))
+    else if not (U.is_nonneg r) then
+      add (D.error ?level ?partition D.Unit_negative (Printf.sprintf "%s is negative: %g" what v))
+    else if (not allow_zero) && v = 0.0 then
+      add (D.error ?level ?partition D.Unit_negative (Printf.sprintf "%s is zero" what))
+    else if plausible && v > max_plausible_pj then
+      add
+        (D.warning ?level ?partition D.Unit_implausible
+           (Printf.sprintf "%s = %g pJ is implausibly large — joules in a picojoule field?" what v))
+    else if plausible && v > 0.0 && v < min_plausible_pj then
+      add
+        (D.warning ?level ?partition D.Unit_implausible
+           (Printf.sprintf "%s = %g pJ is implausibly small — is the unit right?" what v))
+  in
+  List.iteri
+    (fun li (l : A.level) ->
+      quantity ~level:li ~what:(Printf.sprintf "level %s NoC hop energy" l.A.level_name)
+        l.A.noc_hop_energy;
+      List.iter
+        (fun (p : A.partition) ->
+          quantity ~level:li ~partition:p.A.part_name
+            ~what:(Printf.sprintf "partition %s read energy" p.A.part_name)
+            p.A.read_energy;
+          quantity ~level:li ~partition:p.A.part_name
+            ~what:(Printf.sprintf "partition %s write energy" p.A.part_name)
+            p.A.write_energy;
+          quantity ~level:li ~partition:p.A.part_name ~allow_zero:false ~plausible:false
+            ~what:(Printf.sprintf "partition %s bandwidth (words/cycle)" p.A.part_name)
+            p.A.bandwidth)
+        l.A.partitions)
+    a.A.levels;
+  quantity ~what:"MAC energy" a.A.mac_energy;
+  { arch = a.A.arch_name; quantities_checked = !checked; diagnostics = !diags }
+
+let check_presets () =
+  List.map
+    (fun (name, a) ->
+      let r = check_arch a in
+      { r with arch = name })
+    Sun_arch.Presets.all

@@ -1,0 +1,25 @@
+(** Cost-model unit lint (pass 6): SA050-series checks on runtime configs.
+
+    The compile-time half of unit safety lives in {!Sun_cost.Units}: the
+    energy model only combines quantities through phantom-typed operations,
+    so mixing picojoules with access counts no longer type-checks. This
+    pass is the runtime half — architectures arrive from JSON or presets as
+    bare floats, and a NaN energy or a negative bandwidth would flow
+    through the typed pipeline unharmed. Every energy rate (per-access
+    read/write, per-hop NoC, per-MAC), capacity and bandwidth is checked
+    for finiteness (SA050), sign (SA051), and plausible magnitude (SA052 —
+    warnings, e.g. a per-access energy above 10^6 pJ or a positive one
+    below 10^-6 pJ is almost certainly a unit mistake such as joules or
+    femtojoules in a picojoule field). *)
+
+type report = {
+  arch : string;
+  quantities_checked : int;
+  diagnostics : Diagnostic.t list;
+}
+
+val check_arch : Sun_arch.Arch.t -> report
+
+val check_presets : unit -> report list
+(** One report per bundled preset ({!Sun_arch.Presets.all}); the bundled
+    tables must lint clean. *)

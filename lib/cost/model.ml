@@ -1,6 +1,7 @@
 module W = Sun_tensor.Workload
 module A = Sun_arch.Arch
 module M = Sun_mapping.Mapping
+module U = Units
 
 type binding = string -> string
 
@@ -210,12 +211,12 @@ let validate_lay ctx lay =
            lvl.A.fanout)
   done;
   if !violation = None then begin
-    let used = Array.make ctx.nparts 0.0 in
+    let used : U.word U.count U.t array = Array.make ctx.nparts U.zero in
     Array.iter
       (fun info ->
         for l = 0 to ctx.nlevels - 1 do
           match info.part_at.(l) with
-          | Some { gid; _ } -> used.(gid) <- used.(gid) +. footprint info lay.cum.(l)
+          | Some { gid; _ } -> used.(gid) <- U.(used.(gid) +: count (footprint info lay.cum.(l)))
           | None -> ()
         done)
       ctx.operands;
@@ -223,10 +224,11 @@ let validate_lay ctx lay =
       let l = ctx.part_level.(gid) in
       if not ctx.levels.(l).A.unbounded then begin
         let p = ctx.parts.(gid) in
-        if used.(gid) > float_of_int p.A.capacity_words +. 1e-9 then
+        if U.gt used.(gid) (U.count (float_of_int p.A.capacity_words +. 1e-9)) then
           set
             (Printf.sprintf "partition %s at %s: footprint %.0f exceeds capacity %d"
-               ctx.part_names.(gid) ctx.levels.(l).A.level_name used.(gid) p.A.capacity_words)
+               ctx.part_names.(gid) ctx.levels.(l).A.level_name
+               (U.to_float used.(gid)) p.A.capacity_words)
       end
     done
   end;
@@ -335,9 +337,9 @@ let mac_streaming ctx lay (info : op_info) ~l0 =
 (* ------------------------------------------------------------------ *)
 
 let evaluate_lay ctx lay =
-  let energy = Array.make ctx.nparts 0.0 in
-  let words = Array.make ctx.nparts 0.0 in
-  let noc_energy = ref 0.0 in
+  let energy : U.energy U.t array = Array.make ctx.nparts U.zero in
+  let words : U.access U.count U.t array = Array.make ctx.nparts U.zero in
+  let noc_energy = ref (U.zero : U.energy U.t) in
   let transfers = ref [] in
   Array.iter
     (fun info ->
@@ -348,11 +350,13 @@ let evaluate_lay ctx lay =
       let l0 = storing.(0) in
       let { gid; part } = part_ref_at info l0 in
       let reads = mac_streaming ctx lay info ~l0 in
-      let per_word =
-        if info.is_output then part.A.read_energy +. part.A.write_energy else part.A.read_energy
+      let per_word : U.access U.rate U.t =
+        if info.is_output then U.(rate part.A.read_energy +: rate part.A.write_energy)
+        else U.rate part.A.read_energy
       in
-      energy.(gid) <- energy.(gid) +. (reads *. per_word);
-      words.(gid) <- words.(gid) +. (reads *. if info.is_output then 2.0 else 1.0);
+      energy.(gid) <- U.(energy.(gid) +: charge (count reads) per_word);
+      words.(gid) <-
+        U.(words.(gid) +: count (reads *. if info.is_output then 2.0 else 1.0));
       transfers :=
         {
           operand = info.op.W.name;
@@ -370,20 +374,21 @@ let evaluate_lay ctx lay =
         let rp = part_ref_at info lp in
         let rc = part_ref_at info lc in
         let dir = if info.is_output then 2.0 else 1.0 in
-        let prod_per_word =
-          if info.is_output then (rp.part.A.read_energy +. rp.part.A.write_energy) /. 2.0
-          else rp.part.A.read_energy
+        let prod_per_word : U.access U.rate U.t =
+          if info.is_output then U.(halve (rate rp.part.A.read_energy +: rate rp.part.A.write_energy))
+          else U.rate rp.part.A.read_energy
         in
-        let cons_per_word =
-          if info.is_output then (rc.part.A.read_energy +. rc.part.A.write_energy) /. 2.0
-          else rc.part.A.write_energy
+        let cons_per_word : U.access U.rate U.t =
+          if info.is_output then U.(halve (rate rc.part.A.read_energy +: rate rc.part.A.write_energy))
+          else U.rate rc.part.A.write_energy
         in
-        energy.(rp.gid) <- energy.(rp.gid) +. (dir *. reads *. prod_per_word);
-        energy.(rc.gid) <- energy.(rc.gid) +. (dir *. fills *. cons_per_word);
-        words.(rp.gid) <- words.(rp.gid) +. (dir *. reads);
-        words.(rc.gid) <- words.(rc.gid) +. (dir *. fills);
+        energy.(rp.gid) <- U.(energy.(rp.gid) +: charge (count (dir *. reads)) prod_per_word);
+        energy.(rc.gid) <- U.(energy.(rc.gid) +: charge (count (dir *. fills)) cons_per_word);
+        words.(rp.gid) <- U.(words.(rp.gid) +: count (dir *. reads));
+        words.(rc.gid) <- U.(words.(rc.gid) +: count (dir *. fills));
         for j = lc + 1 to lp do
-          noc_energy := !noc_energy +. (dir *. fills *. ctx.levels.(j).A.noc_hop_energy)
+          noc_energy :=
+            U.(!noc_energy +: charge (count (dir *. fills)) (rate ctx.levels.(j).A.noc_hop_energy))
         done;
         transfers :=
           {
@@ -397,10 +402,10 @@ let evaluate_lay ctx lay =
           :: !transfers
       done)
     ctx.operands;
-  let mac_energy = ctx.macs *. ctx.arch.A.mac_energy in
-  let total_energy =
-    Array.fold_left ( +. ) 0.0 energy +. !noc_energy +. mac_energy
+  let mac_energy =
+    U.charge (U.count ctx.macs) (U.rate ctx.arch.A.mac_energy : U.op U.rate U.t)
   in
+  let total_energy = U.to_float U.(sum energy +: !noc_energy +: mac_energy) in
   (* latency *)
   let total_spatial =
     let p = ref 1.0 in
@@ -418,7 +423,7 @@ let evaluate_lay ctx lay =
   for gid = 0 to ctx.nparts - 1 do
     let p = ctx.parts.(gid) in
     let l = ctx.part_level.(gid) in
-    bw_cycles := Float.max !bw_cycles (words.(gid) /. (p.A.bandwidth *. inst_used.(l)))
+    bw_cycles := Float.max !bw_cycles (U.to_float words.(gid) /. (p.A.bandwidth *. inst_used.(l)))
   done;
   let cycles = Float.max compute_cycles !bw_cycles in
   (* breakdown by partition name *)
@@ -432,10 +437,10 @@ let evaluate_lay ctx lay =
     breakdown := go !breakdown
   in
   for gid = 0 to ctx.nparts - 1 do
-    if energy.(gid) <> 0.0 then add ctx.part_names.(gid) energy.(gid)
+    if U.to_float energy.(gid) <> 0.0 then add ctx.part_names.(gid) (U.to_float energy.(gid))
   done;
-  add "NoC" !noc_energy;
-  add "MAC" mac_energy;
+  add "NoC" (U.to_float !noc_energy);
+  add "MAC" (U.to_float mac_energy);
   {
     energy_pj = total_energy;
     cycles;
@@ -457,7 +462,9 @@ let evaluate_ctx ctx m =
 
 let energy_lower_bound_ctx ctx ~partial_levels m =
   let lay = convert ctx m in
-  let energy = ref (ctx.macs *. ctx.arch.A.mac_energy) in
+  let energy =
+    ref (U.charge (U.count ctx.macs) (U.rate ctx.arch.A.mac_energy : U.op U.rate U.t))
+  in
   Array.iter
     (fun info ->
       let storing = info.storing in
@@ -466,10 +473,11 @@ let energy_lower_bound_ctx ctx ~partial_levels m =
         let l0 = storing.(0) in
         let { part; _ } = part_ref_at info l0 in
         let reads = mac_streaming ctx lay info ~l0 in
-        let per_word =
-          if info.is_output then part.A.read_energy +. part.A.write_energy else part.A.read_energy
+        let per_word : U.access U.rate U.t =
+          if info.is_output then U.(rate part.A.read_energy +: rate part.A.write_energy)
+          else U.rate part.A.read_energy
         in
-        energy := !energy +. (reads *. per_word)
+        energy := U.(!energy +: charge (count reads) per_word)
       end;
       for i = 0 to nst - 2 do
         let lc = storing.(i) and lp = storing.(i + 1) in
@@ -479,13 +487,14 @@ let energy_lower_bound_ctx ctx ~partial_levels m =
           let rc = part_ref_at info lc in
           let dir = if info.is_output then 2.0 else 1.0 in
           energy :=
-            !energy
-            +. (dir *. reads *. rp.part.A.read_energy)
-            +. (dir *. fills *. rc.part.A.write_energy)
+            U.(
+              !energy
+              +: charge (count (dir *. reads)) (rate rp.part.A.read_energy)
+              +: charge (count (dir *. fills)) (rate rc.part.A.write_energy))
         end
       done)
     ctx.operands;
-  !energy
+  U.to_float !energy
 
 (* ------------------------------------------------------------------ *)
 (* Convenience wrappers                                                 *)

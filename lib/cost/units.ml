@@ -1,0 +1,23 @@
+type energy
+type access
+type op
+type word
+type 'c count
+type 'c rate
+type 'u t = float
+
+let[@inline] pj x = x
+let[@inline] count x = x
+let[@inline] rate x = x
+let[@inline] to_float x = x
+let zero = 0.0
+let[@inline] ( +: ) a b = a +. b
+let[@inline] ( -: ) a b = a -. b
+let[@inline] scale k x = k *. x
+let[@inline] halve x = x /. 2.0
+let[@inline] charge n r = n *. r
+let sum a = Array.fold_left ( +. ) 0.0 a
+let[@inline] max a b = Float.max a b
+let[@inline] gt a b = a > b
+let[@inline] is_finite x = Float.is_finite x
+let[@inline] is_nonneg x = x >= 0.0

@@ -1,0 +1,66 @@
+(** Phantom-typed dimensional analysis for the cost model.
+
+    Every quantity the energy model manipulates is a [float] at runtime, but
+    carries a compile-time unit tag: energies in picojoules, counts of
+    accesses / MAC operations / resident words, and per-count energy rates.
+    Mixing units — adding an energy to an access count, charging a per-MAC
+    rate against an access count — is a type error, not a silent bug. All
+    operations are identity-cost wrappers over float arithmetic; the
+    generated code is the same as untyped floats, and the operation order is
+    preserved exactly so results are bit-identical to the pre-typed model.
+
+    The tags: ['c count t] is a number of ['c] (e.g. [access count t]),
+    ['c rate t] is picojoules per ['c], and [energy t] is picojoules.
+    [charge] is the only cross-unit multiplication:
+    [charge : 'c count t -> 'c rate t -> energy t]. *)
+
+type energy
+(** Unit tag: picojoules. *)
+
+type access
+(** Counting unit: word-granular buffer accesses. *)
+
+type op
+(** Counting unit: MAC operations. *)
+
+type word
+(** Counting unit: words resident in a buffer partition. *)
+
+type 'c count
+(** Unit tag: a number of ['c] (accesses, ops, words). *)
+
+type 'c rate
+(** Unit tag: picojoules per ['c]. *)
+
+type 'u t
+(** A float carrying unit ['u]. Zero-cost: the representation is [float]. *)
+
+val pj : float -> energy t
+val count : float -> 'c count t
+val rate : float -> 'c rate t
+
+val to_float : 'u t -> float
+(** Strip the unit tag. Used only at the model's public boundary. *)
+
+val zero : 'u t
+
+val ( +: ) : 'u t -> 'u t -> 'u t
+val ( -: ) : 'u t -> 'u t -> 'u t
+
+val scale : float -> 'u t -> 'u t
+(** Dimensionless scaling (loop trip counts, directional doubling). *)
+
+val halve : 'u t -> 'u t
+(** Exact division by two (implemented as [/. 2.0], not [*. 0.5]). *)
+
+val charge : 'c count t -> 'c rate t -> energy t
+(** [charge n r] is the energy of [n] events at [r] pJ each. The phantom
+    ['c] forces the count and the rate to agree on what is being counted. *)
+
+val sum : 'u t array -> 'u t
+(** Left fold with [+:] from [zero], matching [Array.fold_left ( +. ) 0.0]. *)
+
+val max : 'u t -> 'u t -> 'u t
+val gt : 'u t -> 'u t -> bool
+val is_finite : 'u t -> bool
+val is_nonneg : 'u t -> bool

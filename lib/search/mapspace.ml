@@ -173,3 +173,26 @@ let enumerate t =
 let enumerate_fixed_orders t =
   let canonical = List.init t.num_levels (fun _ -> t.dims) in
   enumerate_with t ~orders_per_level:(Seq.return canonical)
+
+(* Dims with workload bound 1 carry factor 1 at every level of every
+   assignment, and the cost model skips factor-1 loops entirely (both the
+   temporal reuse scan and the spatial multipliers test [> 1]), so their
+   position in a loop order can never change a mapping's cost. Pinning them
+   outermost and permuting only the active dims visits one representative
+   per cost-equivalence class — the minimum over this space equals the
+   minimum over [enumerate]. *)
+let active_dims t = List.filter (fun d -> W.bound t.w d > 1) t.dims
+
+let size_active_orders t =
+  let orders_per_level = factorial (List.length (active_dims t)) in
+  let order_choices =
+    List.fold_left (fun acc _ -> acc *. orders_per_level) 1.0 (Listx.range t.num_levels)
+  in
+  size_no_orders t *. order_choices
+
+let enumerate_active_orders t =
+  let active = active_dims t in
+  let inactive = List.filter (fun d -> W.bound t.w d <= 1) t.dims in
+  let all_orders = List.map (fun p -> inactive @ p) (Listx.permutations active) in
+  let per_level = List.init t.num_levels (fun _ -> all_orders) in
+  enumerate_with t ~orders_per_level:(seq_cartesian per_level)

@@ -34,3 +34,14 @@ val enumerate : t -> Sun_mapping.Mapping.t Seq.t
 val enumerate_fixed_orders : t -> Sun_mapping.Mapping.t Seq.t
 (** The tiling/unrolling space under one canonical loop order per level —
     a cheaper ground truth when order is held fixed. *)
+
+val enumerate_active_orders : t -> Sun_mapping.Mapping.t Seq.t
+(** Like {!enumerate}, but per-level orders only permute dims with workload
+    bound > 1 (bound-1 dims are pinned outermost). The cost model skips
+    factor-1 loops, so every skipped order is cost-identical to a visited
+    one: the minimum over this space provably equals the minimum over
+    {!enumerate}, at a fraction of the order combinations. The audit's
+    exhaustive oracle uses this. *)
+
+val size_active_orders : t -> float
+(** |{!enumerate_active_orders}| before joint-fanout filtering. *)

@@ -291,6 +291,34 @@ let encode_diagnostic (d : Sun_analysis.Diagnostic.t) =
     @ opt "partition" (fun s -> Json.String s) d.D.where.D.partition
     @ [ ("message", Json.String d.D.message) ])
 
+let decode_diagnostic json =
+  let module D = Sun_analysis.Diagnostic in
+  let* id = decode_field "code" Json.as_string json in
+  let* code =
+    match D.code_of_id id with
+    | Some c -> Ok c
+    | None -> Error (Printf.sprintf "diagnostic: unknown code %S" id)
+  in
+  let* sev_name = decode_field "severity" Json.as_string json in
+  let* severity =
+    match D.severity_of_name sev_name with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "diagnostic: unknown severity %S" sev_name)
+  in
+  let* message = decode_field "message" Json.as_string json in
+  let opt_field name as_ty =
+    match Json.member name json with
+    | None -> Ok None
+    | Some v ->
+      let* x = as_ty v in
+      Ok (Some x)
+  in
+  let* level = opt_field "level" Json.as_int in
+  let* dim = opt_field "dim" Json.as_string in
+  let* operand = opt_field "operand" Json.as_string in
+  let* partition = opt_field "partition" Json.as_string in
+  Ok { D.code; severity; where = { D.level; dim; operand; partition }; message }
+
 (* ------------------------------------------------------------------ *)
 (* Cost                                                                *)
 (* ------------------------------------------------------------------ *)

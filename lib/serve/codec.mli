@@ -44,6 +44,11 @@ val encode_diagnostic : Sun_analysis.Diagnostic.t -> Json.t
     location fields ([level], [dim], [operand], [partition]) appear only
     when present, [message] is always last. *)
 
+val decode_diagnostic : Json.t -> (Sun_analysis.Diagnostic.t, string) result
+(** Inverse of {!encode_diagnostic}: [decode (encode d) = Ok d] for every
+    diagnostic, so [sunstone check --json] / batch [diagnostics] fields can
+    be re-ingested. The redundant ["name"] field is ignored on decode. *)
+
 val encode_cost : Sun_cost.Model.cost -> Json.t
 val decode_cost : Json.t -> (Sun_cost.Model.cost, string) result
 (** Round-trips the full cost record including the per-component energy

@@ -246,6 +246,28 @@ let compute ~config ~index line =
         (match Opt.optimize ~config:p.config p.w p.a with
         | Error msg -> Error (Printf.sprintf "no valid mapping: %s" msg, [])
         | Ok r ->
+          (* Response gate: re-check legality, re-derive the cost (SA037 on
+             drift) and re-verify order subsumption before the mapping is
+             returned or cached. The test hook ["x-sunstone-test-corrupt-cost":
+             true] doubles the claimed numbers so tests can prove the gate
+             fires. *)
+          let claimed_energy, claimed_edp =
+            let corrupt =
+              match Json.of_string line with
+              | Ok json -> Json.member "x-sunstone-test-corrupt-cost" json <> None
+              | Error _ -> false
+            in
+            if corrupt then
+              (r.Opt.cost.Sun_cost.Model.energy_pj *. 2.0, r.Opt.cost.Sun_cost.Model.edp *. 2.0)
+            else (r.Opt.cost.Sun_cost.Model.energy_pj, r.Opt.cost.Sun_cost.Model.edp)
+          in
+          let audit =
+            Sun_analysis.Audit.recheck ~binding:p.config.Opt.binding p.w p.a r.Opt.mapping
+              ~claimed_energy ~claimed_edp
+          in
+          if D.has_errors audit then
+            Error ("mapping rejected by audit recheck", D.errors audit)
+          else
           let mapping_json = Codec.encode_mapping r.Opt.mapping in
           let cost_json = Codec.encode_cost r.Opt.cost in
           let doc =

@@ -44,6 +44,22 @@ let test_code_table () =
       (D.Config_invalid, "SA021", "config-invalid");
       (D.Workload_malformed, "SA022", "workload-malformed");
       (D.Operand_unstored, "SA030", "operand-unstored");
+      (D.Order_not_subsumed, "SA031", "order-not-subsumed");
+      (D.Trie_incomplete, "SA032", "trie-incomplete");
+      (D.Frontier_not_maximal, "SA033", "frontier-not-maximal");
+      (D.Frontier_overflow, "SA034", "frontier-overflow");
+      (D.Frontier_incomplete, "SA035", "frontier-incomplete");
+      (D.Best_mismatch, "SA036", "pruned-best-mismatch");
+      (D.Cost_drift, "SA037", "cost-drift");
+      (D.Audit_skipped, "SA038", "audit-skipped");
+      (D.Marshal_outside_pool, "SA040", "marshal-outside-pool");
+      (D.Fork_outside_pool, "SA041", "fork-outside-pool");
+      (D.Shared_channel_write, "SA042", "shared-channel-write");
+      (D.Toplevel_mutable, "SA043", "toplevel-mutable-state");
+      (D.Partial_function, "SA044", "partial-function");
+      (D.Unit_nonfinite, "SA050", "unit-nonfinite");
+      (D.Unit_negative, "SA051", "unit-negative");
+      (D.Unit_implausible, "SA052", "unit-implausible");
     ]
   in
   List.iter
@@ -83,6 +99,25 @@ let test_diagnostic_json () =
   Alcotest.(check bool) "level" true (get "level" = Some (Sun_serve.Json.Int 1));
   Alcotest.(check bool) "dim" true (get "dim" = Some (Sun_serve.Json.String "K"));
   Alcotest.(check bool) "no operand key" true (get "operand" = None)
+
+let test_diagnostic_roundtrip () =
+  Alcotest.(check int) "code table is exhaustive" 30 (List.length D.all_codes);
+  (* every code, every severity, assorted locations: decode ∘ encode = id *)
+  List.iteri
+    (fun i code ->
+      let mk = match i mod 3 with 0 -> D.error | 1 -> D.warning | _ -> D.info in
+      let d =
+        match i mod 4 with
+        | 0 -> mk code "plain"
+        | 1 -> mk ~level:i ~dim:"K" code "with level and dim"
+        | 2 -> mk ~operand:"weight" code "with operand"
+        | _ -> mk ~level:0 ~partition:"L1" code "with partition"
+      in
+      match Sun_serve.Codec.decode_diagnostic (Sun_serve.Codec.encode_diagnostic d) with
+      | Error m -> Alcotest.failf "%s does not decode: %s" (D.code_id code) m
+      | Ok d' ->
+        Alcotest.(check bool) (D.code_id code ^ " round-trips") true (d = d'))
+    D.all_codes
 
 (* ------------------------------------------------------------------ *)
 (* Legality (pass 1)                                                    *)
@@ -275,6 +310,7 @@ let () =
           Alcotest.test_case "stable code table" `Quick test_code_table;
           Alcotest.test_case "rendering" `Quick test_rendering;
           Alcotest.test_case "json encoding" `Quick test_diagnostic_json;
+          Alcotest.test_case "json round-trip over all codes" `Quick test_diagnostic_roundtrip;
         ] );
       ( "legality",
         [
