@@ -57,6 +57,31 @@ if ! diff -u "$PARITY_TMP/seq.norm" "$PARITY_TMP/par.norm"; then
 fi
 echo "batch parity: ok ($(wc -l <"$PARITY_TMP/seq.norm" | tr -d ' ') responses identical)"
 
+echo "== telemetry counter parity (--metrics at --jobs 1 vs --jobs 4)"
+# Workers ship their telemetry back as snapshots merged by the parent, so
+# the optimizer/model/serve counter totals must not depend on the worker
+# count. parpool.* (parent-only, no pool at --jobs 1) and histograms
+# (deferred requests re-classify in parallel mode) are excluded by the grep.
+set +e
+dune exec bin/sunstone_cli.exe -- batch -i test/fixtures/batch_mixed.jsonl \
+  -o /dev/null --cache-dir "$PARITY_TMP/cache-tel-seq" --jobs 1 \
+  --metrics "$PARITY_TMP/seq-metrics.json" 2>/dev/null
+dune exec bin/sunstone_cli.exe -- batch -i test/fixtures/batch_mixed.jsonl \
+  -o /dev/null --cache-dir "$PARITY_TMP/cache-tel-par" --jobs 4 \
+  --metrics "$PARITY_TMP/par-metrics.json" 2>/dev/null
+set -e
+# counter lines are `"name": N`; histogram lines carry a `{` payload
+grep -E '"(optimizer|model|serve)\.' "$PARITY_TMP/seq-metrics.json" | grep -v '{' >"$PARITY_TMP/seq-counters"
+grep -E '"(optimizer|model|serve)\.' "$PARITY_TMP/par-metrics.json" | grep -v '{' >"$PARITY_TMP/par-counters"
+if ! diff -u "$PARITY_TMP/seq-counters" "$PARITY_TMP/par-counters"; then
+  echo "telemetry parity: --jobs 4 counter totals differ from --jobs 1" >&2
+  exit 1
+fi
+echo "telemetry parity: ok ($(wc -l <"$PARITY_TMP/seq-counters" | tr -d ' ') counters identical)"
+
+echo "== bench telemetry (overhead budget)"
+dune exec bench/main.exe -- telemetry
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt"
   dune build @fmt

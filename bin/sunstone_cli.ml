@@ -17,6 +17,7 @@ module Model = Sun_cost.Model
 module Opt = Sun_core.Optimizer
 module Runners = Sun_experiments.Runners
 module Registry = Sun_serve.Registry
+module Tel = Sun_telemetry.Metrics
 
 (* ------------------------------------------------------------------ *)
 (* Workload / architecture resolution (shared table: Sun_serve.Registry) *)
@@ -50,6 +51,34 @@ let top_down_arg =
 let loopnest_arg =
   let doc = "Also print the mapped loop nest as pseudocode." in
   Arg.(value & flag & info [ "emit-loopnest" ] ~doc)
+
+let metrics_arg =
+  let doc =
+    "Enable telemetry and write the run's metrics (counters and latency histograms) to $(docv) \
+     as JSON when the command finishes; \"-\" writes stdout. `sunstone stats $(docv)` \
+     pretty-prints the file."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Telemetry is off by default; [--metrics FILE] turns it on for the span of
+   the wrapped command and dumps the registry on the way out — including the
+   error path, so a failing run still leaves its counters behind. *)
+let with_metrics metrics run =
+  match metrics with
+  | None -> run ()
+  | Some path ->
+    Tel.set_enabled true;
+    Tel.reset ();
+    Fun.protect
+      ~finally:(fun () ->
+        let text = Tel.to_json (Tel.snapshot ()) ^ "\n" in
+        Tel.set_enabled false;
+        if path = "-" then print_string text
+        else
+          match open_out path with
+          | exception Sys_error m -> Printf.eprintf "cannot write metrics to %s: %s\n" path m
+          | oc -> Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc text))
+      run
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
@@ -85,7 +114,8 @@ let reuse_cmd =
     Term.(const run $ workload_arg)
 
 let schedule_cmd =
-  let run workload arch beam top_down emit_loopnest =
+  let run workload arch beam top_down emit_loopnest metrics =
+    with_metrics metrics @@ fun () ->
     match (find_workload workload, find_arch arch) with
     | Error (`Msg m), _ | _, Error (`Msg m) ->
       prerr_endline m;
@@ -106,9 +136,11 @@ let schedule_cmd =
         Printf.printf "workload:     %s\narchitecture: %s\n\n" w.W.name a.Sun_arch.Arch.arch_name;
         Printf.printf "%s\n\n" (M.to_string r.Opt.mapping);
         Format.printf "%a@." Model.pp_cost r.Opt.cost;
-        Printf.printf "\nsearch: %d candidates examined, %d evaluated, %d pruned, %.2fs\n"
+        Printf.printf
+          "\nsearch: %d candidates examined, %d evaluated, %d pruned, %d build errors, %d eval \
+           errors, %.2fs\n"
           r.Opt.stats.Opt.examined r.Opt.stats.Opt.evaluated r.Opt.stats.Opt.pruned_alpha_beta
-          r.Opt.stats.Opt.wall_seconds;
+          r.Opt.stats.Opt.build_errors r.Opt.stats.Opt.eval_errors r.Opt.stats.Opt.wall_seconds;
         if emit_loopnest then begin
           print_newline ();
           print_string (Sun_mapping.Loopnest.emit w r.Opt.mapping)
@@ -117,7 +149,8 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Find the best dataflow mapping for a workload on an architecture")
-    Term.(const run $ workload_arg $ arch_arg $ beam_arg $ top_down_arg $ loopnest_arg)
+    Term.(
+      const run $ workload_arg $ arch_arg $ beam_arg $ top_down_arg $ loopnest_arg $ metrics_arg)
 
 let tools =
   [
@@ -189,7 +222,8 @@ let batch_cmd =
     in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
-  let run input output cache_dir no_cache jobs beam top_down =
+  let run input output cache_dir no_cache jobs beam top_down metrics =
+    with_metrics metrics @@ fun () ->
     let config =
       {
         Opt.default_config with
@@ -212,7 +246,7 @@ let batch_cmd =
     (Cmd.info "batch" ~doc:"Schedule a JSONL stream of requests through the mapping cache")
     Term.(
       const run $ input_arg $ output_arg $ cache_dir_arg $ no_cache_arg $ jobs_arg $ beam_arg
-      $ top_down_arg)
+      $ top_down_arg $ metrics_arg)
 
 let export_cmd =
   let output_arg =
@@ -469,7 +503,8 @@ let audit_cmd =
     let doc = "Repository root for the fork-safety source scan (its lib/ subtree is scanned)." in
     Arg.(value & opt string "." & info [ "src" ] ~docv:"DIR" ~doc)
   in
-  let run kernels json inject src =
+  let run kernels json inject src metrics =
+    with_metrics metrics @@ fun () ->
     let inject = Option.value ~default:Audit.No_injection inject in
     let audits =
       List.map
@@ -539,7 +574,80 @@ let audit_cmd =
        ~doc:
          "Run the mapspace auditor: differential trie/tiling oracles against brute force, the \
           cost-model unit lint, and the fork-safety source scan")
-    Term.(const run $ kernels_arg $ json_arg $ inject_arg $ src_arg)
+    Term.(const run $ kernels_arg $ json_arg $ inject_arg $ src_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sunstone stats: pretty-print a --metrics dump                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebuild a [Tel.snapshot] from the JSON that [Tel.to_json] wrote. Lives
+   here rather than in [Sun_telemetry] because the telemetry library is
+   dependency-free by design — it cannot see [Sun_serve.Json]. *)
+let snapshot_of_json doc =
+  let ( let* ) = Result.bind in
+  let* () =
+    match J.member "kind" doc with
+    | Some (J.String "telemetry") -> Ok ()
+    | _ -> Error "not a telemetry document (expected \"kind\": \"telemetry\")"
+  in
+  let entries what = function
+    | None -> Ok []
+    | Some (J.Obj fields) -> Ok fields
+    | Some _ -> Error (Printf.sprintf "%S: expected an object" what)
+  in
+  let rec map_entries f = function
+    | [] -> Ok []
+    | (k, v) :: rest ->
+      let* x = Result.map_error (fun e -> Printf.sprintf "%s: %s" k e) (f v) in
+      let* xs = map_entries f rest in
+      Ok ((k, x) :: xs)
+  in
+  let* counter_fields = entries "counters" (J.member "counters" doc) in
+  let* counters = map_entries J.as_int counter_fields in
+  let* hist_fields = entries "histograms" (J.member "histograms" doc) in
+  let* hists =
+    map_entries
+      (fun v ->
+        let* count = Result.bind (J.field "count" v) J.as_int in
+        let* sum = Result.bind (J.field "sum" v) J.as_float in
+        let* h_min = Result.bind (J.field "min" v) J.as_float in
+        let* h_max = Result.bind (J.field "max" v) J.as_float in
+        let* bucket_list = Result.bind (J.field "buckets" v) J.as_list in
+        let* buckets = map_entries J.as_int (List.map (fun b -> ("bucket", b)) bucket_list) in
+        Ok
+          {
+            Tel.h_count = count;
+            h_sum = sum;
+            h_min;
+            h_max;
+            h_buckets = Array.of_list (List.map snd buckets);
+          })
+      hist_fields
+  in
+  Ok { Tel.s_counters = counters; s_hists = hists }
+
+let stats_cmd =
+  let file_arg =
+    let doc = "Metrics JSON file written by --metrics; \"-\" reads stdin." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let text =
+      if file = "-" then Ok (In_channel.input_all stdin)
+      else match read_file file with t -> Ok t | exception Sys_error m -> Error m
+    in
+    let snap = Result.bind text (fun t -> Result.bind (J.of_string t) snapshot_of_json) in
+    match snap with
+    | Error msg ->
+      Printf.eprintf "cannot read metrics from %s: %s\n" file msg;
+      1
+    | Ok snap ->
+      print_string (Tel.to_table snap);
+      0
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Pretty-print a telemetry metrics file (see --metrics) as tables")
+    Term.(const run $ file_arg)
 
 let experiment_cmd =
   let exp_arg =
@@ -577,5 +685,6 @@ let () =
             export_cmd;
             check_cmd;
             audit_cmd;
+            stats_cmd;
             experiment_cmd;
           ]))

@@ -28,6 +28,15 @@ let contains_sub s sub =
 
 let in_parpool path = contains_sub path "parpool"
 
+(* lib/telemetry is the sanctioned single-writer registry: its toplevel
+   mutable state is fork-safe by protocol (each forked worker owns a private
+   copy; the parent merges explicit snapshots on frame receipt — DESIGN.md
+   §3.4), so the toplevel-mutable rule does not apply there. *)
+let in_telemetry path = contains_sub path "telemetry"
+
+(* Direct stdout writes are allowed only in the two formatting sinks. *)
+let in_output_sink path = in_telemetry path || contains_sub path "table_fmt"
+
 let partial_rule needle =
   {
     code = D.Partial_function;
@@ -51,8 +60,20 @@ let toplevel_rule needle =
     code = D.Toplevel_mutable;
     needle;
     why = "mutable toplevel state diverges silently between forked workers";
-    path_exempt = no_exemption;
+    path_exempt = in_telemetry;
     toplevel_only = true;
+  }
+
+(* [Printf.fprintf stdout] / [output_string stdout] sidestep the channel
+   rules above while interleaving with worker-protocol output just the
+   same; only the telemetry/table formatting sinks may address stdout. *)
+let stdout_rule needle =
+  {
+    code = D.Shared_channel_write;
+    needle;
+    why = "direct stdout write in library code (only telemetry/table_fmt may format to stdout)";
+    path_exempt = in_output_sink;
+    toplevel_only = false;
   }
 
 let rules =
@@ -90,6 +111,9 @@ let rules =
     channel_rule (cat [ "Printf"; ".eprintf" ]);
     channel_rule (cat [ "Format"; ".printf" ]);
     channel_rule (cat [ "Format"; ".eprintf" ]);
+    stdout_rule (cat [ "fprintf"; " std"; "out" ]);
+    stdout_rule (cat [ "output_"; "string std"; "out" ]);
+    stdout_rule (cat [ "output_"; "char std"; "out" ]);
     toplevel_rule (cat [ "= "; "ref " ]);
     toplevel_rule (cat [ "Hashtbl"; ".create" ]);
     toplevel_rule (cat [ "Queue"; ".create" ]);

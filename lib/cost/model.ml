@@ -451,13 +451,30 @@ let evaluate_lay ctx lay =
     spatial_utilization = total_spatial /. float_of_int (A.total_fanout ctx.arch);
   }
 
+(* Pre-registered telemetry handles: an [incr] is one flag load when
+   telemetry is disabled, so the per-candidate evaluation path stays inside
+   the bench's overhead budget. Module-global handles are fork-safe here by
+   protocol — each forked worker owns a private registry copy that the
+   parent merges on frame receipt (DESIGN.md §3.4). *)
+let tel_evaluations = Sun_telemetry.Metrics.counter "model.evaluations"
+
+let tel_rejected = Sun_telemetry.Metrics.counter "model.evaluate_rejected"
+
 let evaluate_ctx ctx m =
-  if M.num_levels m <> ctx.nlevels then
+  if M.num_levels m <> ctx.nlevels then begin
+    Sun_telemetry.Metrics.incr tel_rejected;
     Error
       (Printf.sprintf "mapping has %d levels, architecture has %d" (M.num_levels m) ctx.nlevels)
+  end
   else begin
     let lay = convert ctx m in
-    match validate_lay ctx lay with Error _ as e -> e | Ok () -> Ok (evaluate_lay ctx lay)
+    match validate_lay ctx lay with
+    | Error _ as e ->
+      Sun_telemetry.Metrics.incr tel_rejected;
+      e
+    | Ok () ->
+      Sun_telemetry.Metrics.incr tel_evaluations;
+      Ok (evaluate_lay ctx lay)
   end
 
 let energy_lower_bound_ctx ctx ~partial_levels m =

@@ -21,12 +21,21 @@
       [stats.corrupt] — the cache never raises on a bad entry;
     - the cache directory is created on demand ([mkdir -p] semantics). *)
 
+(** Counter invariants, which {!pp_stats} consumers and the accounting
+    tests rely on:
+    - every {!find} increments exactly one of [hits] or [misses], so
+      [hits + misses] equals the total number of lookups;
+    - [disk_hits <= hits]: a disk hit is still a hit;
+    - [corrupt <= misses]: a corrupt disk entry yields nothing usable, so
+      the lookup that tripped over it is {e also} counted as a miss —
+      [corrupt] subdivides the misses, it is not a third outcome. *)
 type stats = {
   hits : int;  (** lookups served from memory or disk *)
   misses : int;  (** lookups that found nothing usable *)
   evictions : int;  (** in-memory LRU evictions (disk entries persist) *)
   disk_hits : int;  (** subset of [hits] that were read from disk *)
-  corrupt : int;  (** disk entries that existed but failed to parse *)
+  corrupt : int;  (** disk entries that existed but failed to parse; each
+                      such lookup is counted in [misses] as well *)
   stores : int;  (** successful [store] calls *)
 }
 

@@ -28,17 +28,18 @@ let escape_string buf s =
     s;
   Buffer.add_char buf '"'
 
-(* Shortest decimal spelling that reads back to the same float. *)
+(* Shortest decimal spelling that reads back to the same float. JSON has no
+   spelling for NaN or the infinities, and emitting the bare words (as this
+   function once did) produces output every conforming parser rejects — so
+   encoding a non-finite float is an error at the source instead. *)
 let float_literal f =
-  if f <> f then "NaN"
-  else if f = infinity then "Infinity"
-  else if f = neg_infinity then "-Infinity"
+  if not (Float.is_finite f) then
+    invalid_arg (Printf.sprintf "Json: cannot encode non-finite float %h" f)
   else
     let short = Printf.sprintf "%.12g" f in
     let s = if float_of_string short = f then short else Printf.sprintf "%.17g" f in
     (* keep a float marker so the value re-parses as Float, not Int *)
-    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n' || c = 'i') s then s
-    else s ^ ".0"
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s else s ^ ".0"
 
 let rec write ~indent ~level buf v =
   let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
@@ -198,16 +199,22 @@ let parse_number st =
   let s = String.sub st.src start (st.pos - start) in
   if s = "" then fail st "expected a number";
   let is_float = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s in
+  (* [float_of_string] happily returns infinity for overflowing literals
+     like 1e309; a value we could never re-encode must not parse. *)
+  let finite_float f =
+    if Float.is_finite f then Float f
+    else fail st (Printf.sprintf "number %S overflows the double range" s)
+  in
   if is_float then
     match float_of_string_opt s with
-    | Some f -> Float f
+    | Some f -> finite_float f
     | None -> fail st (Printf.sprintf "malformed number %S" s)
   else
     match int_of_string_opt s with
     | Some i -> Int i
     | None -> (
       match float_of_string_opt s with
-      | Some f -> Float f
+      | Some f -> finite_float f
       | None -> fail st (Printf.sprintf "malformed number %S" s))
 
 let rec parse_value st =
@@ -262,11 +269,6 @@ let rec parse_value st =
   | Some 't' -> literal st "true" (Bool true)
   | Some 'f' -> literal st "false" (Bool false)
   | Some 'n' -> literal st "null" Null
-  | Some 'N' -> literal st "NaN" (Float nan)
-  | Some 'I' -> literal st "Infinity" (Float infinity)
-  | Some '-' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = 'I' ->
-    advance st;
-    literal st "Infinity" (Float neg_infinity)
   | Some _ -> parse_number st
 
 let of_string s =

@@ -3,11 +3,14 @@
     The serving layer needs machine-readable requests and responses but the
     repository deliberately takes no third-party JSON dependency, so this is
     a small hand-rolled implementation. It supports the full JSON grammar
-    (objects, arrays, strings with escapes, numbers, booleans, null) plus
-    the common [NaN]/[Infinity] extension so that cost values always have a
-    spelling. Printing is canonical enough for byte-level comparison of
-    re-encoded values: object fields keep their construction order and
-    floats are rendered with round-trip precision. *)
+    (objects, arrays, strings with escapes, numbers, booleans, null) — and
+    nothing beyond it: non-finite floats have no JSON spelling, so encoding
+    [NaN] or an infinity raises [Invalid_argument], and inputs carrying
+    [NaN], [Infinity] or an overflowing literal like [1e309] are parse
+    errors rather than values no conforming peer could read back. Printing
+    is canonical enough for byte-level comparison of re-encoded values:
+    object fields keep their construction order and floats are rendered
+    with round-trip precision. *)
 
 type t =
   | Null
@@ -20,14 +23,16 @@ type t =
 
 val to_string : t -> string
 (** Compact (single-line) rendering. Floats print exactly ([%.17g]-style,
-    trimmed), so [of_string (to_string v)] re-reads every value bit-for-bit. *)
+    trimmed), so [of_string (to_string v)] re-reads every value bit-for-bit.
+    Raises [Invalid_argument] on a non-finite [Float]. *)
 
 val to_string_pretty : t -> string
 (** Two-space indented rendering for human-facing files. *)
 
 val of_string : string -> (t, string) result
 (** Parses one JSON value; trailing garbage (other than whitespace) is an
-    error. Numbers without [.], [e] or [E] parse as [Int] when they fit. *)
+    error. Numbers without [.], [e] or [E] parse as [Int] when they fit;
+    float literals that overflow to infinity (e.g. [1e309]) are errors. *)
 
 (** {2 Accessors} — each returns [Error] naming the expected shape. *)
 

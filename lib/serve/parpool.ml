@@ -1,9 +1,17 @@
+module Tel = Sun_telemetry.Metrics
+
 type 'b reply = Done of 'b | Failed of string | Crashed
 
-type 'a job = { key : int; payload : 'a; attempt : int }
+type 'a job = {
+  key : int;
+  payload : 'a;
+  attempt : int;
+  started : float;  (** dispatch timestamp; 0. when telemetry is off *)
+}
 
 type 'a worker = {
   pid : int;
+  ord : int;  (** spawn ordinal, keys the per-worker utilization counters *)
   to_worker : Unix.file_descr;  (** parent writes job frames *)
   from_worker : Unix.file_descr;  (** parent reads reply frames *)
   mutable current : 'a job option;
@@ -13,6 +21,7 @@ type ('a, 'b) t = {
   job_count : int;
   f : 'a -> 'b;
   mutable workers : 'a worker list;
+  mutable spawned : int;  (** workers ever spawned, including respawns *)
   completed : (int * 'b reply) Queue.t;
       (** results produced outside [next]'s read path (crashed retries) *)
   mutable closed : bool;
@@ -90,6 +99,8 @@ let worker_loop f rd wr =
   loop ()
 
 let spawn t =
+  let ord = t.spawned in
+  t.spawned <- t.spawned + 1;
   let job_r, job_w = Unix.pipe ~cloexec:false () in
   let res_r, res_w = Unix.pipe ~cloexec:false () in
   match Unix.fork () with
@@ -108,7 +119,7 @@ let spawn t =
   | pid ->
     Unix.close job_r;
     Unix.close res_w;
-    { pid; to_worker = job_w; from_worker = res_r; current = None }
+    { pid; ord; to_worker = job_w; from_worker = res_r; current = None }
 
 (* ------------------------------------------------------------------ *)
 (* Parent side                                                         *)
@@ -118,7 +129,9 @@ let create ~jobs ~f =
   if jobs < 1 then invalid_arg "Parpool.create: jobs must be >= 1";
   (* Writes to a worker that died must raise EPIPE, not kill the parent. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let t = { job_count = jobs; f; workers = []; completed = Queue.create (); closed = false } in
+  let t =
+    { job_count = jobs; f; workers = []; spawned = 0; completed = Queue.create (); closed = false }
+  in
   for _ = 1 to jobs do
     t.workers <- t.workers @ [ spawn t ]
   done;
@@ -138,15 +151,33 @@ let reap t w =
   (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error (_, _, _) -> ());
   t.workers <- List.filter (fun w' -> w'.pid <> w.pid) t.workers
 
+(* Parent-side pool accounting ([parpool.*] namespace). Deliberately not
+   part of the jobs-1-vs-jobs-N counter-parity surface: a sequential run
+   has no pool at all, so these counters only exist in parallel runs. *)
+let tally_dispatch w =
+  if Tel.enabled () then begin
+    Tel.count "parpool.dispatched" 1;
+    Tel.count (Printf.sprintf "parpool.worker%d.jobs" w.ord) 1
+  end
+
+let tally_respawn ~retrying =
+  if Tel.enabled () then begin
+    Tel.count "parpool.respawned" 1;
+    Tel.count (if retrying then "parpool.retried" else "parpool.gave_up") 1
+  end
+
 (* Hand [job] to [w]; on a write failure the worker died while idle, so it
    is replaced and the job retried (once) on the replacement. *)
 let rec send t w job =
   match write_frame w.to_worker (Marshal.to_string job.payload []) with
-  | () -> w.current <- Some job
+  | () ->
+    w.current <- Some job;
+    tally_dispatch w
   | exception Unix.Unix_error (_, _, _) ->
     reap t w;
     let w' = spawn t in
     t.workers <- t.workers @ [ w' ];
+    tally_respawn ~retrying:(job.attempt = 0);
     if job.attempt = 0 then send t w' { job with attempt = 1 }
     else Queue.add (job.key, Crashed) t.completed
 
@@ -154,7 +185,9 @@ let submit t ~key payload =
   if t.closed then invalid_arg "Parpool.submit: pool is shut down";
   match List.find_opt (fun w -> Option.is_none w.current) t.workers with
   | None -> invalid_arg "Parpool.submit: no idle worker (check Parpool.idle first)"
-  | Some w -> send t w { key; payload; attempt = 0 }
+  | Some w ->
+    let started = if Tel.enabled () then Unix.gettimeofday () else 0.0 in
+    send t w { key; payload; attempt = 0; started }
 
 (* The worker died mid-job: replace it and either retry the job on the
    replacement or, if this already was the retry, give up on the job. *)
@@ -162,6 +195,8 @@ let crash t w job =
   reap t w;
   let w' = spawn t in
   t.workers <- t.workers @ [ w' ];
+  if Tel.enabled () then Tel.count "parpool.crashed" 1;
+  tally_respawn ~retrying:(job.attempt = 0);
   if job.attempt = 0 then send t w' { job with attempt = 1 }
   else Queue.add (job.key, Crashed) t.completed
 
@@ -185,9 +220,16 @@ let rec next t =
         match read_frame w.from_worker with
         | Some frame -> (
           w.current <- None;
+          if Tel.enabled () then begin
+            Tel.count "parpool.completed" 1;
+            if job.started > 0.0 then
+              Tel.observe (Tel.histogram "parpool.job_s") (Unix.gettimeofday () -. job.started)
+          end;
           match (Marshal.from_string frame 0 : (_, string) result) with
           | Ok b -> (job.key, Done b)
-          | Error msg -> (job.key, Failed msg)
+          | Error msg ->
+            if Tel.enabled () then Tel.count "parpool.failed" 1;
+            (job.key, Failed msg)
           | exception _ ->
             (* unmarshalable reply: treat like a dead worker *)
             crash t w job;

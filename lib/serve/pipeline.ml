@@ -1,5 +1,6 @@
 module Opt = Sun_core.Optimizer
 module D = Sun_analysis.Diagnostic
+module Tel = Sun_telemetry.Metrics
 
 type outcome = Hit | Computed | Failed
 
@@ -125,6 +126,7 @@ type parsed = {
 }
 
 let parse_request ~config:base ~index line =
+  Tel.span "serve.parse_s" @@ fun () ->
   match Json.of_string line with
   | Error msg -> Error (default_id ~index, "bad request: " ^ msg, [])
   | Ok json ->
@@ -144,7 +146,9 @@ let parse_request ~config:base ~index line =
        let* config = plain (request_config ~base json) in
        (* static well-formedness gate: an inline arch or workload that would
           crash or nonsense-cost the optimizer is rejected with diagnostics *)
-       let wf = Sun_analysis.Wellformed.check_request ~config w a in
+       let wf =
+         Tel.span "serve.gate_s" (fun () -> Sun_analysis.Wellformed.check_request ~config w a)
+       in
        let* () =
          if D.has_errors wf then Error ("request rejected by static analysis", D.errors wf)
          else Ok ()
@@ -190,7 +194,7 @@ let classify ?cache ?(in_flight = fun _ -> false) ~config ~index line =
         if in_flight p.fingerprint then Deferred p.fingerprint
         else (
           let cached =
-            match Cache.find c p.fingerprint with
+            match Tel.span "serve.cache_s" (fun () -> Cache.find c p.fingerprint) with
             | None -> None
             | Some doc -> (
               match decode_cached p.w doc with Ok hit -> Some hit | Error _ -> None)
@@ -233,7 +237,9 @@ let compute ~config ~index line =
            else Ok ()
          in
          let* m = plain (Sun_mapping.Mapping.make p.w levels) in
-         let* cost = plain (Sun_cost.Model.evaluate p.w p.a m) in
+         let* cost =
+           plain (Tel.span "serve.compute_s" (fun () -> Sun_cost.Model.evaluate p.w p.a m))
+         in
          Ok
            ( Computed,
              result_response ~id:p.id ~status:"evaluated" ~fingerprint:p.fingerprint
@@ -243,7 +249,7 @@ let compute ~config ~index line =
              None ))
     | None ->
       finish
-        (match Opt.optimize ~config:p.config p.w p.a with
+        (match Tel.span "serve.compute_s" (fun () -> Opt.optimize ~config:p.config p.w p.a) with
         | Error msg -> Error (Printf.sprintf "no valid mapping: %s" msg, [])
         | Ok r ->
           (* Response gate: re-check legality, re-derive the cost (SA037 on
@@ -262,8 +268,9 @@ let compute ~config ~index line =
             else (r.Opt.cost.Sun_cost.Model.energy_pj, r.Opt.cost.Sun_cost.Model.edp)
           in
           let audit =
-            Sun_analysis.Audit.recheck ~binding:p.config.Opt.binding p.w p.a r.Opt.mapping
-              ~claimed_energy ~claimed_edp
+            Tel.span "serve.recheck_s" (fun () ->
+                Sun_analysis.Audit.recheck ~binding:p.config.Opt.binding p.w p.a r.Opt.mapping
+                  ~claimed_energy ~claimed_edp)
           in
           if D.has_errors audit then
             Error ("mapping rejected by audit recheck", D.errors audit)
@@ -299,7 +306,14 @@ let fresh_counters () =
   { c_requests = 0; c_hits = 0; c_computed = 0; c_errors = 0; c_hit_s = 0.; c_computed_s = 0.;
     c_error_s = 0. }
 
+(* Outcome counters are tallied here, in the parent, for sequential and
+   parallel runs alike — one of the invariants behind the jobs-1-vs-jobs-N
+   counter parity the tests and ci.sh enforce. *)
 let count cnt outcome wall =
+  (match outcome with
+  | Hit -> Tel.count "serve.hits" 1
+  | Computed -> Tel.count "serve.computed" 1
+  | Failed -> Tel.count "serve.errors" 1);
   match outcome with
   | Hit ->
     cnt.c_hits <- cnt.c_hits + 1;
@@ -313,7 +327,11 @@ let count cnt outcome wall =
 
 let store_if ?cache = function
   | Some (key, doc) -> (
-    match cache with Some c -> Cache.store c key doc | None -> ())
+    match cache with
+    | Some c ->
+      Tel.count "serve.cache_stores" 1;
+      Cache.store c key doc
+    | None -> ())
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -328,6 +346,7 @@ let run_sequential ?cache ~config cnt ic oc =
       incr index;
       if String.trim line <> "" then begin
         cnt.c_requests <- cnt.c_requests + 1;
+        Tel.count "serve.requests" 1;
         let idx = !index - 1 in
         let outcome, response, wall =
           match classify ?cache ~config ~index:idx line with
@@ -378,10 +397,16 @@ let crash_error_response ~index ~line msg =
   error_response ~line:(index + 1) ~id msg
 
 let run_parallel ?cache ~config ~jobs cnt ic oc =
+  (* Each worker resets its (copy-on-write inherited) registry before the
+     job and ships a snapshot back with the result; the parent merges it on
+     receipt. A crashed attempt's counts die with the process, so a retried
+     job is counted exactly once — keeping jobs-N totals equal to jobs-1. *)
   let worker (index, line) =
     worker_crash_hooks line;
+    if Tel.enabled () then Tel.reset ();
     let outcome, response, store, wall = compute ~config ~index line in
-    (outcome, Json.to_string response, store, wall)
+    let tel = if Tel.enabled () then Some (Tel.snapshot ()) else None in
+    (outcome, Json.to_string response, store, wall, tel)
   in
   let pool = Parpool.create ~jobs ~f:worker in
   Fun.protect ~finally:(fun () -> Parpool.shutdown pool) @@ fun () ->
@@ -427,6 +452,7 @@ let run_parallel ?cache ~config ~jobs cnt ic oc =
           if String.trim line = "" then go ()
           else begin
             cnt.c_requests <- cnt.c_requests + 1;
+            Tel.count "serve.requests" 1;
             let seq = !next_seq in
             incr next_seq;
             Some (seq, !index - 1, line)
@@ -469,7 +495,8 @@ let run_parallel ?cache ~config ~jobs cnt ic oc =
     | Some (idx, line, fp) ->
       Hashtbl.remove dispatched seq;
       (match reply with
-      | Parpool.Done (outcome, response, store, wall) ->
+      | Parpool.Done (outcome, response, store, wall, tel) ->
+        (match tel with Some s -> Tel.merge s | None -> ());
         store_if ?cache store;
         finish seq outcome response wall
       | Parpool.Failed msg ->

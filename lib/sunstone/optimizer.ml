@@ -3,6 +3,7 @@ module A = Sun_arch.Arch
 module M = Sun_mapping.Mapping
 module Model = Sun_cost.Model
 module Listx = Sun_util.Listx
+module Tel = Sun_telemetry.Metrics
 
 type direction = Bottom_up | Top_down
 
@@ -32,9 +33,20 @@ let default_config =
     binding = Fun.id;
   }
 
-type stats = { examined : int; evaluated : int; pruned_alpha_beta : int; wall_seconds : float }
+type stats = {
+  examined : int;
+  evaluated : int;
+  pruned_alpha_beta : int;
+  build_errors : int;
+  eval_errors : int;
+  wall_seconds : float;
+}
 
 type result = { mapping : M.t; cost : Model.cost; stats : stats }
+
+(* Test hook: force [Mapping.make] to fail exactly once so the error
+   accounting is exercisable from tests without a pathological preset. *)
+type injection = No_injection | Corrupt_first_build
 
 (* ------------------------------------------------------------------ *)
 (* Shared machinery                                                    *)
@@ -51,6 +63,13 @@ type search_state = {
   mutable examined : int;
   mutable evaluated : int;
   mutable pruned : int;
+  mutable build_errors : int;  (** [Mapping.make] rejections, no longer silent *)
+  mutable eval_errors : int;  (** [Model.evaluate_ctx] rejections, no longer silent *)
+  mutable orders_kept : int;
+  mutable orders_dropped : int;
+  mutable tile_candidates : int;  (** tile-tree frontier tiles emitted *)
+  mutable unroll_candidates : int;  (** spatial unroll choices emitted *)
+  mutable inject : injection;
   mutable best : (M.t * Model.cost) option;
 }
 
@@ -92,14 +111,39 @@ let extents_fit st ~level extent =
       Sun_util.Listx.sum_by (W.footprint extent) ops <= cap)
     st.fits.(level)
 
-(* Score a structurally complete mapping; updates the incumbent. *)
+(* Breaking exact dim coverage (doubling one temporal factor) makes
+   [Mapping.make] reject the candidate, which on natural search paths never
+   happens — every factor choice divides the bounds exactly. *)
+let corrupt_first_build levels =
+  match levels with
+  | [] -> []
+  | lm :: rest ->
+    let temporal =
+      match lm.M.temporal with (d, f) :: tl -> (d, f * 2) :: tl | [] -> lm.M.temporal
+    in
+    { lm with M.temporal } :: rest
+
+(* Score a structurally complete mapping; updates the incumbent. Build and
+   evaluation rejections are counted, never swallowed: a mapspace bug must
+   look different from legitimate pruning in the stats. *)
 let score st levels =
-  match M.make st.w (Array.to_list levels) with
-  | Error _ -> None
+  let levels_list =
+    match st.inject with
+    | No_injection -> Array.to_list levels
+    | Corrupt_first_build ->
+      st.inject <- No_injection;
+      corrupt_first_build (Array.to_list levels)
+  in
+  match M.make st.w levels_list with
+  | Error _ ->
+    st.build_errors <- st.build_errors + 1;
+    None
   | Ok m -> (
     st.evaluated <- st.evaluated + 1;
     match Model.evaluate_ctx st.ctx m with
-    | Error _ -> None
+    | Error _ ->
+      st.eval_errors <- st.eval_errors + 1;
+      None
     | Ok cost ->
       (match st.best with
       | Some (_, best) when best.Model.edp <= cost.Model.edp -> ()
@@ -215,6 +259,7 @@ let bottom_up_pass st ~orders ~k prefix_levels =
       let out = Tile_tree.search ~max_steps:20 ~grow_dims:grow ~remaining ~fits () in
       st.examined <- st.examined + out.Tile_tree.explored;
       let tiles = cap_frontier out.Tile_tree.frontier in
+      st.tile_candidates <- st.tile_candidates + List.length tiles;
       Hashtbl.add tile_memo key tiles;
       tiles
   in
@@ -228,6 +273,7 @@ let bottom_up_pass st ~orders ~k prefix_levels =
           ~min_utilization:st.cfg.min_spatial_utilization ()
       in
       st.examined <- st.examined + out.Unroll.explored;
+      st.unroll_candidates <- st.unroll_candidates + List.length out.Unroll.candidates;
       Hashtbl.add unroll_memo key out.Unroll.candidates;
       out.Unroll.candidates
   in
@@ -272,6 +318,7 @@ let lane_pass st prefix_levels =
             ~min_utilization:st.cfg.min_spatial_utilization ()
         in
         st.examined <- st.examined + out.Unroll.explored;
+        st.unroll_candidates <- st.unroll_candidates + List.length out.Unroll.candidates;
         List.iter
           (fun spatial ->
             st.examined <- st.examined + 1;
@@ -365,8 +412,16 @@ let select_beam st ~fixed_levels prefixes =
   in
   List.map fst (Listx.take st.cfg.beam_width (diverse @ rest))
 
+(* Order candidates come with the trie's visit/prune tallies, so the
+   kept/dropped split the paper's Table VI accounts for is observable. *)
+let order_candidates st =
+  let orders, ostats = Order_trie.candidates_with_stats st.w in
+  st.orders_kept <- st.orders_kept + List.length orders;
+  st.orders_dropped <- st.orders_dropped + ostats.Order_trie.nodes_pruned;
+  orders
+
 let optimize_bottom_up st =
-  let orders = Order_trie.candidates st.w in
+  let orders = order_candidates st in
   let top = A.num_levels st.arch - 1 in
   let start = [ initial_levels st ] in
   let after_lanes =
@@ -420,6 +475,7 @@ let top_down_pass st ~orders ~k prefix_levels =
         ~min_utilization:st.cfg.min_spatial_utilization ()
     in
     st.examined <- st.examined + out_unroll.Unroll.explored;
+    st.unroll_candidates <- st.unroll_candidates + List.length out_unroll.Unroll.candidates;
     List.iter
       (fun spatial ->
         let rem d = below d / Tile_tree.factor_of spatial d in
@@ -430,6 +486,7 @@ let top_down_pass st ~orders ~k prefix_levels =
         in
         let out = Tile_tree.search ~max_steps:20 ~grow_dims:st.dims ~remaining:rem ~fits () in
         st.examined <- st.examined + out.Tile_tree.explored;
+        st.tile_candidates <- st.tile_candidates + List.length out.Tile_tree.frontier;
         List.iter (fun tile -> emit ~order:o.Order_trie.order ~spatial ~tile) out.Tile_tree.frontier)
       out_unroll.Unroll.candidates
   in
@@ -454,6 +511,7 @@ let lane_pass_split st levels =
             ~min_utilization:st.cfg.min_spatial_utilization ()
         in
         st.examined <- st.examined + out.Unroll.explored;
+        st.unroll_candidates <- st.unroll_candidates + List.length out.Unroll.candidates;
         List.iter
           (fun spatial ->
             st.examined <- st.examined + 1;
@@ -471,7 +529,7 @@ let lane_pass_split st levels =
 (* Completion for a top-down prefix: levels below the boundary keep the
    aggregate at level k-1, which is already structurally complete. *)
 let optimize_top_down st =
-  let orders = Order_trie.candidates st.w in
+  let orders = order_candidates st in
   let top = A.num_levels st.arch - 1 in
   let start =
     let levels = initial_levels st in
@@ -577,7 +635,26 @@ let refine st =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let optimize ?(config = default_config) w arch =
+(* The search loops count into [st]'s plain mutable fields and the totals
+   are flushed to the telemetry registry once per call: the hot paths pay
+   nothing for instrumentation beyond what the stats already cost, which is
+   what keeps the disabled-telemetry overhead inside the bench's budget. *)
+let flush_telemetry st wall_seconds =
+  if Tel.enabled () then begin
+    Tel.count "optimizer.searches" 1;
+    Tel.count "optimizer.examined" st.examined;
+    Tel.count "optimizer.evaluated" st.evaluated;
+    Tel.count "optimizer.pruned_alpha_beta" st.pruned;
+    Tel.count "optimizer.build_errors" st.build_errors;
+    Tel.count "optimizer.eval_errors" st.eval_errors;
+    Tel.count "optimizer.orders_kept" st.orders_kept;
+    Tel.count "optimizer.orders_dropped" st.orders_dropped;
+    Tel.count "optimizer.tile_candidates" st.tile_candidates;
+    Tel.count "optimizer.unroll_candidates" st.unroll_candidates;
+    Tel.observe (Tel.histogram "optimizer.search_s") wall_seconds
+  end
+
+let optimize ?(config = default_config) ?(inject = No_injection) w arch =
   let timer = Sun_util.Stopwatch.start () in
   let st =
     {
@@ -590,6 +667,13 @@ let optimize ?(config = default_config) w arch =
       examined = 0;
       evaluated = 0;
       pruned = 0;
+      build_errors = 0;
+      eval_errors = 0;
+      orders_kept = 0;
+      orders_dropped = 0;
+      tile_candidates = 0;
+      unroll_candidates = 0;
+      inject;
       best = None;
     }
   in
@@ -599,6 +683,7 @@ let optimize ?(config = default_config) w arch =
   | Top_down -> optimize_top_down st);
   if config.refine then refine st;
   let wall_seconds = Sun_util.Stopwatch.elapsed_s timer in
+  flush_telemetry st wall_seconds;
   match st.best with
   | None -> Error "no valid mapping found (does a unit tile fit the innermost buffers?)"
   | Some (mapping, cost) ->
@@ -611,6 +696,8 @@ let optimize ?(config = default_config) w arch =
             examined = st.examined;
             evaluated = st.evaluated;
             pruned_alpha_beta = st.pruned;
+            build_errors = st.build_errors;
+            eval_errors = st.eval_errors;
             wall_seconds;
           };
       }

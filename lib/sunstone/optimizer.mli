@@ -44,13 +44,31 @@ type stats = {
   examined : int;  (** candidate nodes generated across all passes *)
   evaluated : int;  (** complete mappings scored with the cost model *)
   pruned_alpha_beta : int;
+  build_errors : int;
+      (** candidates [Mapping.make] rejected — 0 on a healthy mapspace; a
+          nonzero count means a search pass emitted structurally broken
+          levels, which used to be silently indistinguishable from pruning *)
+  eval_errors : int;
+      (** candidates [Model.evaluate_ctx] rejected after building *)
   wall_seconds : float;
 }
 
 type result = { mapping : Sun_mapping.Mapping.t; cost : Sun_cost.Model.cost; stats : stats }
 
+type injection = No_injection | Corrupt_first_build
+(** Test hook for the error accounting: [Corrupt_first_build] breaks the
+    first scored candidate's dim coverage so [Mapping.make] fails exactly
+    once ([stats.build_errors >= 1]) while the search still succeeds. *)
+
 val optimize :
-  ?config:config -> Sun_tensor.Workload.t -> Sun_arch.Arch.t -> (result, string) Stdlib.result
+  ?config:config ->
+  ?inject:injection ->
+  Sun_tensor.Workload.t ->
+  Sun_arch.Arch.t ->
+  (result, string) Stdlib.result
 (** Returns the best mapping found, its cost, and search statistics. Errors
     only when no valid mapping exists (e.g. a single tile element does not
-    fit the innermost buffer). *)
+    fit the innermost buffer). Build/evaluation rejections during the
+    search are counted in [stats] and, when [Sun_telemetry.Metrics] is
+    enabled, flushed once per call under the [optimizer.*] counter
+    namespace (plus an [optimizer.search_s] latency histogram). *)

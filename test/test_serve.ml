@@ -88,12 +88,36 @@ let test_json_parse_forms () =
   Alcotest.(check bool) "float exp" true (ok (J.of_string "2e3") = J.Float 2000.0);
   Alcotest.(check bool) "ws" true (ok (J.of_string "  [ 1 , 2 ]  ") = J.List [ J.Int 1; J.Int 2 ]);
   Alcotest.(check bool) "unicode escape" true (ok (J.of_string "\"\\u0041\"") = J.String "A");
-  Alcotest.(check bool) "nan parses" true (match ok (J.of_string "NaN") with J.Float f -> f <> f | _ -> false);
-  Alcotest.(check bool) "inf" true (ok (J.of_string "-Infinity") = J.Float neg_infinity);
   expect_error "garbage" (J.of_string "nonsense");
   expect_error "trailing" (J.of_string "1 2");
   expect_error "unterminated" (J.of_string "\"abc");
   expect_error "empty" (J.of_string "")
+
+(* JSON has no spelling for non-finite floats: encoding one must raise, and
+   the spellings other encoders use (plus overflowing literals) must be
+   parse errors, never values that round-trip into invalid output. *)
+let test_json_non_finite () =
+  List.iter
+    (fun f ->
+      match J.to_string (J.Float f) with
+      | s -> Alcotest.fail (Printf.sprintf "non-finite %h encoded as %s" f s)
+      | exception Invalid_argument _ -> ())
+    [ nan; infinity; neg_infinity ];
+  expect_error "NaN literal" (J.of_string "NaN");
+  expect_error "Infinity literal" (J.of_string "Infinity");
+  expect_error "-Infinity literal" (J.of_string "-Infinity");
+  expect_error "nested non-finite" (J.of_string {|{"cost": Infinity}|});
+  expect_error "overflowing float" (J.of_string "1e309");
+  expect_error "overflowing negative float" (J.of_string "-1e309");
+  expect_error "overflowing int-looking literal" (J.of_string (String.make 400 '9'));
+  (* the finite edges of the double range still round-trip *)
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "finite %h round-trips" f)
+        true
+        (ok (J.of_string (J.to_string (J.Float f))) = J.Float f))
+    [ 1.7976931348623157e308; -1.7976931348623157e308; 5e-324 ]
 
 let test_json_float_precision () =
   List.iter
@@ -377,6 +401,39 @@ let cache_qcheck_props =
             if is_store then Cache.store c keyname (J.Int k) else ignore (Cache.find c keyname);
             Cache.size c <= Cache.capacity c)
           ops);
+    (* The documented stats invariants (cache.mli): every lookup is a hit or
+       a miss — corrupt disk entries included, corrupt subdivides the misses
+       rather than forming a third outcome. Ops: 0 = store, 1 = find, 2 =
+       corrupt the key's disk entry and evict it from the (capacity-1)
+       memory tier so the next find must trip over the corrupt file. *)
+    Test.make ~name:"stats accounting: hits + misses = lookups, corrupt within misses"
+      ~count:100
+      (list (pair (int_bound 2) (int_bound 3)))
+      (fun ops ->
+        let dir = fresh_dir "sun_cache_stats" in
+        let c = Cache.create ~capacity:1 ~dir () in
+        let finds = ref 0 in
+        List.iter
+          (fun (op, k) ->
+            let keyname = Printf.sprintf "k%d" k in
+            match op with
+            | 0 -> Cache.store c keyname (J.Int k)
+            | 1 ->
+              incr finds;
+              ignore (Cache.find c keyname)
+            | _ ->
+              let path = Filename.concat dir (keyname ^ ".json") in
+              (if Sys.file_exists path then begin
+                 let oc = open_out path in
+                 output_string oc "{ not json";
+                 close_out oc
+               end);
+              Cache.store c "evictor" (J.Int 0))
+          ops;
+        let s = Cache.stats c in
+        s.Cache.hits + s.Cache.misses = !finds
+        && s.Cache.corrupt <= s.Cache.misses
+        && s.Cache.disk_hits <= s.Cache.hits);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -836,6 +893,81 @@ let test_pipeline_worker_crash_once_is_retried () =
   if Sys.file_exists flag then Sys.remove flag
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry counter parity across --jobs                              *)
+(* ------------------------------------------------------------------ *)
+
+module Tel = Sun_telemetry.Metrics
+
+(* The namespaces whose totals must be independent of the worker count:
+   optimizer.* and model.* counts are merged back from workers, serve.*
+   counts are tallied in the parent. parpool.* is excluded by construction
+   (a sequential run has no pool at all) and histograms are excluded
+   because deferred requests re-classify in parallel mode, adding span
+   observations a sequential run never makes. *)
+let parity_counters snap =
+  let prefixed p name =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  List.filter
+    (fun (name, _) -> List.exists (fun p -> prefixed p name) [ "optimizer."; "model."; "serve." ])
+    snap.Tel.s_counters
+
+(* Run [f] with telemetry enabled on a clean registry and return its result
+   together with the parity-relevant counter totals it accumulated. *)
+let with_telemetry f =
+  Tel.set_enabled true;
+  Tel.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tel.reset ();
+      Tel.set_enabled false)
+    (fun () ->
+      let r = f () in
+      (r, parity_counters (Tel.snapshot ())))
+
+let test_telemetry_jobs_parity () =
+  let requests = parity_requests () in
+  let run jobs tag =
+    with_telemetry (fun () ->
+        run_batch ~cache:(Cache.create ~dir:(fresh_dir tag) ()) ~jobs requests)
+  in
+  let _, c1 = run 1 "sun_tel_seq" in
+  let _, c4 = run 4 "sun_tel_par" in
+  Alcotest.(check bool) "parity counters nonempty" true (c1 <> []);
+  Alcotest.(check bool) "searches actually counted" true
+    (match List.assoc_opt "optimizer.searches" c1 with Some n -> n > 0 | None -> false);
+  Alcotest.(check (list (pair string int))) "jobs 4 counter totals = jobs 1" c1 c4
+
+let test_telemetry_parity_under_crash_retry () =
+  (* a worker dies mid-request on the first attempt: the crashed attempt's
+     counts die with the process and the retry recounts from zero, so the
+     totals must still match a sequential run (where the crash hook never
+     fires — it is a worker-process hook) *)
+  let run jobs tag =
+    let flag = Filename.temp_file "sun_tel_crash_once" "" in
+    let requests =
+      [
+        {|{"workload":"conv1d","arch":"toy","id":"steady"}|};
+        Printf.sprintf
+          {|{"workload":"matmul","arch":"toy","id":"flaky","x-sunstone-test-crash-once":%S}|}
+          flag;
+      ]
+    in
+    let (s, _, _), counters =
+      with_telemetry (fun () ->
+          run_batch ~cache:(Cache.create ~dir:(fresh_dir tag) ()) ~jobs requests)
+    in
+    if Sys.file_exists flag then Sys.remove flag;
+    (s, counters)
+  in
+  let s1, c1 = run 1 "sun_tel_crash_seq" in
+  let s4, c4 = run 4 "sun_tel_crash_par" in
+  Alcotest.(check int) "sequential run clean" 0 s1.Pipeline.errors;
+  Alcotest.(check int) "retry absorbed the crash" 0 s4.Pipeline.errors;
+  Alcotest.(check bool) "parity counters nonempty" true (c1 <> []);
+  Alcotest.(check (list (pair string int))) "counter totals survive a crash+retry" c1 c4
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "sun_serve"
@@ -844,6 +976,7 @@ let () =
         [
           Alcotest.test_case "print/parse roundtrip" `Quick test_json_print_parse;
           Alcotest.test_case "parse forms" `Quick test_json_parse_forms;
+          Alcotest.test_case "non-finite floats rejected" `Quick test_json_non_finite;
           Alcotest.test_case "float precision" `Quick test_json_float_precision;
         ] );
       ( "codec",
@@ -897,5 +1030,11 @@ let () =
           Alcotest.test_case "worker crash contained" `Quick test_pipeline_worker_crash_contained;
           Alcotest.test_case "worker crash-once retried" `Quick
             test_pipeline_worker_crash_once_is_retried;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "--jobs counter parity" `Quick test_telemetry_jobs_parity;
+          Alcotest.test_case "--jobs counter parity under crash+retry" `Quick
+            test_telemetry_parity_under_crash_retry;
         ] );
     ]

@@ -164,7 +164,39 @@ let test_optimizer_finds_valid () =
     | Ok () -> ()
     | Error msg -> Alcotest.failf "returned invalid mapping: %s" msg);
     Alcotest.(check bool) "examined counted" true (r.Opt.stats.Opt.examined > 0);
-    Alcotest.(check bool) "evaluated counted" true (r.Opt.stats.Opt.evaluated > 0)
+    Alcotest.(check bool) "evaluated counted" true (r.Opt.stats.Opt.evaluated > 0);
+    Alcotest.(check int) "no build errors on a natural search" 0 r.Opt.stats.Opt.build_errors
+
+(* Regression: Optimizer.score used to swallow Mapping.make failures
+   silently. An injected corruption of the first scored candidate (its
+   first temporal factor is doubled, breaking exact dimension coverage)
+   must surface in stats.build_errors while the search still succeeds on
+   the remaining candidates. *)
+let test_optimizer_counts_build_errors () =
+  match Opt.optimize ~inject:Opt.Corrupt_first_build conv1d toy with
+  | Error msg -> Alcotest.failf "search should survive one corrupt candidate: %s" msg
+  | Ok r ->
+    Alcotest.(check bool) "injected build failure counted" true
+      (r.Opt.stats.Opt.build_errors >= 1);
+    (match Model.validate conv1d toy r.Opt.mapping with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "returned invalid mapping: %s" msg);
+    (* and the same count is visible through telemetry when it is enabled *)
+    let module Tel = Sun_telemetry.Metrics in
+    Tel.set_enabled true;
+    Tel.reset ();
+    Fun.protect
+      ~finally:(fun () ->
+        Tel.reset ();
+        Tel.set_enabled false)
+      (fun () ->
+        (match Opt.optimize ~inject:Opt.Corrupt_first_build conv1d toy with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "telemetry-enabled search failed: %s" msg);
+        let snap = Tel.snapshot () in
+        match List.assoc_opt "optimizer.build_errors" snap.Tel.s_counters with
+        | Some n -> Alcotest.(check bool) "optimizer.build_errors >= 1" true (n >= 1)
+        | None -> Alcotest.fail "optimizer.build_errors missing from telemetry")
 
 (* Ground truth: on a tiny problem Sunstone must match the exhaustive
    optimum over the full (order x tile x unroll) space. *)
@@ -309,6 +341,8 @@ let () =
       ( "optimizer",
         [
           Alcotest.test_case "finds valid mapping" `Quick test_optimizer_finds_valid;
+          Alcotest.test_case "counts injected build errors" `Quick
+            test_optimizer_counts_build_errors;
           Alcotest.test_case "matches exhaustive optimum" `Slow test_optimizer_matches_exhaustive;
           Alcotest.test_case "beats naive streaming" `Quick test_optimizer_beats_naive;
           Alcotest.test_case "conv on conventional" `Quick test_optimizer_conv_conventional;

@@ -1,0 +1,203 @@
+(* Unit tests for Sun_telemetry.Metrics: the single-writer registry, the
+   disabled fast path, histogram bucketing, span timing, the fork-merge
+   snapshot protocol, and both export formats. *)
+
+module Tel = Sun_telemetry.Metrics
+module Json = Sun_serve.Json
+
+(* Every test owns the global registry for its duration: enable, reset,
+   run, then disable and reset so no counts leak into the next test. *)
+let with_registry f =
+  Tel.set_enabled true;
+  Tel.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tel.reset ();
+      Tel.set_enabled false)
+    f
+
+let counter_value snap name = List.assoc_opt name snap.Tel.s_counters
+
+let hist snap name = List.assoc_opt name snap.Tel.s_hists
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Registration is independent of the enabled flag (handles are created at
+   module-init time in instrumented code), so a disabled registry still
+   *lists* the names — it just never accumulates anything into them. *)
+let test_disabled_noop () =
+  Tel.set_enabled false;
+  Tel.reset ();
+  let c = Tel.counter "t.disabled" in
+  Tel.add c 5;
+  Tel.incr c;
+  Tel.count "t.disabled2" 3;
+  Tel.observe (Tel.histogram "t.disabled_h") 0.5;
+  Tel.span "t.disabled_s" (fun () -> ()) |> ignore;
+  let snap = Tel.snapshot () in
+  Alcotest.(check (option int)) "handle counter stays zero" (Some 0)
+    (counter_value snap "t.disabled");
+  Alcotest.(check (option int)) "count is a no-op" None (counter_value snap "t.disabled2");
+  (match hist snap "t.disabled_h" with
+  | Some h -> Alcotest.(check int) "observe is a no-op" 0 h.Tel.h_count
+  | None -> Alcotest.fail "registered histogram missing");
+  Alcotest.(check bool) "disabled span registers no histogram" true
+    (hist snap "t.disabled_s" = None)
+
+let test_counter_accumulates () =
+  with_registry @@ fun () ->
+  let c = Tel.counter "t.a" in
+  Tel.add c 3;
+  Tel.incr c;
+  Tel.count "t.a" 6;
+  Tel.count "t.b" 1;
+  let snap = Tel.snapshot () in
+  Alcotest.(check (option int)) "t.a" (Some 10) (counter_value snap "t.a");
+  Alcotest.(check (option int)) "t.b" (Some 1) (counter_value snap "t.b");
+  let names = List.map fst snap.Tel.s_counters in
+  Alcotest.(check bool) "sorted by name" true
+    (List.sort String.compare names = names)
+
+let test_reset_keeps_handles () =
+  with_registry @@ fun () ->
+  let c = Tel.counter "t.kept" in
+  Tel.add c 7;
+  Tel.reset ();
+  Alcotest.(check (option int)) "zeroed, still listed" (Some 0)
+    (counter_value (Tel.snapshot ()) "t.kept");
+  (* the pre-reset handle must still feed the same registry slot *)
+  Tel.add c 2;
+  Alcotest.(check (option int)) "handle survives reset" (Some 2)
+    (counter_value (Tel.snapshot ()) "t.kept")
+
+(* ------------------------------------------------------------------ *)
+(* Histograms and spans                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_stats () =
+  with_registry @@ fun () ->
+  let h = Tel.histogram "t.h" in
+  List.iter (Tel.observe h) [ 0.001; 0.004; 0.016 ];
+  match hist (Tel.snapshot ()) "t.h" with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some s ->
+    Alcotest.(check int) "count" 3 s.Tel.h_count;
+    Alcotest.(check (float 1e-12)) "sum" 0.021 s.Tel.h_sum;
+    Alcotest.(check (float 1e-12)) "min" 0.001 s.Tel.h_min;
+    Alcotest.(check (float 1e-12)) "max" 0.016 s.Tel.h_max;
+    Alcotest.(check int) "bucket array length" Tel.num_buckets (Array.length s.Tel.h_buckets);
+    Alcotest.(check int) "buckets sum to count" 3
+      (Array.fold_left ( + ) 0 s.Tel.h_buckets);
+    (* 0.001, 0.004 and 0.016 are three distinct powers of four: they must
+       land in three distinct log2 buckets *)
+    Alcotest.(check int) "three distinct buckets" 3
+      (Array.fold_left (fun n b -> if b > 0 then n + 1 else n) 0 s.Tel.h_buckets)
+
+let test_span_records () =
+  with_registry @@ fun () ->
+  let r = Tel.span "t.span" (fun () -> 41 + 1) in
+  Alcotest.(check int) "span returns the body's result" 42 r;
+  (match hist (Tel.snapshot ()) "t.span" with
+  | None -> Alcotest.fail "span histogram missing"
+  | Some s ->
+    Alcotest.(check int) "one observation" 1 s.Tel.h_count;
+    Alcotest.(check bool) "non-negative duration" true (s.Tel.h_sum >= 0.0));
+  (* a raising body still records its duration, and re-raises *)
+  (match Tel.span "t.span" (fun () -> raise Exit) with
+  | _ -> Alcotest.fail "expected Exit to escape the span"
+  | exception Exit -> ());
+  match hist (Tel.snapshot ()) "t.span" with
+  | None -> Alcotest.fail "span histogram missing after raise"
+  | Some s -> Alcotest.(check int) "raise also recorded" 2 s.Tel.h_count
+
+(* ------------------------------------------------------------------ *)
+(* Merge (the fork protocol's parent half)                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_merge () =
+  with_registry @@ fun () ->
+  Tel.count "t.m" 2;
+  let h = Tel.histogram "t.mh" in
+  Tel.observe h 0.002;
+  (* stand-in for a worker's snapshot arriving over the pipe *)
+  let worker = Tel.snapshot () in
+  Tel.reset ();
+  Tel.count "t.m" 5;
+  Tel.count "t.other" 1;
+  Tel.observe h 0.008;
+  Tel.merge worker;
+  let snap = Tel.snapshot () in
+  Alcotest.(check (option int)) "counter totals add" (Some 7) (counter_value snap "t.m");
+  Alcotest.(check (option int)) "unmerged counter intact" (Some 1)
+    (counter_value snap "t.other");
+  match hist snap "t.mh" with
+  | None -> Alcotest.fail "merged histogram missing"
+  | Some s ->
+    Alcotest.(check int) "counts add" 2 s.Tel.h_count;
+    Alcotest.(check (float 1e-12)) "sum adds" 0.01 s.Tel.h_sum;
+    Alcotest.(check (float 1e-12)) "min is the smaller" 0.002 s.Tel.h_min;
+    Alcotest.(check (float 1e-12)) "max is the larger" 0.008 s.Tel.h_max
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_to_json_parses () =
+  with_registry @@ fun () ->
+  Tel.count "t.json" 3;
+  Tel.observe (Tel.histogram "t.json_h") 0.004;
+  let text = Tel.to_json (Tel.snapshot ()) in
+  match Json.of_string text with
+  | Error msg -> Alcotest.fail ("to_json output is not valid JSON: " ^ msg)
+  | Ok doc ->
+    (match Json.member "kind" doc with
+    | Some (Json.String "telemetry") -> ()
+    | _ -> Alcotest.fail "missing kind=telemetry");
+    (match Json.member "counters" doc with
+    | Some (Json.Obj fields) ->
+      Alcotest.(check bool) "counter present" true
+        (List.assoc_opt "t.json" fields = Some (Json.Int 3))
+    | _ -> Alcotest.fail "counters is not an object");
+    match Json.member "histograms" doc with
+    | Some (Json.Obj fields) -> (
+      match List.assoc_opt "t.json_h" fields with
+      | Some h ->
+        Alcotest.(check bool) "histogram count" true
+          (Json.member "count" h = Some (Json.Int 1))
+      | None -> Alcotest.fail "t.json_h missing from histograms")
+    | _ -> Alcotest.fail "histograms is not an object"
+
+let test_to_table () =
+  with_registry @@ fun () ->
+  Alcotest.(check string) "empty snapshot has a friendly rendering"
+    "no metrics recorded\n"
+    (Tel.to_table { Tel.s_counters = []; s_hists = [] });
+  Tel.count "t.table_counter" 12;
+  Tel.observe (Tel.histogram "t.table_hist") 0.004;
+  let table = Tel.to_table (Tel.snapshot ()) in
+  let mentions needle =
+    let nn = String.length needle and nt = String.length table in
+    let rec go i = i + nn <= nt && (String.sub table i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter row present" true (mentions "t.table_counter");
+  Alcotest.(check bool) "counter value present" true (mentions "12");
+  Alcotest.(check bool) "histogram row present" true (mentions "t.table_hist")
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "counters accumulate" `Quick test_counter_accumulates;
+          Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
+          Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
+          Alcotest.test_case "span records durations" `Quick test_span_records;
+          Alcotest.test_case "merge adds snapshots" `Quick test_merge;
+          Alcotest.test_case "to_json parses back" `Quick test_to_json_parses;
+          Alcotest.test_case "to_table renders" `Quick test_to_table;
+        ] );
+    ]
