@@ -79,6 +79,72 @@ if ! diff -u "$PARITY_TMP/seq-counters" "$PARITY_TMP/par-counters"; then
 fi
 echo "telemetry parity: ok ($(wc -l <"$PARITY_TMP/seq-counters" | tr -d ' ') counters identical)"
 
+echo "== serve daemon (live replay parity, warm cache, SIGHUP, SIGTERM drain)"
+# The daemon must answer a cold replay of the mixed fixture byte-identically
+# (modulo wall_s) to batch --jobs 1, serve the second replay entirely from
+# the warm cache, re-open its metrics file on SIGHUP, and drain cleanly on
+# SIGTERM: exit 0 with a final metrics snapshot written.
+SUNSTONE=_build/default/bin/sunstone_cli.exe
+SOCK="$PARITY_TMP/sunstone.sock"
+"$SUNSTONE" serve --listen "unix:$SOCK" --jobs 2 \
+  --cache-dir "$PARITY_TMP/cache-daemon" \
+  --metrics "$PARITY_TMP/daemon-metrics.json" 2>"$PARITY_TMP/daemon.log" &
+DAEMON_PID=$!
+trap 'kill "$DAEMON_PID" 2>/dev/null; rm -rf "$PARITY_TMP"' EXIT
+i=0
+while ! [ -S "$SOCK" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "serve daemon: socket never appeared" >&2
+    cat "$PARITY_TMP/daemon.log" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+"$SUNSTONE" client --connect "unix:$SOCK" \
+  -i test/fixtures/batch_mixed.jsonl -o "$PARITY_TMP/daemon.jsonl"
+sed -E 's/"wall_s":[-+0-9.eE]+/"wall_s":0/g' "$PARITY_TMP/daemon.jsonl" >"$PARITY_TMP/daemon.norm"
+if ! diff -u "$PARITY_TMP/seq.norm" "$PARITY_TMP/daemon.norm"; then
+  echo "serve daemon: cold replay differs from batch --jobs 1" >&2
+  exit 1
+fi
+"$SUNSTONE" client --connect "unix:$SOCK" \
+  -i test/fixtures/batch_mixed.jsonl -o "$PARITY_TMP/daemon2.jsonl"
+if grep -q '"status":"computed"' "$PARITY_TMP/daemon2.jsonl"; then
+  echo "serve daemon: second replay recomputed instead of hitting the warm cache" >&2
+  exit 1
+fi
+rm -f "$PARITY_TMP/daemon-metrics.json"
+kill -HUP "$DAEMON_PID"
+i=0
+while ! [ -s "$PARITY_TMP/daemon-metrics.json" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "serve daemon: SIGHUP did not re-create the metrics file" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+kill -TERM "$DAEMON_PID"
+set +e
+wait "$DAEMON_PID"
+daemon_rc=$?
+set -e
+trap 'rm -rf "$PARITY_TMP"' EXIT
+if [ "$daemon_rc" -ne 0 ]; then
+  echo "serve daemon: SIGTERM drain exited $daemon_rc, want 0" >&2
+  cat "$PARITY_TMP/daemon.log" >&2
+  exit 1
+fi
+if ! [ -s "$PARITY_TMP/daemon-metrics.json" ]; then
+  echo "serve daemon: no final metrics snapshot after drain" >&2
+  exit 1
+fi
+echo "serve daemon: ok (parity, warm replay, SIGHUP re-open, clean drain)"
+
+echo "== bench serve-daemon (latency percentiles + warm hit rate)"
+dune exec bench/main.exe -- serve-daemon
+
 echo "== bench telemetry (overhead budget)"
 dune exec bench/main.exe -- telemetry
 

@@ -5,6 +5,8 @@
    sunstone schedule -w resnet18/conv2_x -a simba [...]
    sunstone compare -w mttkrp/nell2 -a conventional -t sunstone,tl-fast
    sunstone batch -i reqs.jsonl -o out.jsonl --cache-dir ~/.cache/sunstone [--jobs 4]
+   sunstone serve --listen unix:/tmp/sun.sock [--jobs 4] [--max-queue 64]
+   sunstone client --connect unix:/tmp/sun.sock -i reqs.jsonl -o out.jsonl
    sunstone export -w matmul -a simba -o mapping.json
    sunstone check [--admissibility] [--json]
    sunstone check --mapping mapping.json
@@ -668,6 +670,151 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables or figures")
     Term.(const run $ exp_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / client: the long-lived scheduling daemon                    *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let listen_arg =
+    let doc = "Address to listen on: unix:PATH, tcp:HOST:PORT or HOST:PORT." in
+    Arg.(required & opt (some string) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let cache_dir_arg =
+    let doc = "Persist schedules under $(docv); the daemon owns the cache for its lifetime." in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Disable caching entirely: every request runs a fresh search." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Compute on $(docv) forked worker processes. Even 1 keeps compute off the accept loop."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let max_queue_arg =
+    let doc =
+      "Admission bound: a request arriving while $(docv) admitted requests are unanswered is \
+       shed with a status:\"overloaded\" response instead of queued. Unbounded by default."
+    in
+    Arg.(value & opt (some int) None & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let run listen cache_dir no_cache jobs max_queue beam top_down metrics =
+    match Sun_serve.Server.parse_listen listen with
+    | Error msg ->
+      Printf.eprintf "cannot serve: %s\n" msg;
+      1
+    | Ok addr -> (
+      let config =
+        {
+          Opt.default_config with
+          Opt.beam_width = beam;
+          direction = (if top_down then Opt.Top_down else Opt.Bottom_up);
+        }
+      in
+      let cache = if no_cache then None else Some (Sun_serve.Cache.create ?dir:cache_dir ()) in
+      let drain = ref false in
+      let hup = ref false in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> drain := true));
+      Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> drain := true));
+      Sys.set_signal Sys.sighup (Sys.Signal_handle (fun _ -> hup := true));
+      (* a `stats` control request reports the live registry, so telemetry
+         is on for the daemon's lifetime even without --metrics *)
+      if metrics = None then begin
+        Tel.set_enabled true;
+        Tel.reset ()
+      end;
+      let metrics_path = match metrics with Some p when p <> "-" -> Some p | _ -> None in
+      match Sun_serve.Server.listener addr with
+      | Error msg ->
+        Printf.eprintf "cannot listen on %s: %s\n" listen msg;
+        1
+      | Ok listen_fd ->
+        Fun.protect ~finally:(fun () -> Sun_serve.Server.close_listener addr listen_fd)
+        @@ fun () ->
+        with_metrics metrics @@ fun () ->
+        Printf.eprintf "sunstone: serving on %s (pid %d)\n%!" listen Unix.(getpid ());
+        let s =
+          Sun_serve.Server.serve ?cache ~config ~jobs ?max_queue ~drain_flag:drain
+            ~hup_flag:hup ?metrics_path ~listen_fd ()
+        in
+        Printf.eprintf
+          "sunstone: drained after %.2fs: %d connections, %d requests (%d hits, %d computed, \
+           %d errors, %d overloaded, %d expired)\n"
+          s.Sun_serve.Server.wall_s s.Sun_serve.Server.connections s.Sun_serve.Server.requests
+          s.Sun_serve.Server.hits s.Sun_serve.Server.computed s.Sun_serve.Server.errors
+          s.Sun_serve.Server.overloaded s.Sun_serve.Server.expired;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a long-lived scheduling daemon: the batch pipeline behind a socket, with \
+          per-request deadlines, admission control and graceful drain on SIGTERM")
+    Term.(
+      const run $ listen_arg $ cache_dir_arg $ no_cache_arg $ jobs_arg $ max_queue_arg $ beam_arg
+      $ top_down_arg $ metrics_arg)
+
+let client_cmd =
+  let connect_arg =
+    let doc = "Daemon address: unix:PATH, tcp:HOST:PORT or HOST:PORT." in
+    Arg.(required & opt (some string) None & info [ "connect" ] ~docv:"ADDR" ~doc)
+  in
+  let input_arg =
+    let doc = "JSONL request file replayed to the daemon. \"-\" reads stdin." in
+    Arg.(required & opt (some string) None & info [ "i"; "input" ] ~docv:"FILE" ~doc)
+  in
+  let output_arg =
+    let doc = "JSONL response file. \"-\" writes stdout." in
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let read_lines path =
+    let ic = if path = "-" then stdin else open_in path in
+    Fun.protect
+      ~finally:(fun () -> if path <> "-" then close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  let run conn input output =
+    match Sun_serve.Server.parse_listen conn with
+    | Error msg ->
+      Printf.eprintf "cannot connect: %s\n" msg;
+      1
+    | Ok addr -> (
+      match read_lines input with
+      | exception Sys_error msg ->
+        Printf.eprintf "cannot read %s: %s\n" input msg;
+        1
+      | lines -> (
+        match Sun_serve.Server.connect addr with
+        | Error msg ->
+          Printf.eprintf "cannot connect to %s: %s\n" conn msg;
+          1
+        | Ok fd -> (
+          let responses = Sun_serve.Server.replay fd lines in
+          let write oc = List.iter (fun r -> output_string oc (r ^ "\n")) responses in
+          match
+            if output = "-" then write stdout
+            else
+              let oc = open_out output in
+              Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> write oc)
+          with
+          | () -> 0
+          | exception Sys_error msg ->
+            Printf.eprintf "cannot write %s: %s\n" output msg;
+            1)))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Replay a JSONL request file through a running sunstone daemon and collect responses")
+    Term.(const run $ connect_arg $ input_arg $ output_arg)
+
 let () =
   let info =
     Cmd.info "sunstone" ~version:"1.0.0"
@@ -682,6 +829,8 @@ let () =
             schedule_cmd;
             compare_cmd;
             batch_cmd;
+            serve_cmd;
+            client_cmd;
             export_cmd;
             check_cmd;
             audit_cmd;

@@ -130,11 +130,20 @@ let persist t key value =
       let tmp = Printf.sprintf "%s.tmp.%d" final (Unix.getpid ()) in
       let oc = open_out_bin tmp in
       (* If the write or the rename fails the temp file must not survive:
-         persist failures are swallowed, so nothing would ever clean it. *)
+         persist failures are swallowed, so nothing would ever clean it.
+         The fsync before the rename is load-bearing for the daemon: rename
+         is atomic with respect to concurrent readers, but without it the
+         *data* may still be in the page cache when the directory entry
+         lands, so a crash (or SIGKILL of a long-lived server) could leave a
+         truncated-but-renamed entry that later readers would trust. Flush,
+         fsync, close, then rename — in that order. *)
       match
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> output_string oc (Json.to_string value));
+          (fun () ->
+            output_string oc (Json.to_string value);
+            flush oc;
+            Unix.fsync (Unix.descr_of_out_channel oc));
         Sys.rename tmp final
       with
       | () -> ()

@@ -8,11 +8,13 @@
     memory.
 
     Durability and robustness:
-    - disk writes go through a temp file in the same directory followed by
-      an atomic [rename], so a crashed writer can never leave a
-      half-written entry under its final name; temp names carry the writer
-      pid, so multiple processes (e.g. parallel pipelines) sharing one
-      cache directory never clobber each other's in-progress writes;
+    - disk writes go through a temp file in the same directory that is
+      flushed and [fsync]ed {e before} the atomic [rename], so a crashed or
+      SIGKILLed writer — including a long-lived serving daemon killed
+      mid-store — can never leave a half-written or truncated entry under
+      its final name; temp names carry the writer pid, so multiple
+      processes (e.g. parallel pipelines) sharing one cache directory never
+      clobber each other's in-progress writes;
     - a failed write or rename removes its temp file before the failure is
       swallowed — an unwritable directory cannot accrete [*.tmp.<pid>]
       litter;

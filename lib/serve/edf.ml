@@ -1,0 +1,66 @@
+type 'a entry = { deadline : float; seq : int; payload : 'a }
+
+type 'a t = { mutable heap : 'a entry array; mutable len : int }
+
+(* The array holds a dummy sentinel in unused slots; it is never read. *)
+let create () = { heap = [||]; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+(* Lexicographic (deadline, seq): the seq tie-break makes the heap a stable
+   FIFO among equal deadlines, including the common all-[infinity] case. *)
+let before a b = a.deadline < b.deadline || (a.deadline = b.deadline && a.seq < b.seq)
+
+let swap t i j =
+  let x = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~deadline ~seq payload =
+  let e = { deadline; seq; payload } in
+  if t.len = Array.length t.heap then begin
+    let grown = Array.make (max 8 (2 * t.len)) e in
+    Array.blit t.heap 0 grown 0 t.len;
+    t.heap <- grown
+  end;
+  t.heap.(t.len) <- e;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek t = if t.len = 0 then None else Some (t.heap.(0).deadline, t.heap.(0).payload)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      sift_down t 0
+    end;
+    (* overwrite the vacated slot: it would otherwise keep a second live
+       reference to the entry that was just moved to the root *)
+    t.heap.(t.len) <- top;
+    Some (top.deadline, top.payload)
+  end

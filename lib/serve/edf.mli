@@ -1,0 +1,38 @@
+(** Earliest-deadline-first ready queue for the serving daemon.
+
+    A binary min-heap keyed by [(deadline, seq)]: {!pop} always yields the
+    entry with the smallest deadline, breaking ties by the caller-supplied
+    admission sequence number — so entries without a deadline (spelled
+    [infinity]) drain in plain FIFO order, and two entries sharing a
+    deadline never reorder. The EDF discipline follows the laser runtime
+    notes (SNIPPETS §2): under latency constraints, serving the request
+    whose deadline expires soonest minimizes the number of missed
+    deadlines, and a stable tie-break keeps the no-deadline case
+    byte-identical to the batch pipeline's input-order contract.
+
+    Deadlines are opaque floats — the queue never reads a clock. Callers
+    pass absolute readings of {!Sun_util.Stopwatch.monotonic_now} (never
+    wall time: a wall-clock step must not expire or reorder requests),
+    which also makes the ordering directly testable with an injected
+    clock. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> deadline:float -> seq:int -> 'a -> unit
+(** O(log n). [seq] is the tie-break: entries with equal deadlines pop in
+    increasing [seq] order. Callers use a monotonically increasing
+    admission counter, and re-insert a parked entry with its {e original}
+    sequence number so it keeps its place among its peers. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the [(deadline, payload)] with the smallest
+    [(deadline, seq)] key; [None] when empty. O(log n). *)
+
+val peek : 'a t -> (float * 'a) option
+(** Like {!pop} without removing. O(1). *)

@@ -200,43 +200,63 @@ let crash t w job =
   if job.attempt = 0 then send t w' { job with attempt = 1 }
   else Queue.add (job.key, Crashed) t.completed
 
-let rec next t =
+let busy_fds t =
+  List.filter_map
+    (fun w -> if Option.is_some w.current then Some w.from_worker else None)
+    t.workers
+
+(* Shared read path of [next] / [try_next]. [block = false] polls (zero
+   select timeout) and returns [None] when no completion is ready;
+   [block = true] waits indefinitely, returning [None] only when nothing is
+   pending at all. A crash mid-read respawns the worker and loops: the
+   retried job is in flight again, so the poll path re-checks for other
+   ready completions rather than reporting anything. *)
+let rec collect t ~block =
   match Queue.take_opt t.completed with
-  | Some r -> r
+  | Some r -> Some r
   | None -> (
     let busy = List.filter (fun w -> Option.is_some w.current) t.workers in
-    if busy = [] then invalid_arg "Parpool.next: nothing pending";
-    let ready, _, _ =
-      match Unix.select (List.map (fun w -> w.from_worker) busy) [] [] (-1.0) with
-      | r -> r
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-    in
-    match List.find_opt (fun w -> List.mem w.from_worker ready) busy with
-    | None -> next t
-    | Some w -> (
-      match w.current with
-      | None -> next t
-      | Some job -> (
-        match read_frame w.from_worker with
-        | Some frame -> (
-          w.current <- None;
-          if Tel.enabled () then begin
-            Tel.count "parpool.completed" 1;
-            if job.started > 0.0 then
-              Tel.observe (Tel.histogram "parpool.job_s") (Unix.gettimeofday () -. job.started)
-          end;
-          match (Marshal.from_string frame 0 : (_, string) result) with
-          | Ok b -> (job.key, Done b)
-          | Error msg ->
-            if Tel.enabled () then Tel.count "parpool.failed" 1;
-            (job.key, Failed msg)
-          | exception _ ->
-            (* unmarshalable reply: treat like a dead worker *)
+    if busy = [] then None
+    else
+      let timeout = if block then -1.0 else 0.0 in
+      let ready, _, _ =
+        match Unix.select (List.map (fun w -> w.from_worker) busy) [] [] timeout with
+        | r -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      match List.find_opt (fun w -> List.mem w.from_worker ready) busy with
+      | None -> if block then collect t ~block else None
+      | Some w -> (
+        match w.current with
+        | None -> collect t ~block
+        | Some job -> (
+          match read_frame w.from_worker with
+          | Some frame -> (
+            w.current <- None;
+            if Tel.enabled () then begin
+              Tel.count "parpool.completed" 1;
+              if job.started > 0.0 then
+                Tel.observe (Tel.histogram "parpool.job_s") (Unix.gettimeofday () -. job.started)
+            end;
+            match (Marshal.from_string frame 0 : (_, string) result) with
+            | Ok b -> Some (job.key, Done b)
+            | Error msg ->
+              if Tel.enabled () then Tel.count "parpool.failed" 1;
+              Some (job.key, Failed msg)
+            | exception _ ->
+              (* unmarshalable reply: treat like a dead worker *)
+              crash t w job;
+              collect t ~block)
+          | None ->
             crash t w job;
-            next t)
-        | None ->
-          crash t w job;
-          next t)))
+            collect t ~block)))
+
+let next t =
+  match collect t ~block:true with
+  | Some r -> r
+  | None -> invalid_arg "Parpool.next: nothing pending"
+
+let try_next t = collect t ~block:false
 
 let shutdown t =
   if not t.closed then begin

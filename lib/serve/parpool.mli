@@ -63,6 +63,19 @@ val next : ('a, 'b) t -> int * 'b reply
 (** Blocks until some in-flight job completes and returns [(key, reply)].
     [Invalid_argument] if {!pending} is [0]. *)
 
+val try_next : ('a, 'b) t -> (int * 'b reply) option
+(** Non-blocking {!next}: returns an already-available completion, or
+    [None] when no in-flight job has finished yet (or nothing is pending).
+    For event-loop callers that multiplex the pool with other fds. *)
+
+val busy_fds : ('a, 'b) t -> Unix.file_descr list
+(** Reply-pipe fds of workers with an in-flight job, for inclusion in an
+    external [Unix.select]: readability means {!try_next} will make
+    progress. Idle workers' fds are deliberately excluded — a worker that
+    dies while idle leaves its pipe permanently readable (EOF), which
+    would spin the caller's select; idle deaths are instead detected
+    lazily by {!submit}'s write failure, which respawns and retries. *)
+
 val shutdown : ('a, 'b) t -> unit
 (** Terminates and reaps every worker (idempotent). In-flight jobs are
     abandoned. *)

@@ -396,19 +396,21 @@ let crash_error_response ~index ~line msg =
   in
   error_response ~line:(index + 1) ~id msg
 
+(* The worker-side job function, shared by the batch driver below and the
+   serving daemon ({!Server}). Each worker resets its (copy-on-write
+   inherited) telemetry registry before the job and ships a snapshot back
+   with the result; the parent merges it on receipt. A crashed attempt's
+   counts die with the process, so a retried job is counted exactly once —
+   keeping jobs-N totals equal to jobs-1. *)
+let worker ~config (index, line) =
+  worker_crash_hooks line;
+  if Tel.enabled () then Tel.reset ();
+  let outcome, response, store, wall = compute ~config ~index line in
+  let tel = if Tel.enabled () then Some (Tel.snapshot ()) else None in
+  (outcome, Json.to_string response, store, wall, tel)
+
 let run_parallel ?cache ~config ~jobs cnt ic oc =
-  (* Each worker resets its (copy-on-write inherited) registry before the
-     job and ships a snapshot back with the result; the parent merges it on
-     receipt. A crashed attempt's counts die with the process, so a retried
-     job is counted exactly once — keeping jobs-N totals equal to jobs-1. *)
-  let worker (index, line) =
-    worker_crash_hooks line;
-    if Tel.enabled () then Tel.reset ();
-    let outcome, response, store, wall = compute ~config ~index line in
-    let tel = if Tel.enabled () then Some (Tel.snapshot ()) else None in
-    (outcome, Json.to_string response, store, wall, tel)
-  in
-  let pool = Parpool.create ~jobs ~f:worker in
+  let pool = Parpool.create ~jobs ~f:(worker ~config) in
   Fun.protect ~finally:(fun () -> Parpool.shutdown pool) @@ fun () ->
   let index = ref 0 in
   let next_seq = ref 0 in

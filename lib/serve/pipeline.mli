@@ -101,3 +101,64 @@ val run_files :
 val summary_line : summary -> string
 (** One human-readable line, e.g.
     ["36 requests: 24 hits, 12 computed, 0 errors in 1.8s (jobs 4; ...)"]. *)
+
+(** {2 Single-request entry points}
+
+    The building blocks of the batch drivers, exported so other front ends
+    — notably the serving daemon ({!Server}) — can run the exact same
+    request pipeline one line at a time and stay byte-identical to
+    [run_channels] (modulo [wall_s]). The split mirrors the batch
+    architecture: {!classify} runs in the parent (sole cache user),
+    {!worker} / {!compute} run wherever the search should happen, and the
+    parent stores the returned document with {!store_if}. *)
+
+type classified =
+  | Final of outcome * Json.t * float
+      (** response ready without compute (malformed, statically rejected,
+          or cache hit); carries the per-request wall seconds *)
+  | Deferred of string
+      (** same fingerprint already dispatched; park and re-{!classify}
+          after it lands *)
+  | Dispatch of string option
+      (** needs compute; [Some fp] marks a cacheable search whose document
+          should be stored (and whose fingerprint is now in flight) *)
+
+val classify :
+  ?cache:Cache.t -> ?in_flight:(string -> bool) -> config:Sun_core.Optimizer.config ->
+  index:int -> string -> classified
+(** Parent-side phase 1: parse, well-formedness gate, fingerprint,
+    [in_flight] dedup check (default [fun _ -> false]), cache lookup.
+    [index] is the 0-based request ordinal used for default ids and the
+    [line] field of error responses. Never raises. *)
+
+val compute :
+  config:Sun_core.Optimizer.config -> index:int -> string ->
+  outcome * Json.t * (string * Json.t) option * float
+(** Phase 2: the actual search or evaluation, cache-blind. Returns
+    [(outcome, response, store, wall_s)] where [store = Some (fp, doc)]
+    is the document the parent should cache. Never raises. *)
+
+val worker :
+  config:Sun_core.Optimizer.config -> int * string ->
+  outcome * string * (string * Json.t) option * float * Sun_telemetry.Metrics.snapshot option
+(** The {!Parpool} job function wrapping {!compute}: honors the test-only
+    worker crash hooks, resets the forked telemetry registry and ships a
+    snapshot back for the parent to {!Sun_telemetry.Metrics.merge}. The
+    response comes back pre-serialized (a string) so marshalling never
+    sees a [Json.t]. *)
+
+val store_if : ?cache:Cache.t -> (string * Json.t) option -> unit
+(** Parent-side store of a {!compute} result's document; a no-op without
+    a cache or a document. *)
+
+val error_response : ?diagnostics:Sun_analysis.Diagnostic.t list -> line:int -> id:string ->
+  string -> Json.t
+(** A [status:"error"] response; [line] is 1-based. *)
+
+val crash_error_response : index:int -> line:string -> string -> Json.t
+(** Error response for a request whose worker died: re-derives the id
+    from the raw input [line] in the parent ([index] is 0-based). *)
+
+val request_id : index:int -> Json.t -> string
+(** The echoed id of a parsed request: its ["id"] field, or
+    ["line<index+1>"] when absent. *)

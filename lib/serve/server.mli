@@ -1,0 +1,135 @@
+(** Long-lived scheduling daemon: the batch pipeline behind a socket.
+
+    [sunstone serve --listen ADDR] keeps one process resident so repeated
+    scheduling queries amortize cache warm-up instead of paying a cold
+    start per batch (the workflow the paper's Table VIII scalability
+    argument assumes: many independent per-layer requests arriving over
+    time). The daemon speaks the exact wire protocol of {!Pipeline}: one
+    JSON request per line in, one JSON response per line out, re-sequenced
+    to input order {e per connection}.
+
+    {2 Ownership}
+
+    The accept loop, the cache and the in-flight fingerprint table all
+    live in the parent process — the same single-cache-user architecture
+    as the parallel batch driver:
+
+    {v
+              clients ──┐
+    ┌─────────────────────────────────────────────┐
+    │ parent: select loop                         │
+    │   accept / read / write connections         │
+    │   classify  (sole Cache reader+writer)      │
+    │   in-flight fingerprint dedup (global)      │
+    │   EDF ready queue + admission control       │
+    └──────────────┬──────────────────────────────┘
+                   │ framed jobs / replies
+          ┌────────┴────────┐
+          │ Parpool workers │  compute only, cache-blind
+          └─────────────────┘
+    v}
+
+    Workers never see the cache or each other; duplicate fingerprints
+    from {e different} connections dedup to a single compute exactly like
+    duplicates inside one batch. A single cold connection replaying a
+    batch input therefore receives byte-identical responses (modulo
+    [wall_s]) to [sunstone batch --jobs 1] — [bin/ci.sh] enforces this.
+
+    {2 Deadlines and shedding}
+
+    A request may carry ["deadline_ms": N] (non-negative integer):
+    relative milliseconds from arrival, tracked on the {e monotonic}
+    clock ({!Sun_util.Stopwatch.monotonic_now} — a wall-clock step never
+    expires or reorders anything). Queued compute work is dispatched
+    earliest-deadline-first ({!Edf}); requests without a deadline sort
+    last and drain FIFO among themselves, preserving batch order. A
+    request still queued when its deadline passes is answered with a
+    ["deadline exceeded"] error instead of being computed; deadlines
+    govern queueing only — work already on a worker is never preempted,
+    and a duplicate parked on another request's fingerprint is checked
+    when that fingerprint lands. Cache hits and malformed requests are
+    answered immediately and never expire.
+
+    With [~max_queue:n], a request arriving while [n] admitted requests
+    are still unanswered is shed with a ["status":"overloaded"] response
+    (carrying the echoed id plus [queue] / [max_queue]) rather than
+    queued — bounded latency instead of unbounded backlog.
+
+    {2 Control requests and drain}
+
+    [{"control":"stats"}] (optionally with an ["id"]) bypasses admission
+    and answers with ["status":"stats"]: the live telemetry registry as
+    JSON plus a [server] object of daemon counters. Unknown controls get
+    an error response.
+
+    Drain ([~drain_flag] set, typically from SIGTERM): stop accepting
+    connections and reading further input, answer everything already
+    admitted, flush and close every connection, then return — zero
+    admitted requests are lost. [~hup_flag] (SIGHUP) rewrites the metrics
+    snapshot to [~metrics_path] whenever set, re-creating the file if it
+    was rotated away. *)
+
+(** A listening address: ["unix:PATH"], ["tcp:HOST:PORT"] or plain
+    ["HOST:PORT"]. *)
+type listen = Unix_socket of string | Tcp of string * int
+
+val parse_listen : string -> (listen, string) result
+
+val listener : listen -> (Unix.file_descr, string) result
+(** Bind + listen. A pre-existing Unix socket path is unlinked first
+    (stale sockets from a killed daemon must not block restart); TCP
+    sockets get [SO_REUSEADDR]. *)
+
+val close_listener : listen -> Unix.file_descr -> unit
+(** Close the listening fd and unlink a Unix socket path. Never raises. *)
+
+(** {2 Client helpers} *)
+
+val connect : listen -> (Unix.file_descr, string) result
+
+val replay : Unix.file_descr -> string list -> string list
+(** [replay fd lines] writes every line, shuts down the write side, reads
+    until EOF and returns the response lines; closes [fd]. Suited to
+    request sets that fit in socket buffers (the daemon buffers its output
+    in memory, so only the {e requests} need to fit in flight). *)
+
+(** {2 The daemon} *)
+
+type summary = {
+  connections : int;  (** connections accepted *)
+  requests : int;  (** non-blank, non-control request lines admitted or shed *)
+  hits : int;
+  computed : int;
+  errors : int;  (** error responses, including expiries *)
+  overloaded : int;  (** requests shed by admission control (not in [errors]) *)
+  expired : int;  (** subset of [errors] answered ["deadline exceeded"] *)
+  wall_s : float;
+  cache_stats : Cache.stats option;
+}
+
+val serve :
+  ?cache:Cache.t ->
+  ?config:Sun_core.Optimizer.config ->
+  ?jobs:int ->
+  ?max_queue:int ->
+  ?now:(unit -> float) ->
+  ?drain_flag:bool ref ->
+  ?hup_flag:bool ref ->
+  ?metrics_path:string ->
+  ?exit_after_conns:int ->
+  listen_fd:Unix.file_descr ->
+  unit ->
+  summary
+(** Runs the accept loop until drained. [?jobs] (default 1, clamped up to
+    1) sizes the always-present {!Parpool} — even [jobs = 1] computes in a
+    worker so the accept loop never blocks on a search. [?max_queue]
+    (default unbounded) is the admission bound; [?now] (default
+    {!Sun_util.Stopwatch.monotonic_now}) is the deadline clock, injectable
+    for tests; [?drain_flag] / [?hup_flag] are polled every loop
+    iteration (set them from signal handlers); [?metrics_path] is where a
+    [hup_flag] tick rewrites the telemetry snapshot.
+
+    [?exit_after_conns:n] makes the loop drain on its own once [n]
+    connections have been accepted, every connection has closed and no
+    work is outstanding — the in-process harness used by the tests, which
+    cannot deliver signals to themselves mid-[serve]. *)

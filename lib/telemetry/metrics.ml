@@ -213,6 +213,17 @@ let to_json s =
   Buffer.add_string buf "}";
   Buffer.contents buf
 
+let save path s =
+  match open_out path with
+  | exception Sys_error msg -> Error msg
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (to_json s);
+        output_char oc '\n');
+    Ok ()
+
 let duration_str v =
   if v < 1e-3 then Printf.sprintf "%.1fus" (v *. 1e6)
   else if v < 1.0 then Printf.sprintf "%.2fms" (v *. 1e3)

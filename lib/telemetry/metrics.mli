@@ -98,6 +98,12 @@ val to_table : snapshot -> string
 (** Human-readable aligned tables (counters, then histograms), ready to
     print. *)
 
+val save : string -> snapshot -> (unit, string) result
+(** [save path s] writes [to_json s] (newline-terminated) to [path],
+    truncating any previous contents — shared by the CLI's [--metrics]
+    final write and the serving daemon's SIGHUP re-open. [Error msg] when
+    the file cannot be opened; never raises. *)
+
 val num_buckets : int
 (** Number of histogram buckets; [h_buckets] arrays have this length. *)
 

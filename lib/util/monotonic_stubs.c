@@ -1,0 +1,28 @@
+/* Monotonic clock for deadline and duration math.
+ *
+ * CLOCK_MONOTONIC never steps when the wall clock is adjusted (NTP slew,
+ * manual resets), which is exactly the property the serving daemon's
+ * deadlines and queue ordering depend on. The epoch is arbitrary (boot
+ * time on Linux): only differences between two reads are meaningful.
+ */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value sunstone_monotonic_now(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+#endif
+  /* Fallback for platforms without CLOCK_MONOTONIC: wall time is the best
+   * available approximation; callers already clamp negative durations. */
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+}

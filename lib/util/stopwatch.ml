@@ -1,12 +1,18 @@
+external monotonic_now : unit -> float = "sunstone_monotonic_now"
+
 type t = float
 
-let start () = Unix.gettimeofday ()
+(* Timers run on the monotonic clock: a wall-clock step (NTP adjustment,
+   manual reset) must never stretch, shrink or reorder reported durations.
+   The epoch is arbitrary, so a [t] is only meaningful to this process. *)
+let start () = monotonic_now ()
 
-(* Wall clocks can step backwards (NTP adjustments, manual resets); a
-   negative duration would poison per-request timings downstream, so clamp. *)
+(* The clamp survives the move to the monotonic clock: [elapsed_at] accepts
+   an arbitrary caller-supplied "now" (tests inject wall-clock-like values),
+   and a negative duration must never leak downstream. *)
 let elapsed_at ~now t = Float.max 0.0 (now -. t)
 
-let elapsed_s t = elapsed_at ~now:(Unix.gettimeofday ()) t
+let elapsed_s t = elapsed_at ~now:(monotonic_now ()) t
 
 let time f =
   let t = start () in

@@ -1,9 +1,20 @@
-(** Wall-clock timing used to report time-to-solution for the mappers.
+(** Timing used to report time-to-solution for the mappers, and the
+    monotonic clock behind the serving daemon's deadlines.
 
-    Durations are clamped at 0.0: the underlying clock is wall time, which
-    can step backwards under NTP adjustment, and a negative elapsed time
-    must never leak into reported timings (e.g. the batch pipeline's
-    per-request [wall_s]). *)
+    All timers run on {!monotonic_now}, never the wall clock: wall time can
+    step backwards or forwards under NTP adjustment or manual resets, and a
+    step must never stretch a reported duration, expire a request deadline
+    early, or reorder a deadline queue. Durations are additionally clamped
+    at 0.0 so a negative elapsed time can never leak into reported timings
+    (e.g. the batch pipeline's per-request [wall_s]). *)
+
+val monotonic_now : unit -> float
+(** Seconds on the system monotonic clock ([clock_gettime(CLOCK_MONOTONIC)]
+    via a C stub; falls back to wall time only on platforms without a
+    monotonic clock). The epoch is arbitrary — typically boot time — so
+    only differences between two reads are meaningful, and readings never
+    step when the wall clock is adjusted. This is the clock the serving
+    daemon uses for request deadlines and queue ordering. *)
 
 type t
 
@@ -13,10 +24,10 @@ val elapsed_s : t -> float
 (** Seconds since [start]; never negative. *)
 
 val elapsed_at : now:float -> t -> float
-(** [elapsed_s] against an explicit "current time" (seconds since the
-    epoch), clamped at 0.0. Exposed so the clamp is unit-testable without
+(** [elapsed_s] against an explicit "current time" (a {!monotonic_now}
+    reading), clamped at 0.0. Exposed so the clamp is unit-testable without
     stepping the real clock. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and returns the result with its wall-clock
-    duration in seconds. *)
+(** [time f] runs [f ()] and returns the result with its duration in
+    seconds. *)

@@ -312,6 +312,33 @@ let test_cache_corrupt_entry () =
   Cache.store c2 "abcd" (J.Int 2);
   Alcotest.(check bool) "healed" true (Cache.find c2 "abcd" = Some (J.Int 2))
 
+let test_cache_truncated_value_file () =
+  (* a value file cut short at any byte — the shape a crash between write
+     and rename would leave without [persist]'s fsync-before-rename — must
+     read as a clean miss, never a crash or a half-decoded document *)
+  let dir = fresh_dir "sun_cache_trunc" in
+  let doc =
+    J.Obj [ ("v", J.Int 1); ("mapping", J.Obj [ ("note", J.String (String.make 64 'x')) ]) ]
+  in
+  let c1 = Cache.create ~dir () in
+  Cache.store c1 "wxyz" doc;
+  let path = Filename.concat dir "wxyz.json" in
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let check_truncated label keep =
+    let oc = open_out_bin path in
+    output_string oc (String.sub full 0 keep);
+    close_out oc;
+    let c = Cache.create ~dir () in
+    Alcotest.(check bool) (label ^ " is a miss") true (Cache.find c "wxyz" = None);
+    Alcotest.(check int) (label ^ " counted corrupt") 1 (Cache.stats c).Cache.corrupt
+  in
+  check_truncated "zero-byte value file" 0;
+  check_truncated "half-written value file" (String.length full / 2);
+  (* a store heals the entry for fresh readers *)
+  let c2 = Cache.create ~dir () in
+  Cache.store c2 "wxyz" doc;
+  Alcotest.(check bool) "healed" true (Cache.find (Cache.create ~dir ()) "wxyz" = Some doc)
+
 let test_cache_key_sanitization () =
   let dir = fresh_dir "sun_cache_keys" in
   let c = Cache.create ~dir () in
@@ -968,6 +995,349 @@ let test_telemetry_parity_under_crash_retry () =
   Alcotest.(check (list (pair string int))) "counter totals survive a crash+retry" c1 c4
 
 (* ------------------------------------------------------------------ *)
+(* Edf: earliest-deadline-first ready queue                            *)
+(* ------------------------------------------------------------------ *)
+
+module Edf = Sun_serve.Edf
+module Server = Sun_serve.Server
+
+let edf_drain q =
+  let rec go acc =
+    match Edf.pop q with Some (_, x) -> go (x :: acc) | None -> List.rev acc
+  in
+  go []
+
+let test_edf_ordering () =
+  let q = Edf.create () in
+  Alcotest.(check bool) "starts empty" true (Edf.is_empty q);
+  Alcotest.(check bool) "pop on empty" true (Edf.pop q = None);
+  Edf.push q ~deadline:5.0 ~seq:0 "late";
+  Edf.push q ~deadline:1.0 ~seq:1 "urgent";
+  Edf.push q ~deadline:3.0 ~seq:2 "middle";
+  Alcotest.(check int) "length" 3 (Edf.length q);
+  (match Edf.peek q with
+  | Some (d, x) ->
+    Alcotest.(check (float 0.0)) "peek deadline" 1.0 d;
+    Alcotest.(check string) "peek payload" "urgent" x
+  | None -> Alcotest.fail "peek on non-empty");
+  Alcotest.(check (list string)) "pops by deadline" [ "urgent"; "middle"; "late" ] (edf_drain q);
+  Alcotest.(check bool) "drained" true (Edf.is_empty q)
+
+let test_edf_ties_fifo () =
+  let q = Edf.create () in
+  List.iteri (fun i name -> Edf.push q ~deadline:infinity ~seq:i name) [ "a"; "b"; "c"; "d" ];
+  Alcotest.(check (list string)) "no deadline drains FIFO" [ "a"; "b"; "c"; "d" ] (edf_drain q);
+  (* equal finite deadlines keep admission order; infinity sorts last *)
+  Edf.push q ~deadline:2.0 ~seq:10 "x";
+  Edf.push q ~deadline:infinity ~seq:11 "background";
+  Edf.push q ~deadline:2.0 ~seq:12 "y";
+  Alcotest.(check (list string)) "ties FIFO, deadlines first" [ "x"; "y"; "background" ]
+    (edf_drain q)
+
+let edf_qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"edf pop order = stable sort by (deadline, seq)" ~count:300
+      (list (int_bound 5))
+      (fun ds ->
+        (* deadline buckets 0..4 plus infinity; seq = push index, so the
+           reference order is a stable sort on deadline alone *)
+        let entry i d = (i, if d = 5 then infinity else float_of_int d) in
+        let q = Edf.create () in
+        List.iteri (fun i d -> Edf.push q ~deadline:(snd (entry i d)) ~seq:i (entry i d)) ds;
+        let expected =
+          List.stable_sort (fun (_, d1) (_, d2) -> compare d1 d2) (List.mapi entry ds)
+        in
+        edf_drain q = expected);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Parpool under an event loop: lazy idle-death detection              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parpool_idle_crash_lazy_respawn () =
+  let pool = Parpool.create ~jobs:1 ~f:(fun () -> Unix.getpid ()) in
+  Fun.protect ~finally:(fun () -> Parpool.shutdown pool) @@ fun () ->
+  Parpool.submit pool ~key:0 ();
+  let pid =
+    match Parpool.next pool with
+    | 0, Parpool.Done pid -> pid
+    | _ -> Alcotest.fail "expected the worker's pid"
+  in
+  Unix.kill pid Sys.sigkill;
+  (* give the kernel a beat to tear the worker's pipe ends down *)
+  Unix.sleepf 0.05;
+  (* the dead worker is idle: its EOF-readable reply fd must not be offered
+     to an external select (it would spin the accept loop), and a
+     non-blocking poll must report nothing rather than wedge or raise *)
+  Alcotest.(check int) "no busy fds while idle" 0 (List.length (Parpool.busy_fds pool));
+  Alcotest.(check bool) "nothing completes while idle" true (Parpool.try_next pool = None);
+  Alcotest.(check int) "pool still reports an idle slot" 1 (Parpool.idle pool);
+  (* the next submit hits EPIPE, reaps, respawns and retries transparently *)
+  Parpool.submit pool ~key:1 ();
+  match Parpool.next pool with
+  | 1, Parpool.Done pid' ->
+    Alcotest.(check bool) "a fresh worker took over" true (pid' <> pid)
+  | _ -> Alcotest.fail "submit after an idle death must still complete"
+
+(* ------------------------------------------------------------------ *)
+(* Server: the daemon, driven in-process over real sockets             *)
+(* ------------------------------------------------------------------ *)
+
+let server_addr () =
+  let path = Filename.temp_file "sun_srv" ".sock" in
+  Sys.remove path;
+  Server.Unix_socket path
+
+let send_all fd lines =
+  let payload = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+  let b = Bytes.of_string payload in
+  let rec w ofs =
+    if ofs < Bytes.length b then w (ofs + Unix.write fd b ofs (Bytes.length b - ofs))
+  in
+  w 0;
+  Unix.shutdown fd Unix.SHUTDOWN_SEND
+
+let recv_all fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  Unix.close fd;
+  List.filter (fun l -> l <> "") (String.split_on_char '\n' (Buffer.contents buf))
+
+(* In-process harness: [serve] is single-threaded, so every client writes
+   its full request stream and half-closes BEFORE the loop starts; the
+   responses sit in the socket buffers until [serve] returns (after
+   [exit_after_conns] connections have been accepted, answered and
+   closed), and are read back afterwards. *)
+let serve_clients ?cache ?jobs ?max_queue ?now inputs =
+  let addr = server_addr () in
+  let listen_fd = ok (Server.listener addr) in
+  Fun.protect ~finally:(fun () -> Server.close_listener addr listen_fd) @@ fun () ->
+  let fds =
+    List.map
+      (fun lines ->
+        let fd = ok (Server.connect addr) in
+        send_all fd lines;
+        fd)
+      inputs
+  in
+  let summary =
+    Server.serve ?cache ?jobs ?max_queue ?now ~exit_after_conns:(List.length inputs) ~listen_fd
+      ()
+  in
+  (summary, List.map recv_all fds)
+
+let parse_responses lines = List.map (fun l -> ok (J.of_string l)) lines
+
+let statuses_of rs = List.map (fun r -> ok (J.as_string (response_field "status" r))) rs
+
+let test_server_single_client_parity () =
+  let requests = parity_requests () in
+  let _, baseline, _ =
+    run_batch ~cache:(Cache.create ~dir:(fresh_dir "sun_srv_base") ()) ~jobs:1 requests
+  in
+  let s, responses =
+    serve_clients ~cache:(Cache.create ~dir:(fresh_dir "sun_srv_cold") ()) ~jobs:2 [ requests ]
+  in
+  let daemon =
+    match responses with
+    | [ lines ] -> parse_responses lines
+    | _ -> Alcotest.fail "expected one client's responses"
+  in
+  Alcotest.(check int) "one connection" 1 s.Server.connections;
+  Alcotest.(check int) "9 requests" 9 s.Server.requests;
+  Alcotest.(check int) "2 computed" 2 s.Server.computed;
+  Alcotest.(check int) "3 hits" 3 s.Server.hits;
+  Alcotest.(check int) "4 errors" 4 s.Server.errors;
+  Alcotest.(check int) "nothing shed or expired" 0 (s.Server.overloaded + s.Server.expired);
+  Alcotest.(check int) "response count matches batch" (List.length baseline) (List.length daemon);
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string)
+        (Printf.sprintf "response %d byte-identical to batch --jobs 1 (modulo wall_s)" i)
+        (J.to_string (normalize_wall a))
+        (J.to_string (normalize_wall b)))
+    (List.combine baseline daemon)
+
+(* Which client wins each compute is scheduling-dependent, so cross-client
+   assertions also normalize hit-vs-computed; the dedup itself is pinned
+   exactly by the summary counters. *)
+let normalize_wall_status r =
+  match normalize_wall r with
+  | J.Obj fields ->
+    J.Obj
+      (List.map
+         (fun (k, v) ->
+           if k = "status" && (v = J.String "hit" || v = J.String "computed") then
+             (k, J.String "answered")
+           else (k, v))
+         fields)
+  | v -> v
+
+let test_server_concurrent_clients_dedup () =
+  let requests = parity_requests () in
+  let _, baseline, _ =
+    run_batch ~cache:(Cache.create ~dir:(fresh_dir "sun_srv_base2") ()) ~jobs:1 requests
+  in
+  let s, responses =
+    serve_clients
+      ~cache:(Cache.create ~dir:(fresh_dir "sun_srv_two") ())
+      ~jobs:2 [ requests; requests ]
+  in
+  Alcotest.(check int) "two connections" 2 s.Server.connections;
+  Alcotest.(check int) "18 requests" 18 s.Server.requests;
+  (* the same two searches arrive from both clients: the shared in-flight
+     table and cache must collapse them to one compute each *)
+  Alcotest.(check int) "searches deduped across connections" 2 s.Server.computed;
+  Alcotest.(check int) "every duplicate hits" 8 s.Server.hits;
+  Alcotest.(check int) "errors doubled" 8 s.Server.errors;
+  let expect = List.map (fun r -> J.to_string (normalize_wall_status r)) baseline in
+  List.iteri
+    (fun ci lines ->
+      let got =
+        List.map (fun l -> J.to_string (normalize_wall_status (ok (J.of_string l)))) lines
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "client %d answers identical to batch (modulo wall_s, hit/computed)" ci)
+        expect got)
+    responses
+
+let test_server_admission_shed () =
+  let lines =
+    [
+      {|{"workload":"conv1d","arch":"toy","id":"keep"}|};
+      {|{"workload":"matmul","arch":"toy","id":"shed-me"}|};
+    ]
+  in
+  let s, responses = serve_clients ~cache:(Cache.create ()) ~max_queue:1 [ lines ] in
+  let rs =
+    match responses with [ l ] -> parse_responses l | _ -> Alcotest.fail "one client"
+  in
+  Alcotest.(check (list string)) "second request shed" [ "computed"; "overloaded" ]
+    (statuses_of rs);
+  let shed = List.nth rs 1 in
+  Alcotest.(check string) "shed echoes the request id" "shed-me"
+    (ok (J.as_string (response_field "id" shed)));
+  Alcotest.(check int) "shed reports the bound" 1 (ok (J.as_int (response_field "max_queue" shed)));
+  Alcotest.(check int) "shed reports the queue depth" 1 (ok (J.as_int (response_field "queue" shed)));
+  Alcotest.(check bool) "shed names the condition" true
+    (contains_substring (ok (J.as_string (response_field "error" shed))) "overloaded");
+  Alcotest.(check int) "summary counts the shed" 1 s.Server.overloaded;
+  Alcotest.(check int) "shed is not an error" 0 s.Server.errors;
+  Alcotest.(check int) "only the admitted request computed" 1 s.Server.computed
+
+let test_server_worker_crash_respawns () =
+  (* the crash hook kills the worker through a live socket; the daemon must
+     answer the poisoned request with an error and keep serving the same
+     connection from a respawned worker *)
+  let lines =
+    [
+      {|{"workload":"matmul","arch":"toy","id":"boom","x-sunstone-test-crash":true}|};
+      {|{"workload":"conv1d","arch":"toy","id":"after"}|};
+    ]
+  in
+  let s, responses = serve_clients ~cache:(Cache.create ()) ~jobs:1 [ lines ] in
+  let rs =
+    match responses with [ l ] -> parse_responses l | _ -> Alcotest.fail "one client"
+  in
+  Alcotest.(check (list string)) "crash contained to its request" [ "error"; "computed" ]
+    (statuses_of rs);
+  let crashed = List.nth rs 0 in
+  Alcotest.(check string) "crash echoes the id" "boom"
+    (ok (J.as_string (response_field "id" crashed)));
+  Alcotest.(check bool) "crash named as such" true
+    (contains_substring (ok (J.as_string (response_field "error" crashed))) "worker crashed");
+  Alcotest.(check int) "one error" 1 s.Server.errors;
+  Alcotest.(check int) "follow-up computed on the respawned worker" 1 s.Server.computed
+
+let test_server_deadline_expiry () =
+  let lines =
+    [
+      {|{"workload":"conv1d","arch":"toy","id":"late","deadline_ms":0}|};
+      {|{"workload":"matmul","arch":"toy","id":"ontime","deadline_ms":60000}|};
+      {|{"workload":"conv1d","arch":"toy","id":"bad-deadline","deadline_ms":-5}|};
+    ]
+  in
+  let s, responses = serve_clients ~cache:(Cache.create ()) [ lines ] in
+  let rs =
+    match responses with [ l ] -> parse_responses l | _ -> Alcotest.fail "one client"
+  in
+  Alcotest.(check (list string)) "expiry and rejection are per-request"
+    [ "error"; "computed"; "error" ] (statuses_of rs);
+  let late = List.nth rs 0 in
+  Alcotest.(check string) "expired echoes the id" "late"
+    (ok (J.as_string (response_field "id" late)));
+  Alcotest.(check bool) "expired says deadline exceeded" true
+    (contains_substring (ok (J.as_string (response_field "error" late))) "deadline exceeded");
+  Alcotest.(check bool) "negative deadline rejected at admission" true
+    (contains_substring
+       (ok (J.as_string (response_field "error" (List.nth rs 2))))
+       "deadline_ms");
+  Alcotest.(check int) "one expiry" 1 s.Server.expired;
+  Alcotest.(check int) "expiry and bad deadline are the errors" 2 s.Server.errors;
+  Alcotest.(check int) "the deadline that fits computes" 1 s.Server.computed
+
+let test_server_injected_clock () =
+  (* a fake monotonic clock starting at an epoch far below wall time and
+     ticking 1µs per read: if any deadline arithmetic leaked to the wall
+     clock (Unix.gettimeofday ~ 1.75e9 s) the hour-long deadlines below
+     would be instantly exceeded and everything would expire; on the
+     injected clock nothing may expire and EDF order must hold *)
+  let fake = ref 1000.0 in
+  let now () =
+    fake := !fake +. 1e-6;
+    !fake
+  in
+  let lines =
+    [
+      {|{"workload":"conv1d","arch":"toy","id":"a","deadline_ms":3600000}|};
+      {|{"workload":"matmul","arch":"toy","id":"b","deadline_ms":7200000}|};
+    ]
+  in
+  let s, responses = serve_clients ~cache:(Cache.create ()) ~now [ lines ] in
+  let rs =
+    match responses with [ l ] -> parse_responses l | _ -> Alcotest.fail "one client"
+  in
+  Alcotest.(check (list string)) "both computed" [ "computed"; "computed" ] (statuses_of rs);
+  Alcotest.(check int) "wall-clock steps expire nothing" 0 s.Server.expired;
+  Alcotest.(check int) "no errors" 0 s.Server.errors
+
+let test_server_stats_control () =
+  let lines =
+    [
+      {|{"workload":"conv1d","arch":"toy","id":"r"}|};
+      {|{"control":"stats","id":"st"}|};
+      {|{"control":"flush","id":"nope"}|};
+    ]
+  in
+  let s, responses = serve_clients ~cache:(Cache.create ()) [ lines ] in
+  let rs =
+    match responses with [ l ] -> parse_responses l | _ -> Alcotest.fail "one client"
+  in
+  Alcotest.(check (list string)) "stats answered in sequence, unknown control errors"
+    [ "computed"; "stats"; "error" ] (statuses_of rs);
+  let stats = List.nth rs 1 in
+  Alcotest.(check string) "stats echoes the id" "st"
+    (ok (J.as_string (response_field "id" stats)));
+  let server_obj = response_field "server" stats in
+  Alcotest.(check int) "live request counter" 1
+    (ok (J.as_int (ok (J.field "requests" server_obj))));
+  Alcotest.(check bool) "telemetry document attached" true
+    (match J.field "telemetry" stats with Ok (J.Obj _) -> true | _ -> false);
+  (* control traffic is not request traffic *)
+  Alcotest.(check int) "controls not counted as requests" 1 s.Server.requests;
+  Alcotest.(check int) "one compute" 1 s.Server.computed
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "sun_serve"
@@ -1000,6 +1370,8 @@ let () =
           Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "disk persistence" `Quick test_cache_disk_persistence;
           Alcotest.test_case "corrupt entry tolerated" `Quick test_cache_corrupt_entry;
+          Alcotest.test_case "truncated value file is a miss" `Quick
+            test_cache_truncated_value_file;
           Alcotest.test_case "key sanitization" `Quick test_cache_key_sanitization;
           Alcotest.test_case "failed persist leaves dir clean" `Quick
             test_cache_failed_persist_leaves_dir_clean;
@@ -1014,6 +1386,8 @@ let () =
           Alcotest.test_case "exception becomes Failed" `Quick test_parpool_exception_is_failed;
           Alcotest.test_case "crash is contained" `Quick test_parpool_crash_is_contained;
           Alcotest.test_case "crash-once is retried" `Quick test_parpool_crash_retry_succeeds;
+          Alcotest.test_case "idle crash detected lazily" `Quick
+            test_parpool_idle_crash_lazy_respawn;
         ] );
       ( "pipeline",
         [
@@ -1036,5 +1410,25 @@ let () =
           Alcotest.test_case "--jobs counter parity" `Quick test_telemetry_jobs_parity;
           Alcotest.test_case "--jobs counter parity under crash+retry" `Quick
             test_telemetry_parity_under_crash_retry;
+        ] );
+      ( "edf",
+        [
+          Alcotest.test_case "pops by deadline" `Quick test_edf_ordering;
+          Alcotest.test_case "ties drain FIFO" `Quick test_edf_ties_fifo;
+        ] );
+      ("edf properties", List.map QCheck_alcotest.to_alcotest edf_qcheck_props);
+      ( "server",
+        [
+          Alcotest.test_case "single client parity with batch --jobs 1" `Quick
+            test_server_single_client_parity;
+          Alcotest.test_case "concurrent clients dedup" `Quick
+            test_server_concurrent_clients_dedup;
+          Alcotest.test_case "admission control sheds" `Quick test_server_admission_shed;
+          Alcotest.test_case "worker crash respawns under select" `Quick
+            test_server_worker_crash_respawns;
+          Alcotest.test_case "deadline expiry" `Quick test_server_deadline_expiry;
+          Alcotest.test_case "injected clock governs deadlines" `Quick
+            test_server_injected_clock;
+          Alcotest.test_case "stats control request" `Quick test_server_stats_control;
         ] );
     ]

@@ -109,6 +109,25 @@ let test_rng_shuffle_permutes () =
   let s = Rng.shuffle t xs in
   check_list "same multiset" xs (List.sort compare s)
 
+let test_monotonic_now_never_decreases () =
+  let rec spin prev i =
+    if i > 0 then begin
+      let t = Stopwatch.monotonic_now () in
+      Alcotest.(check bool) "monotonic_now never decreases" true (t >= prev);
+      spin t (i - 1)
+    end
+  in
+  spin (Stopwatch.monotonic_now ()) 10_000
+
+let test_monotonic_now_tracks_real_time () =
+  let a = Stopwatch.monotonic_now () in
+  Unix.sleepf 0.02;
+  let d = Stopwatch.monotonic_now () -. a in
+  (* CLOCK_MONOTONIC must see the sleep; the generous upper bound only
+     catches unit errors (ns read as s), not scheduler jitter *)
+  Alcotest.(check bool) (Printf.sprintf "sleep 20ms measured as %.4fs" d) true
+    (d >= 0.019 && d < 5.0)
+
 let test_stopwatch_clamps () =
   let t = Stopwatch.start () in
   (* a wall clock that stepped backwards must read as 0, never negative *)
@@ -186,6 +205,10 @@ let () =
         ] );
       ( "stopwatch",
         [
+          Alcotest.test_case "monotonic_now never decreases" `Quick
+            test_monotonic_now_never_decreases;
+          Alcotest.test_case "monotonic_now tracks real time" `Quick
+            test_monotonic_now_tracks_real_time;
           Alcotest.test_case "clamps negative durations" `Quick test_stopwatch_clamps;
           Alcotest.test_case "monotone reads" `Quick test_stopwatch_monotone_reads;
         ] );
