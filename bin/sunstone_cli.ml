@@ -715,9 +715,13 @@ let serve_cmd =
       in
       let cache = if no_cache then None else Some (Sun_serve.Cache.create ?dir:cache_dir ()) in
       let drain = ref false in
+      let force = ref false in
       let hup = ref false in
-      Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> drain := true));
-      Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> drain := true));
+      (* first SIGTERM/SIGINT drains gracefully; a second escalates to an
+         immediate shutdown even if a client never reads its responses *)
+      let stop _ = if !drain then force := true else drain := true in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
       Sys.set_signal Sys.sighup (Sys.Signal_handle (fun _ -> hup := true));
       (* a `stats` control request reports the live registry, so telemetry
          is on for the daemon's lifetime even without --metrics *)
@@ -737,7 +741,7 @@ let serve_cmd =
         Printf.eprintf "sunstone: serving on %s (pid %d)\n%!" listen Unix.(getpid ());
         let s =
           Sun_serve.Server.serve ?cache ~config ~jobs ?max_queue ~drain_flag:drain
-            ~hup_flag:hup ?metrics_path ~listen_fd ()
+            ~force_flag:force ~hup_flag:hup ?metrics_path ~listen_fd ()
         in
         Printf.eprintf
           "sunstone: drained after %.2fs: %d connections, %d requests (%d hits, %d computed, \
@@ -782,6 +786,9 @@ let client_cmd =
         go [])
   in
   let run conn input output =
+    (* a daemon shedding or killing the connection mid-replay must surface
+       as EPIPE inside [replay], not kill this process *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     match Sun_serve.Server.parse_listen conn with
     | Error msg ->
       Printf.eprintf "cannot connect: %s\n" msg;

@@ -20,6 +20,8 @@ type 'a worker = {
 type ('a, 'b) t = {
   job_count : int;
   f : 'a -> 'b;
+  on_child_fork : unit -> unit;
+      (** runs in every freshly forked worker, releasing caller-owned fds *)
   mutable workers : 'a worker list;
   mutable spawned : int;  (** workers ever spawned, including respawns *)
   completed : (int * 'b reply) Queue.t;
@@ -114,6 +116,11 @@ let spawn t =
       t.workers;
     Unix.close job_w;
     Unix.close res_r;
+    (* Same reasoning for fds the *caller* owns (listening sockets, client
+       connections): a worker respawned mid-serve would otherwise hold
+       them for its whole lifetime, so a peer the caller closes never sees
+       EOF. The hook runs in every child, initial and respawned alike. *)
+    (try t.on_child_fork () with _ -> ());
     (try worker_loop t.f job_r res_w with _ -> ());
     Unix._exit 1
   | pid ->
@@ -125,12 +132,20 @@ let spawn t =
 (* Parent side                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let create ~jobs ~f =
+let create ?(on_child_fork = fun () -> ()) ~jobs ~f () =
   if jobs < 1 then invalid_arg "Parpool.create: jobs must be >= 1";
   (* Writes to a worker that died must raise EPIPE, not kill the parent. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let t =
-    { job_count = jobs; f; workers = []; spawned = 0; completed = Queue.create (); closed = false }
+    {
+      job_count = jobs;
+      f;
+      on_child_fork;
+      workers = [];
+      spawned = 0;
+      completed = Queue.create ();
+      closed = false;
+    }
   in
   for _ = 1 to jobs do
     t.workers <- t.workers @ [ spawn t ]
@@ -287,7 +302,7 @@ let map ~jobs ~f xs =
         match f x with b -> Done b | exception e -> Failed (Printexc.to_string e))
       xs
   else begin
-    let t = create ~jobs ~f in
+    let t = create ~jobs ~f () in
     let n = List.length xs in
     let results = Array.make n None in
     Fun.protect

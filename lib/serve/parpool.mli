@@ -40,10 +40,19 @@ type 'b reply =
   | Failed of string  (** the job function raised; payload is [Printexc.to_string] *)
   | Crashed  (** the worker process died twice running this job *)
 
-val create : jobs:int -> f:('a -> 'b) -> ('a, 'b) t
-(** [create ~jobs ~f] forks [jobs] workers each looping [f] over framed
+val create : ?on_child_fork:(unit -> unit) -> jobs:int -> f:('a -> 'b) -> unit -> ('a, 'b) t
+(** [create ~jobs ~f ()] forks [jobs] workers each looping [f] over framed
     jobs. [jobs] must be at least 1 ([Invalid_argument] otherwise); for
-    in-process execution use {!map} with [jobs <= 1] instead. *)
+    in-process execution use {!map} with [jobs <= 1] instead.
+
+    [?on_child_fork] runs inside {e every} freshly forked worker — the
+    initial [jobs] and every respawn after a crash — before the job loop
+    starts. Callers that hold fds workers must not inherit (a server's
+    listening socket and client connections: a worker keeping a duplicate
+    alive means a peer never sees EOF after the caller closes its end)
+    close them here; the hook should only close fds and never raise
+    (exceptions are swallowed). It is called at fork time, so a server's
+    hook sees exactly the connections open at that moment. *)
 
 val jobs : ('a, 'b) t -> int
 (** The configured worker count (constant: crashed workers are replaced). *)

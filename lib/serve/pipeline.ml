@@ -410,7 +410,7 @@ let worker ~config (index, line) =
   (outcome, Json.to_string response, store, wall, tel)
 
 let run_parallel ?cache ~config ~jobs cnt ic oc =
-  let pool = Parpool.create ~jobs ~f:(worker ~config) in
+  let pool = Parpool.create ~jobs ~f:(worker ~config) () in
   Fun.protect ~finally:(fun () -> Parpool.shutdown pool) @@ fun () ->
   let index = ref 0 in
   let next_seq = ref 0 in

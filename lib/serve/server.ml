@@ -105,12 +105,20 @@ let replay fd lines =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
     (fun () ->
-      List.iter
-        (fun line ->
-          write_all fd line 0 (String.length line);
-          write_all fd "\n" 0 1)
-        lines;
-      (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error (_, _, _) -> ());
+      (* A daemon may close the connection before the whole request stream
+         is written (kill_conn on a protocol error, escalated shutdown);
+         whatever responses it sent first are still buffered in the
+         socket, so a failed write falls through to the read loop instead
+         of raising away from them. Callers must have SIGPIPE ignored for
+         the failure to surface as EPIPE here. *)
+      (try
+         List.iter
+           (fun line ->
+             write_all fd line 0 (String.length line);
+             write_all fd "\n" 0 1)
+           lines;
+         Unix.shutdown fd Unix.SHUTDOWN_SEND
+       with Unix.Unix_error (_, _, _) -> ());
       let buf = Buffer.create 4096 in
       let chunk = Bytes.create 65536 in
       let rec read_loop () =
@@ -522,6 +530,10 @@ let accept_conn st listen_fd =
   match Unix.accept listen_fd with
   | exception Unix.Unix_error (_, _, _) -> ()
   | fd, _ ->
+    (* select-writability only promises *some* send-buffer space, so every
+       conn fd runs non-blocking: a stalled peer costs an EAGAIN retry on
+       the next round, never a blocked accept loop *)
+    (try Unix.set_nonblock fd with Unix.Unix_error (_, _, _) -> ());
     let cid = st.next_cid in
     st.next_cid <- cid + 1;
     st.s_connections <- st.s_connections + 1;
@@ -558,16 +570,31 @@ type summary = {
   cache_stats : Cache.stats option;
 }
 
-let serve ?cache ?(config = Opt.default_config) ?(jobs = 1) ?(max_queue = max_int) ?now
-    ?drain_flag ?hup_flag ?metrics_path ?exit_after_conns ~listen_fd () =
+let serve ?cache ?(config = Opt.default_config) ?(jobs = 1) ?(max_queue = max_int)
+    ?(max_conns = 900) ?now ?drain_flag ?force_flag ?(drain_grace = 30.) ?hup_flag
+    ?metrics_path ?exit_after_conns ~listen_fd () =
   let now = match now with Some f -> f | None -> Sun_util.Stopwatch.monotonic_now in
   let timer = Sun_util.Stopwatch.start () in
   let jobs = max 1 jobs in
+  let st = make_state () in
+  (* Forked workers must not inherit the daemon's sockets: a child holding
+     a duplicate of a conn fd keeps the peer from ever seeing EOF once the
+     parent closes its end, so a client reading to EOF would hang for the
+     respawned worker's whole lifetime. *)
+  let close_sockets_in_child () =
+    (try Unix.close listen_fd with Unix.Unix_error (_, _, _) -> ());
+    Hashtbl.iter
+      (fun _ c -> try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ())
+      st.conns
+  in
   (* Compute always happens in a worker, even with one job: the accept
      loop must keep multiplexing connections while a search runs. *)
-  let pool = Parpool.create ~jobs ~f:(Pipeline.worker ~config) in
+  let pool =
+    Parpool.create ~on_child_fork:close_sockets_in_child ~jobs ~f:(Pipeline.worker ~config) ()
+  in
   Fun.protect ~finally:(fun () -> Parpool.shutdown pool) @@ fun () ->
-  let st = make_state () in
+  (try Unix.set_nonblock listen_fd with Unix.Unix_error (_, _, _) -> ());
+  let drain_started = ref None in
   let running = ref true in
   while !running do
     (match drain_flag with Some r when !r -> st.draining <- true | _ -> ());
@@ -579,6 +606,25 @@ let serve ?cache ?(config = Opt.default_config) ?(jobs = 1) ?(max_queue = max_in
         match Tel.save path (Tel.snapshot ()) with Ok () | Error _ -> ())
       | None -> ())
     | _ -> ());
+    if st.draining && !drain_started = None then drain_started := Some (now ());
+    let kill_all_conns () =
+      List.iter (kill_conn st) (Hashtbl.fold (fun _ c acc -> c :: acc) st.conns [])
+    in
+    (match force_flag with
+    | Some r when !r ->
+      (* escalated shutdown (second SIGTERM): drop every connection and
+         abandon in-flight compute rather than wait on anything *)
+      kill_all_conns ();
+      running := false
+    | _ -> (
+      match !drain_started with
+      | Some t0 when now () -. t0 > drain_grace ->
+        (* a client that never reads its pending responses must not hold
+           the drain open forever *)
+        kill_all_conns ()
+      | _ -> ()));
+    if not !running then ()
+    else begin
     if st.draining then begin
       (* no more reads: answer what is admitted, close what is finished *)
       let cids = Hashtbl.fold (fun cid _ acc -> cid :: acc) st.conns [] in
@@ -599,10 +645,15 @@ let serve ?cache ?(config = Opt.default_config) ?(jobs = 1) ?(max_queue = max_in
     if (st.draining && quiescent) || idle_exit then running := false
     else begin
       let conn_list = Hashtbl.fold (fun _ c acc -> c :: acc) st.conns [] in
+      (* [max_conns] keeps every fd number below FD_SETSIZE, which
+         [Unix.select] cannot represent: at the cap the listen fd simply
+         leaves the read set, deferring accepts to the kernel backlog
+         until some connection closes *)
+      let accepting = (not st.draining) && Hashtbl.length st.conns < max_conns in
       let rfds =
-        (if st.draining then []
-         else
-           listen_fd :: List.filter_map (fun c -> if c.eof then None else Some c.fd) conn_list)
+        (if accepting then [ listen_fd ] else [])
+        @ (if st.draining then []
+           else List.filter_map (fun c -> if c.eof then None else Some c.fd) conn_list)
         @ Parpool.busy_fds pool
       in
       let wfds =
@@ -613,7 +664,7 @@ let serve ?cache ?(config = Opt.default_config) ?(jobs = 1) ?(max_queue = max_in
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
       | readable, writable, _ ->
-        if (not st.draining) && List.mem listen_fd readable then accept_conn st listen_fd;
+        if accepting && List.mem listen_fd readable then accept_conn st listen_fd;
         let rec drain_pool () =
           match Parpool.try_next pool with
           | Some completion ->
@@ -631,6 +682,7 @@ let serve ?cache ?(config = Opt.default_config) ?(jobs = 1) ?(max_queue = max_in
           (fun c ->
             if List.mem c.fd writable && Hashtbl.mem st.conns c.cid then write_conn st c)
           conn_list
+    end
     end
   done;
   {

@@ -65,9 +65,14 @@
     Drain ([~drain_flag] set, typically from SIGTERM): stop accepting
     connections and reading further input, answer everything already
     admitted, flush and close every connection, then return — zero
-    admitted requests are lost. [~hup_flag] (SIGHUP) rewrites the metrics
-    snapshot to [~metrics_path] whenever set, re-creating the file if it
-    was rotated away. *)
+    admitted requests are lost. A client that never reads its pending
+    responses cannot hold the drain open forever: [~drain_grace] seconds
+    after the drain began, connections still unflushed are force-closed.
+    [~force_flag] (typically a {e second} SIGTERM) escalates to immediate
+    shutdown — every connection is dropped and in-flight compute
+    abandoned. [~hup_flag] (SIGHUP) rewrites the metrics snapshot to
+    [~metrics_path] whenever set, re-creating the file if it was rotated
+    away. *)
 
 (** A listening address: ["unix:PATH"], ["tcp:HOST:PORT"] or plain
     ["HOST:PORT"]. *)
@@ -91,7 +96,11 @@ val replay : Unix.file_descr -> string list -> string list
 (** [replay fd lines] writes every line, shuts down the write side, reads
     until EOF and returns the response lines; closes [fd]. Suited to
     request sets that fit in socket buffers (the daemon buffers its output
-    in memory, so only the {e requests} need to fit in flight). *)
+    in memory, so only the {e requests} need to fit in flight). If the
+    daemon closes the connection mid-replay the remaining writes are
+    abandoned and whatever responses it already sent are still returned —
+    callers must ignore [SIGPIPE] for the write failure to surface as
+    [EPIPE] rather than kill the process (the CLI client does). *)
 
 (** {2 The daemon} *)
 
@@ -112,8 +121,11 @@ val serve :
   ?config:Sun_core.Optimizer.config ->
   ?jobs:int ->
   ?max_queue:int ->
+  ?max_conns:int ->
   ?now:(unit -> float) ->
   ?drain_flag:bool ref ->
+  ?force_flag:bool ref ->
+  ?drain_grace:float ->
   ?hup_flag:bool ref ->
   ?metrics_path:string ->
   ?exit_after_conns:int ->
@@ -122,12 +134,20 @@ val serve :
   summary
 (** Runs the accept loop until drained. [?jobs] (default 1, clamped up to
     1) sizes the always-present {!Parpool} — even [jobs = 1] computes in a
-    worker so the accept loop never blocks on a search. [?max_queue]
-    (default unbounded) is the admission bound; [?now] (default
+    worker so the accept loop never blocks on a search; workers close the
+    daemon's listening and connection fds at fork time so no client fd
+    outlives the parent's close. The listen fd and every accepted fd are
+    switched to non-blocking ([select] readiness is a hint, not a
+    guarantee). [?max_queue] (default unbounded) is the admission bound;
+    [?max_conns] (default 900) bounds concurrently open connections so fd
+    numbers stay below [select]'s FD_SETSIZE — at the cap new accepts wait
+    in the kernel backlog until a connection closes. [?now] (default
     {!Sun_util.Stopwatch.monotonic_now}) is the deadline clock, injectable
-    for tests; [?drain_flag] / [?hup_flag] are polled every loop
-    iteration (set them from signal handlers); [?metrics_path] is where a
-    [hup_flag] tick rewrites the telemetry snapshot.
+    for tests; [?drain_flag] / [?force_flag] / [?hup_flag] are polled
+    every loop iteration (set them from signal handlers); [?drain_grace]
+    (default 30 s) bounds how long a drain waits for clients to read
+    their responses; [?metrics_path] is where a [hup_flag] tick rewrites
+    the telemetry snapshot.
 
     [?exit_after_conns:n] makes the loop drain on its own once [n]
     connections have been accepted, every connection has closed and no

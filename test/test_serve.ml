@@ -1056,7 +1056,7 @@ let edf_qcheck_props =
 (* ------------------------------------------------------------------ *)
 
 let test_parpool_idle_crash_lazy_respawn () =
-  let pool = Parpool.create ~jobs:1 ~f:(fun () -> Unix.getpid ()) in
+  let pool = Parpool.create ~jobs:1 ~f:(fun () -> Unix.getpid ()) () in
   Fun.protect ~finally:(fun () -> Parpool.shutdown pool) @@ fun () ->
   Parpool.submit pool ~key:0 ();
   let pid =
@@ -1079,6 +1079,40 @@ let test_parpool_idle_crash_lazy_respawn () =
   | 1, Parpool.Done pid' ->
     Alcotest.(check bool) "a fresh worker took over" true (pid' <> pid)
   | _ -> Alcotest.fail "submit after an idle death must still complete"
+
+let test_parpool_child_fork_hook_closes_fds () =
+  (* [a] is the caller's stand-in for a client connection: the pool's
+     children must not keep [b] alive, or closing the parent's copy never
+     delivers EOF on [a]. Respawned workers are the interesting case — the
+     original bug leaked every conn fd into workers forked mid-serve. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let pool =
+    Parpool.create
+      ~on_child_fork:(fun () -> try Unix.close b with Unix.Unix_error (_, _, _) -> ())
+      ~jobs:1
+      ~f:(fun n ->
+        if n = 0 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+        n + 1)
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Parpool.shutdown pool) @@ fun () ->
+  Parpool.submit pool ~key:0 0;
+  (match Parpool.next pool with
+  | 0, Parpool.Crashed -> ()
+  | _ -> Alcotest.fail "the poisoned job must crash out");
+  (* the worker now serving was forked while [b] was open in the parent *)
+  Parpool.submit pool ~key:1 1;
+  (match Parpool.next pool with
+  | 1, Parpool.Done 2 -> ()
+  | _ -> Alcotest.fail "respawned worker must serve");
+  Unix.close b;
+  match Unix.select [ a ] [] [] 5.0 with
+  | [ _ ], _, _ ->
+    Alcotest.(check int) "peer sees EOF" 0 (Unix.read a (Bytes.create 1) 0 1);
+    Unix.close a
+  | _ ->
+    Unix.close a;
+    Alcotest.fail "peer never saw EOF: a respawned worker still holds the fd"
 
 (* ------------------------------------------------------------------ *)
 (* Server: the daemon, driven in-process over real sockets             *)
@@ -1118,7 +1152,7 @@ let recv_all fd =
    responses sit in the socket buffers until [serve] returns (after
    [exit_after_conns] connections have been accepted, answered and
    closed), and are read back afterwards. *)
-let serve_clients ?cache ?jobs ?max_queue ?now inputs =
+let serve_clients ?cache ?jobs ?max_queue ?max_conns ?now inputs =
   let addr = server_addr () in
   let listen_fd = ok (Server.listener addr) in
   Fun.protect ~finally:(fun () -> Server.close_listener addr listen_fd) @@ fun () ->
@@ -1131,8 +1165,8 @@ let serve_clients ?cache ?jobs ?max_queue ?now inputs =
       inputs
   in
   let summary =
-    Server.serve ?cache ?jobs ?max_queue ?now ~exit_after_conns:(List.length inputs) ~listen_fd
-      ()
+    Server.serve ?cache ?jobs ?max_queue ?max_conns ?now
+      ~exit_after_conns:(List.length inputs) ~listen_fd ()
   in
   (summary, List.map recv_all fds)
 
@@ -1337,6 +1371,118 @@ let test_server_stats_control () =
   Alcotest.(check int) "controls not counted as requests" 1 s.Server.requests;
   Alcotest.(check int) "one compute" 1 s.Server.computed
 
+let test_server_respawn_releases_conn_fds () =
+  (* A worker respawned mid-connection (the crash hook kills one) must not
+     inherit the connection fd: the client below reads conn 1 to EOF while
+     the daemon is still alive (it still owes conn 2), which hangs forever
+     if the respawned worker holds a duplicate of conn 1. The client's
+     alarm turns that hang into a visible failure, and the parent's alarm
+     force-drains the daemon so the suite cannot wedge either way. *)
+  let addr = server_addr () in
+  let listen_fd = ok (Server.listener addr) in
+  Fun.protect ~finally:(fun () -> Server.close_listener addr listen_fd) @@ fun () ->
+  match Unix.fork () with
+  | 0 ->
+    (try
+       ignore (Unix.alarm 15);
+       let fd1 = ok (Server.connect addr) in
+       let r1 =
+         Server.replay fd1
+           [
+             {|{"workload":"matmul","arch":"toy","id":"boom","x-sunstone-test-crash":true}|};
+             {|{"workload":"conv1d","arch":"toy","id":"after"}|};
+           ]
+       in
+       if List.length r1 <> 2 then Unix._exit 2;
+       let fd2 = ok (Server.connect addr) in
+       let r2 = Server.replay fd2 [ {|{"workload":"conv1d","arch":"toy","id":"again"}|} ] in
+       if List.length r2 <> 1 then Unix._exit 3;
+       Unix._exit 0
+     with _ -> Unix._exit 4)
+  | client ->
+    let drain = ref false and force = ref false in
+    Sys.set_signal Sys.sigalrm
+      (Sys.Signal_handle
+         (fun _ ->
+           drain := true;
+           force := true));
+    ignore (Unix.alarm 30);
+    let s =
+      Server.serve ~cache:(Cache.create ()) ~jobs:1 ~drain_flag:drain ~force_flag:force
+        ~exit_after_conns:2 ~listen_fd ()
+    in
+    ignore (Unix.alarm 0);
+    Sys.set_signal Sys.sigalrm Sys.Signal_default;
+    (match Unix.waitpid [] client with
+    | _, Unix.WEXITED 0 -> ()
+    | _, Unix.WEXITED c -> Alcotest.failf "client failed with exit code %d" c
+    | _, _ -> Alcotest.fail "client hung reading to EOF and was killed");
+    Alcotest.(check int) "both connections served" 2 s.Server.connections
+
+let test_server_conn_cap_defers_accepts () =
+  (* with the cap at one open connection the second client is accepted
+     only after the first closes; deferral must lose nothing *)
+  let requests = [ {|{"workload":"conv1d","arch":"toy","id":"x"}|} ] in
+  let s, responses =
+    serve_clients ~cache:(Cache.create ()) ~max_conns:1 [ requests; requests ]
+  in
+  Alcotest.(check int) "both connections served" 2 s.Server.connections;
+  match List.map parse_responses responses with
+  | [ [ r1 ]; [ r2 ] ] ->
+    Alcotest.(check string) "first computes" "computed"
+      (ok (J.as_string (response_field "status" r1)));
+    Alcotest.(check string) "second hits the warm cache" "hit"
+      (ok (J.as_string (response_field "status" r2)))
+  | _ -> Alcotest.fail "each client gets exactly one response"
+
+let test_server_force_flag_exits_immediately () =
+  (* a client that connects and never half-closes holds a graceful drain
+     open indefinitely; the force flag (second SIGTERM) must still exit *)
+  let addr = server_addr () in
+  let listen_fd = ok (Server.listener addr) in
+  Fun.protect ~finally:(fun () -> Server.close_listener addr listen_fd) @@ fun () ->
+  let fd = ok (Server.connect addr) in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+  @@ fun () ->
+  let s = Server.serve ~force_flag:(ref true) ~listen_fd () in
+  Alcotest.(check int) "nothing served" 0 s.Server.requests
+
+let test_server_drain_grace_closes_stuck_client () =
+  (* Thousands of bad-workload requests produce far more response bytes
+     than a unix-socket send buffer holds, and the client never reads, so
+     the connection stalls with a non-empty output queue. Once the
+     injected clock puts the drain [drain_grace] past due the connection
+     must be force-closed; before the grace existed this daemon looped
+     forever (the alarm below makes that a failure, not a wedged suite). *)
+  Sys.set_signal Sys.sigalrm
+    (Sys.Signal_handle (fun _ -> failwith "drain grace never fired: daemon wedged"));
+  ignore (Unix.alarm 30);
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.alarm 0);
+      Sys.set_signal Sys.sigalrm Sys.Signal_default)
+  @@ fun () ->
+  let n = 2000 in
+  let lines = List.init n (fun _ -> {|{"workload":"no-such-workload","arch":"toy"}|}) in
+  let drain = ref false in
+  let calls = ref 0 in
+  (* the clock ticks once per admitted request: draining starts only once
+     every line is in, so the response backlog exists before reads stop *)
+  let now () =
+    incr calls;
+    if !calls >= n then drain := true;
+    float_of_int !calls *. 1e-6
+  in
+  let addr = server_addr () in
+  let listen_fd = ok (Server.listener addr) in
+  Fun.protect ~finally:(fun () -> Server.close_listener addr listen_fd) @@ fun () ->
+  let fd = ok (Server.connect addr) in
+  send_all fd lines;
+  let s = Server.serve ~now ~drain_flag:drain ~drain_grace:1e-6 ~listen_fd () in
+  Alcotest.(check int) "every request was admitted" n s.Server.requests;
+  Alcotest.(check bool) "responses flushed before the force-close arrive" true
+    (recv_all fd <> [])
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -1388,6 +1534,8 @@ let () =
           Alcotest.test_case "crash-once is retried" `Quick test_parpool_crash_retry_succeeds;
           Alcotest.test_case "idle crash detected lazily" `Quick
             test_parpool_idle_crash_lazy_respawn;
+          Alcotest.test_case "fork hook closes caller fds in children" `Quick
+            test_parpool_child_fork_hook_closes_fds;
         ] );
       ( "pipeline",
         [
@@ -1430,5 +1578,13 @@ let () =
           Alcotest.test_case "injected clock governs deadlines" `Quick
             test_server_injected_clock;
           Alcotest.test_case "stats control request" `Quick test_server_stats_control;
+          Alcotest.test_case "respawned worker leaks no conn fd" `Quick
+            test_server_respawn_releases_conn_fds;
+          Alcotest.test_case "conn cap defers accepts" `Quick
+            test_server_conn_cap_defers_accepts;
+          Alcotest.test_case "force flag exits immediately" `Quick
+            test_server_force_flag_exits_immediately;
+          Alcotest.test_case "drain grace closes a stuck client" `Quick
+            test_server_drain_grace_closes_stuck_client;
         ] );
     ]
