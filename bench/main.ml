@@ -389,6 +389,58 @@ let telemetry_bench () =
   Printf.printf "telemetry: wrote %s\n" out;
   if not pass then exit 1
 
+(* Time a full srclint scan of the shipping tree (lib/, bin/, bench/),
+   min-of-N over a warmed page cache, and persist the corpus size plus the
+   best wall time to BENCH_lint.json. Exits non-zero if the tree is not
+   clean, so ci.sh can gate on the same run it times. *)
+let lint_bench () =
+  let module Srclint = Sun_analysis.Srclint in
+  let module Json = Sun_serve.Json in
+  let roots =
+    List.filter (fun p -> Sys.file_exists p && Sys.is_directory p) [ "lib"; "bin"; "bench" ]
+  in
+  if roots = [] then begin
+    Printf.eprintf "lint: no lib/, bin/ or bench/ under %s\n" (Sys.getcwd ());
+    exit 2
+  end;
+  let scan () = Srclint.scan ~roots () in
+  let r = scan () in
+  let reps = 5 in
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Sun_util.Stopwatch.monotonic_now () in
+    ignore (scan ());
+    best := Float.min !best (Sun_util.Stopwatch.monotonic_now () -. t0)
+  done;
+  let hits = List.length r.Srclint.hits in
+  let stale = List.length r.Srclint.stale in
+  Printf.printf
+    "lint: %d files, %d tokens, %d hit(s), %d stale, min-of-%d %.4fs (%.0f ktok/s)\n%!"
+    r.Srclint.files_scanned r.Srclint.tokens_seen hits stale reps !best
+    (float_of_int r.Srclint.tokens_seen /. !best /. 1e3);
+  let out = "BENCH_lint.json" in
+  let oc = open_out out in
+  output_string oc
+    (Json.to_string_pretty
+       (Json.Obj
+          [
+            ( "lint",
+              Json.Obj
+                [
+                  ("reps", Json.Int reps);
+                  ("files", Json.Int r.Srclint.files_scanned);
+                  ("tokens", Json.Int r.Srclint.tokens_seen);
+                  ("hits", Json.Int hits);
+                  ("suppressed", Json.Int r.Srclint.suppressed);
+                  ("stale", Json.Int stale);
+                  ("wall_s", Json.Float !best);
+                ] );
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "lint: wrote %s\n" out;
+  if hits > 0 then exit 1
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let known = List.map fst Sun_experiments.Figures.all in
@@ -398,6 +450,7 @@ let () =
   | [ "serve-daemon" ] -> serve_daemon_bench ()
   | [ "audit" ] -> audit_bench ()
   | [ "telemetry" ] -> telemetry_bench ()
+  | [ "lint" ] -> lint_bench ()
   | [] -> List.iter (fun (name, driver) -> run_experiment name driver) Sun_experiments.Figures.all
   | names ->
     List.iter
@@ -406,8 +459,8 @@ let () =
         | Some driver -> run_experiment name driver
         | None ->
           Printf.eprintf
-            "unknown experiment %S; known: %s, 'micro', 'serve', 'serve-daemon', 'audit' or \
-             'telemetry'\n"
+            "unknown experiment %S; known: %s, 'micro', 'serve', 'serve-daemon', 'audit', \
+             'telemetry' or 'lint'\n"
             name
             (String.concat ", " known);
           exit 2)

@@ -11,8 +11,23 @@ dune build
 echo "== dune runtest"
 dune runtest
 
-echo "== lint (fork-safety + partial functions in lib/)"
-dune exec bin/lint_src.exe
+echo "== lint (srclint source scan over lib/, bin/ and bench/)"
+dune exec bin/lint_src.exe -- lib bin bench
+
+echo "== sunstone check --src (the same scan through the CLI, JSON path)"
+dune exec bin/sunstone_cli.exe -- check --src --json >/dev/null
+
+echo "== srclint injection (every daemon-era rule must fire on its fixture)"
+# The linter itself is gated the same way as the audit oracles: each
+# deliberately-bad fixture must turn the exit code non-zero, or the rule
+# is vacuous. The fixtures are never compiled, only lexed by the linter.
+for fixture in sa060_block sa061_fd sa062_signal sa063_det sa064_swallow; do
+  if dune exec bin/lint_src.exe -- --unscoped "test/fixtures/srclint/$fixture.ml" >/dev/null 2>&1; then
+    echo "srclint injection: $fixture.ml did not fail the lint" >&2
+    exit 1
+  fi
+done
+echo "srclint injection: ok (all 5 injected faults detected)"
 
 echo "== sunstone check (static analysis over the registry)"
 dune exec bin/sunstone_cli.exe -- check --admissibility
@@ -147,6 +162,9 @@ dune exec bench/main.exe -- serve-daemon
 
 echo "== bench telemetry (overhead budget)"
 dune exec bench/main.exe -- telemetry
+
+echo "== bench lint (scan throughput, clean-tree gate)"
+dune exec bench/main.exe -- lint
 
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt"

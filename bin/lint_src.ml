@@ -1,33 +1,46 @@
-(* Source lint gate: the OCaml successor of the old bin/lint.sh shell grep.
-   Scans lib/ (or the roots given on the command line) with the Forksafe
-   checker — partial functions, Marshal / fork outside the pool, shared
-   channel writes, mutable toplevel state — honouring the same
-   bin/lint_allowlist.txt fixed-substring format. Exit 1 on any hit. *)
+(* Source lint gate: thin driver over the srclint engine — the Forksafe
+   fork-hygiene rules (SA040-SA044) plus the daemon-era passes (SA060-SA064)
+   with inline (* sunstone-lint: allow ... *) suppressions. Scans lib/ bin/
+   bench/ by default; roots may be directories or single .ml files, and
+   --unscoped drops the production path scoping so ci.sh can point the
+   scanner at a deliberately-bad fixture and demand a non-zero exit.
+   Stale suppressions print as warnings; only hits fail the gate. *)
 
-module Forksafe = Sun_analysis.Forksafe
+module Srclint = Sun_analysis.Srclint
+module Rules = Sun_analysis.Rules
 module D = Sun_analysis.Diagnostic
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let unscoped = List.mem "--unscoped" args in
   let roots =
-    match List.tl (Array.to_list Sys.argv) with [] -> [ "lib" ] | roots -> roots
+    match List.filter (fun a -> a <> "--unscoped") args with
+    | [] -> [ "lib"; "bin"; "bench" ]
+    | roots -> roots
   in
-  let allowlist = Forksafe.load_allowlist "bin/lint_allowlist.txt" in
-  let reports = List.map (fun root -> Forksafe.scan ~allowlist ~root ()) roots in
-  let files = List.fold_left (fun acc r -> acc + r.Forksafe.files_scanned) 0 reports in
-  let suppressed = List.fold_left (fun acc r -> acc + r.Forksafe.suppressed) 0 reports in
-  let hits = List.concat_map (fun r -> r.Forksafe.hits) reports in
-  if hits = [] then
-    Printf.printf "lint: ok (%d files scanned, %d allowlisted hit%s)\n" files suppressed
-      (if suppressed = 1 then "" else "s")
+  let rules =
+    let base = Rules.default_rules () in
+    if unscoped then Rules.unscoped base else base
+  in
+  let allowlist = Srclint.load_allowlist "bin/lint_allowlist.txt" in
+  let report = Srclint.scan ~allowlist ~rules ~roots () in
+  List.iter
+    (fun d -> Format.eprintf "%a@." D.pp d)
+    report.Srclint.stale;
+  if report.Srclint.hits = [] then
+    Printf.printf "lint: ok (%d files, %d tokens scanned, %d suppressed hit%s)\n"
+      report.Srclint.files_scanned report.Srclint.tokens_seen report.Srclint.suppressed
+      (if report.Srclint.suppressed = 1 then "" else "s")
   else begin
-    Printf.eprintf "lint: fork-unsafe or partial patterns in library code:\n";
+    Printf.eprintf "lint: fork-unsafe, daemon-unsafe or partial patterns:\n";
     List.iter
-      (fun h ->
-        Printf.eprintf "%s [%s %s]\n" (Forksafe.hit_string h)
-          (D.code_id h.Forksafe.diag.D.code)
-          (D.code_name h.Forksafe.diag.D.code))
-      hits;
+      (fun (h : Srclint.hit) ->
+        Printf.eprintf "%s [%s %s]\n" (Srclint.hit_string h)
+          (D.code_id h.Srclint.h_diag.D.code)
+          (D.code_name h.Srclint.h_diag.D.code))
+      report.Srclint.hits;
     Printf.eprintf
-      "lint: convert to Result/diagnostics, or allowlist the line in bin/lint_allowlist.txt\n";
+      "lint: fix the site, or suppress it inline with (* sunstone-lint: allow SAxxx reason \
+       *)\n";
     exit 1
   end

@@ -408,15 +408,57 @@ let check_cmd =
     let doc = "Emit machine-readable JSON instead of human-readable lines." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run mapping_file admissibility json =
-    match mapping_file with
-    | Some file -> (
+  let src_arg =
+    let doc =
+      "Run the srclint source-analysis pass over the repository at $(docv) (default $(b,.)) \
+       instead of the registry passes: fork-safety, event-loop blocking, fd discipline, \
+       signal-handler safety, determinism and exception-swallowing rules over the lib/, bin/ \
+       and bench/ subtrees. Findings are silenced by inline comments of the form (* \
+       sunstone-lint: allow SAxxx reason *); suppressions matching nothing are reported as \
+       stale."
+    in
+    Arg.(value & opt ~vopt:(Some ".") (some string) None & info [ "src" ] ~docv:"DIR" ~doc)
+  in
+  let check_src ~json dir =
+    let roots =
+      List.filter
+        (fun p -> Sys.file_exists p && Sys.is_directory p)
+        (List.map (Filename.concat dir) [ "lib"; "bin"; "bench" ])
+    in
+    if roots = [] then begin
+      Printf.eprintf "cannot scan %s: no lib/, bin/ or bench/ subtree\n" dir;
+      1
+    end
+    else begin
+      let allowlist =
+        Sun_analysis.Srclint.load_allowlist
+          (Filename.concat dir (Filename.concat "bin" "lint_allowlist.txt"))
+      in
+      let r = Sun_analysis.Srclint.scan ~allowlist ~roots () in
+      print_check_results ~json
+        [
+          {
+            pass = "srclint";
+            subject = String.concat " " (List.map Filename.basename roots);
+            note =
+              Printf.sprintf "%d files, %d tokens scanned, %d suppressed hit(s)"
+                r.Sun_analysis.Srclint.files_scanned r.Sun_analysis.Srclint.tokens_seen
+                r.Sun_analysis.Srclint.suppressed;
+            diags = Sun_analysis.Srclint.diagnostics r;
+          };
+        ]
+    end
+  in
+  let run mapping_file admissibility json src =
+    match (mapping_file, src) with
+    | Some file, _ -> (
       match check_mapping_file file with
       | Error msg ->
         Printf.eprintf "cannot check %s: %s\n" file msg;
         1
       | Ok r -> print_check_results ~json [ r ])
-    | None ->
+    | None, Some dir -> check_src ~json dir
+    | None, None ->
       let wellformed =
         List.map
           (fun (name, a) ->
@@ -470,8 +512,9 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Run the static-analysis passes: mapping legality, pruning soundness, bound \
-          admissibility and config/arch well-formedness")
-    Term.(const run $ mapping_arg $ admissibility_arg $ json_arg)
+          admissibility, config/arch well-formedness and (with $(b,--src)) the srclint source \
+          scan")
+    Term.(const run $ mapping_arg $ admissibility_arg $ json_arg $ src_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sunstone audit: the mapspace auditor                                 *)

@@ -31,6 +31,12 @@ type code =
   | Unit_nonfinite
   | Unit_negative
   | Unit_implausible
+  | Blocking_in_loop
+  | Fd_leak
+  | Signal_unsafe
+  | Nondeterminism
+  | Exception_swallowed
+  | Stale_suppression
 
 type location = {
   level : int option;
@@ -72,6 +78,12 @@ let code_id = function
   | Unit_nonfinite -> "SA050"
   | Unit_negative -> "SA051"
   | Unit_implausible -> "SA052"
+  | Blocking_in_loop -> "SA060"
+  | Fd_leak -> "SA061"
+  | Signal_unsafe -> "SA062"
+  | Nondeterminism -> "SA063"
+  | Exception_swallowed -> "SA064"
+  | Stale_suppression -> "SA065"
 
 let code_name = function
   | Capacity_overflow -> "capacity-overflow"
@@ -104,6 +116,12 @@ let code_name = function
   | Unit_nonfinite -> "unit-nonfinite"
   | Unit_negative -> "unit-negative"
   | Unit_implausible -> "unit-implausible"
+  | Blocking_in_loop -> "blocking-in-event-loop"
+  | Fd_leak -> "fd-leak"
+  | Signal_unsafe -> "signal-handler-unsafe"
+  | Nondeterminism -> "determinism-hazard"
+  | Exception_swallowed -> "exception-swallowed"
+  | Stale_suppression -> "stale-suppression"
 
 let all_codes =
   [
@@ -113,6 +131,8 @@ let all_codes =
     Frontier_not_maximal; Frontier_overflow; Frontier_incomplete; Best_mismatch; Cost_drift;
     Audit_skipped; Marshal_outside_pool; Fork_outside_pool; Shared_channel_write;
     Toplevel_mutable; Partial_function; Unit_nonfinite; Unit_negative; Unit_implausible;
+    Blocking_in_loop; Fd_leak; Signal_unsafe; Nondeterminism; Exception_swallowed;
+    Stale_suppression;
   ]
 
 let code_of_id id = List.find_opt (fun c -> code_id c = id) all_codes

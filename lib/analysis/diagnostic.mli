@@ -40,6 +40,12 @@ type code =
   | Unit_nonfinite  (** SA050: a cost-model quantity is NaN or infinite *)
   | Unit_negative  (** SA051: a cost-model quantity that must be nonnegative is negative *)
   | Unit_implausible  (** SA052: a cost-model quantity far outside its plausible range *)
+  | Blocking_in_loop  (** SA060: blocking syscall reachable from the [serve] event loop *)
+  | Fd_leak  (** SA061: fd created but never closed (or forwarded to [on_child_fork]) in its module *)
+  | Signal_unsafe  (** SA062: signal handler does more than set a [ref]/[Atomic] flag *)
+  | Nondeterminism  (** SA063: Hashtbl iteration order, wall clock, or [Random] outside sanctioned modules *)
+  | Exception_swallowed  (** SA064: [try ... with _ ->] silently discarding the error in lib/ *)
+  | Stale_suppression  (** SA065: a lint suppression (inline or allowlist) matching no hit *)
 
 type location = {
   level : int option;

@@ -3,236 +3,27 @@ module D = Diagnostic
 type hit = { file : string; line : int; text : string; diag : D.t }
 type report = { files_scanned : int; hits : hit list; suppressed : int }
 
-(* ------------------------------------------------------------------ *)
-(* Rules                                                                *)
-(* ------------------------------------------------------------------ *)
-
-(* Needles are spelled as concatenations so this file does not trip its
-   own rules when the scanner runs over lib/ (which includes it). *)
-let cat = String.concat ""
-
-type rule = {
-  code : D.code;
-  needle : string;
-  why : string;
-  path_exempt : string -> bool;  (** true = the rule does not apply to this file *)
-  toplevel_only : bool;  (** match only on column-0 [let] lines *)
-}
-
-let no_exemption _ = false
-
-let contains_sub s sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  m > 0 && go 0
-
-let in_parpool path = contains_sub path "parpool"
-
-(* lib/telemetry is the sanctioned single-writer registry: its toplevel
-   mutable state is fork-safe by protocol (each forked worker owns a private
-   copy; the parent merges explicit snapshots on frame receipt — DESIGN.md
-   §3.4), so the toplevel-mutable rule does not apply there. *)
-let in_telemetry path = contains_sub path "telemetry"
-
-(* Direct stdout writes are allowed only in the two formatting sinks. *)
-let in_output_sink path = in_telemetry path || contains_sub path "table_fmt"
-
-let partial_rule needle =
-  {
-    code = D.Partial_function;
-    needle;
-    why = "partial function / escape hatch in library code";
-    path_exempt = no_exemption;
-    toplevel_only = false;
-  }
-
-let channel_rule needle =
-  {
-    code = D.Shared_channel_write;
-    needle;
-    why = "stdout/stderr write in library code (interleaves with the worker protocol)";
-    path_exempt = no_exemption;
-    toplevel_only = false;
-  }
-
-let toplevel_rule needle =
-  {
-    code = D.Toplevel_mutable;
-    needle;
-    why = "mutable toplevel state diverges silently between forked workers";
-    path_exempt = in_telemetry;
-    toplevel_only = true;
-  }
-
-(* [Printf.fprintf stdout] / [output_string stdout] sidestep the channel
-   rules above while interleaving with worker-protocol output just the
-   same; only the telemetry/table formatting sinks may address stdout. *)
-let stdout_rule needle =
-  {
-    code = D.Shared_channel_write;
-    needle;
-    why = "direct stdout write in library code (only telemetry/table_fmt may format to stdout)";
-    path_exempt = in_output_sink;
-    toplevel_only = false;
-  }
-
-let rules =
-  [
-    partial_rule (cat [ "List"; ".hd" ]);
-    partial_rule (cat [ "List"; ".tl" ]);
-    partial_rule (cat [ "Option"; ".get" ]);
-    partial_rule (cat [ "fail"; "with" ]);
-    partial_rule (cat [ "Obj"; ".magic" ]);
-    partial_rule (cat [ "assert"; " false" ]);
-    {
-      code = D.Marshal_outside_pool;
-      needle = cat [ "Mar"; "shal." ];
-      why = "Marshal outside the fork pool's framed protocol";
-      path_exempt = in_parpool;
-      toplevel_only = false;
-    };
-    {
-      code = D.Fork_outside_pool;
-      needle = cat [ "Unix"; ".fork" ];
-      why = "fork outside the worker pool";
-      path_exempt = in_parpool;
-      toplevel_only = false;
-    };
-    channel_rule (cat [ "print"; "_string" ]);
-    channel_rule (cat [ "print"; "_endline" ]);
-    channel_rule (cat [ "print"; "_newline" ]);
-    channel_rule (cat [ "print"; "_char" ]);
-    channel_rule (cat [ "print"; "_int" ]);
-    channel_rule (cat [ "print"; "_float" ]);
-    channel_rule (cat [ "prerr"; "_string" ]);
-    channel_rule (cat [ "prerr"; "_endline" ]);
-    channel_rule (cat [ "prerr"; "_newline" ]);
-    channel_rule (cat [ "Printf"; ".printf" ]);
-    channel_rule (cat [ "Printf"; ".eprintf" ]);
-    channel_rule (cat [ "Format"; ".printf" ]);
-    channel_rule (cat [ "Format"; ".eprintf" ]);
-    stdout_rule (cat [ "fprintf"; " std"; "out" ]);
-    stdout_rule (cat [ "output_"; "string std"; "out" ]);
-    stdout_rule (cat [ "output_"; "char std"; "out" ]);
-    toplevel_rule (cat [ "= "; "ref " ]);
-    toplevel_rule (cat [ "Hashtbl"; ".create" ]);
-    toplevel_rule (cat [ "Queue"; ".create" ]);
-    toplevel_rule (cat [ "Buffer"; ".create" ]);
-    toplevel_rule (cat [ "Stack"; ".create" ]);
-  ]
-
-(* ------------------------------------------------------------------ *)
-(* Matching                                                             *)
-(* ------------------------------------------------------------------ *)
-
-let ident_char c =
-  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '\''
-
-(* Occurrence with an identifier boundary before it: [pp_print_string] must
-   not trip the [print_string] rule, but [Stdlib.print_string] must. *)
-let matches line needle =
-  let n = String.length line and m = String.length needle in
-  let rec go i =
-    if i + m > n then false
-    else if String.sub line i m = needle && (i = 0 || not (ident_char line.[i - 1])) then true
-    else go (i + 1)
-  in
-  go 0
-
-(* Strip comments, tracking nesting depth across lines. String literals are
-   not parsed; a ["(*"] inside a string would confuse the tracker, which the
-   repo style avoids. *)
-let strip_comments depth line =
-  let n = String.length line in
-  let buf = Buffer.create n in
-  let d = ref depth and i = ref 0 in
-  while !i < n do
-    if !i + 1 < n && line.[!i] = '(' && line.[!i + 1] = '*' then begin
-      incr d;
-      i := !i + 2
-    end
-    else if !i + 1 < n && line.[!i] = '*' && line.[!i + 1] = ')' && !d > 0 then begin
-      decr d;
-      i := !i + 2
-    end
-    else begin
-      if !d = 0 then Buffer.add_char buf line.[!i];
-      incr i
-    end
-  done;
-  (Buffer.contents buf, !d)
-
-let is_toplevel_let line = String.length line >= 4 && String.sub line 0 4 = "let "
-
-let scan_file file =
-  let hits = ref [] in
-  (match In_channel.with_open_text file In_channel.input_lines with
-  | lines ->
-    let depth = ref 0 in
-    List.iteri
-      (fun i raw ->
-        let code, depth' = strip_comments !depth raw in
-        depth := depth';
-        List.iter
-          (fun r ->
-            if
-              (not (r.path_exempt file))
-              && ((not r.toplevel_only) || is_toplevel_let code)
-              && matches code r.needle
-            then
-              hits :=
-                {
-                  file;
-                  line = i + 1;
-                  text = String.trim raw;
-                  diag =
-                    D.error r.code
-                      (Printf.sprintf "%s:%d: %s (%s)" file (i + 1) r.needle r.why);
-                }
-                :: !hits)
-          rules)
-      lines
-  | exception Sys_error _ -> ());
-  List.rev !hits
-
-(* ------------------------------------------------------------------ *)
-(* Tree walk and allowlist                                              *)
-(* ------------------------------------------------------------------ *)
-
-let rec walk dir =
-  match Sys.readdir dir with
-  | exception Sys_error _ -> []
-  | entries ->
-    Array.sort String.compare entries;
-    Array.fold_left
-      (fun acc name ->
-        if name = "_build" || (String.length name > 0 && name.[0] = '.') then acc
-        else begin
-          let path = Filename.concat dir name in
-          if Sys.is_directory path then acc @ walk path
-          else if Filename.check_suffix name ".ml" then acc @ [ path ]
-          else acc
-        end)
-      [] entries
+let contains_sub = Rules.contains_sub
 
 let hit_string h = Printf.sprintf "%s:%d:%s" h.file h.line h.text
 
 let diagnostics r = List.map (fun h -> h.diag) r.hits
 
-let load_allowlist path =
-  if not (Sys.file_exists path) then []
-  else
-    In_channel.with_open_text path In_channel.input_lines
-    |> List.filter_map (fun l ->
-           let l = String.trim l in
-           if l = "" || l.[0] = '#' then None else Some l)
+let load_allowlist = Srclint.load_allowlist
 
 let scan ?(allowlist = []) ~root () =
-  let files = walk root in
-  let all = List.concat_map scan_file files in
-  let keep, dropped =
-    List.partition
-      (fun h -> not (List.exists (fun entry -> contains_sub (hit_string h) entry) allowlist))
-      all
-  in
-  { files_scanned = List.length files; hits = keep; suppressed = List.length dropped }
+  let r = Srclint.scan ~allowlist ~rules:(Rules.forksafe_rules ()) ~roots:[ root ] () in
+  {
+    files_scanned = r.Srclint.files_scanned;
+    hits =
+      List.map
+        (fun (h : Srclint.hit) ->
+          {
+            file = h.Srclint.h_path;
+            line = h.Srclint.h_line;
+            text = h.Srclint.h_text;
+            diag = h.Srclint.h_diag;
+          })
+        r.Srclint.hits;
+    suppressed = r.Srclint.suppressed;
+  }

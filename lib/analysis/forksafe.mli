@@ -9,14 +9,14 @@
     silently differs between parent and workers (SA043). SA044 carries over
     the partial-function / escape-hatch ban of the old [bin/lint.sh].
 
-    This is a textual scanner over [*.ml] files, not a typed analysis: each
-    rule is a substring with an identifier-boundary check on the preceding
-    character (so [pp_print_string] does not trip the [print_string] rule),
-    comments are stripped with a nesting-aware tracker, and intentional
-    sites are suppressed through the same allowlist file format the shell
-    lint used — fixed substrings matched against the ["file:line:code"]
-    rendering of a hit. [Marshal] and [Unix.fork] are permitted in paths
-    containing ["parpool"], the one module whose job they are. *)
+    Since the srclint engine landed this is a thin compatibility wrapper:
+    the rules run over the {!Lexer}/{!Srcmod} token model (see {!Rules} and
+    {!Srclint}), so comments and string literals can no longer confuse a
+    match, and rule needles are spelled as plain literals instead of the
+    old concatenation trick. [Marshal] and [Unix.fork] are still permitted
+    in paths containing ["parpool"], the one module whose job they are, and
+    the legacy fixed-substring allowlist format keeps working (inline
+    [(* sunstone-lint: allow ... *)] comments are the preferred form). *)
 
 type hit = {
   file : string;
@@ -31,6 +31,11 @@ type report = {
   suppressed : int;
 }
 
+val contains_sub : string -> string -> bool
+(** Iterative substring search (see {!Rules.contains_sub}); replaces the
+    old per-position [String.sub] recursion that could exhaust the stack
+    on pathological lines. *)
+
 val hit_string : hit -> string
 (** Grep-style ["file:line:code"] rendering — the string allowlist entries
     are matched against. *)
@@ -38,9 +43,9 @@ val hit_string : hit -> string
 val diagnostics : report -> Diagnostic.t list
 
 val scan : ?allowlist:string list -> root:string -> unit -> report
-(** Scan every [*.ml] under [root] (skipping [_build] and dot-directories).
-    [allowlist] entries are fixed substrings; a hit whose {!hit_string}
-    contains any of them is suppressed. *)
+(** Scan every [*.ml] under [root] (skipping [_build] and dot-directories)
+    with the SA040-SA044 rules. [allowlist] entries are fixed substrings; a
+    hit whose {!hit_string} contains any of them is suppressed. *)
 
 val load_allowlist : string -> string list
 (** Parse an allowlist file (blank lines and [#] comments ignored); a

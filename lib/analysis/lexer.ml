@@ -1,0 +1,218 @@
+type kind =
+  | Lident
+  | Uident
+  | Keyword
+  | Symbol
+  | Int_lit
+  | Float_lit
+  | String_lit
+  | Char_lit
+
+type token = { t_text : string; t_kind : kind; t_line : int; t_col : int }
+type comment = { c_text : string; c_line : int; c_col : int }
+type t = { tokens : token array; comments : comment list }
+
+let keywords =
+  [
+    "and"; "as"; "assert"; "begin"; "class"; "constraint"; "do"; "done"; "downto"; "else";
+    "end"; "exception"; "external"; "false"; "for"; "fun"; "function"; "functor"; "if";
+    "in"; "include"; "inherit"; "initializer"; "lazy"; "let"; "match"; "method"; "module";
+    "mutable"; "new"; "nonrec"; "object"; "of"; "open"; "or"; "private"; "rec"; "sig";
+    "struct"; "then"; "to"; "true"; "try"; "type"; "val"; "virtual"; "when"; "while"; "with";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_op_char c = String.contains "!$%&*+-./:<=>?@^|~" c
+
+let lex src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let comments = ref [] in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let col = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let cur () = peek 0 in
+  let advance () =
+    (match cur () with
+    | Some '\n' ->
+      incr line;
+      col := 0
+    | Some _ -> incr col
+    | None -> ());
+    if !pos < n then incr pos
+  in
+  let add kind start l c =
+    tokens :=
+      { t_text = String.sub src start (!pos - start); t_kind = kind; t_line = l; t_col = c }
+      :: !tokens
+  in
+  (* ["..."] with backslash escapes; embedded newlines are tolerated. *)
+  let skip_string () =
+    advance ();
+    let rec go () =
+      match cur () with
+      | None -> ()
+      | Some '\\' ->
+        advance ();
+        advance ();
+        go ()
+      | Some '"' -> advance ()
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ()
+  in
+  (* ['] at [!pos]: a char literal if it closes, else a type-variable quote.
+     Returns [true] when a whole char literal was consumed. *)
+  let skip_char_literal () =
+    if peek 1 = Some '\\' then begin
+      advance ();
+      advance ();
+      advance ();
+      (* escaped head consumed; up to 3 more chars for \123 / \xFF forms *)
+      let guard = ref 0 in
+      while !guard < 3 && cur () <> Some '\'' && cur () <> None do
+        incr guard;
+        advance ()
+      done;
+      if cur () = Some '\'' then advance ();
+      true
+    end
+    else if peek 2 = Some '\'' && peek 1 <> None then begin
+      advance ();
+      advance ();
+      advance ();
+      true
+    end
+    else false
+  in
+  (* At an opening brace: recognize a quoted-string start (brace, optional
+     lowercase id, pipe); returns the delimiter id, or None. *)
+  let quoted_delim () =
+    let rec id_end k =
+      match peek k with
+      | Some c when (c >= 'a' && c <= 'z') || c = '_' -> id_end (k + 1)
+      | Some '|' -> Some k
+      | _ -> None
+    in
+    match id_end 1 with
+    | Some k -> Some (String.sub src (!pos + 1) (k - 1))
+    | None -> None
+  in
+  let skip_quoted id =
+    (* consume "{id|" *)
+    for _ = 0 to String.length id + 1 do
+      advance ()
+    done;
+    let closer = "|" ^ id ^ "}" in
+    let m = String.length closer in
+    let matches_closer () =
+      !pos + m <= n && String.sub src !pos m = closer
+    in
+    while !pos < n && not (matches_closer ()) do
+      advance ()
+    done;
+    for _ = 1 to m do
+      advance ()
+    done
+  in
+  (* Nested comments; string and char literals inside a comment are skipped
+     wholesale so a ["*)"] in a doc string cannot close the comment. *)
+  let skip_comment l c =
+    let start = !pos in
+    advance ();
+    advance ();
+    let depth = ref 1 in
+    let interior_end = ref n in
+    while !depth > 0 && !pos < n do
+      match cur () with
+      | Some '(' when peek 1 = Some '*' ->
+        incr depth;
+        advance ();
+        advance ()
+      | Some '*' when peek 1 = Some ')' ->
+        decr depth;
+        if !depth = 0 then interior_end := !pos;
+        advance ();
+        advance ()
+      | Some '"' -> skip_string ()
+      | Some '\'' -> if not (skip_char_literal ()) then advance ()
+      | Some _ -> advance ()
+      | None -> ()
+    done;
+    let iend = min !interior_end !pos in
+    let text = String.sub src (start + 2) (max 0 (iend - start - 2)) in
+    comments := { c_text = text; c_line = l; c_col = c } :: !comments
+  in
+  while !pos < n do
+    let l = !line and c = !col in
+    let start = !pos in
+    match cur () with
+    | None -> pos := n
+    | Some ch ->
+      if ch = ' ' || ch = '\t' || ch = '\r' || ch = '\n' then advance ()
+      else if ch = '(' && peek 1 = Some '*' then skip_comment l c
+      else if ch = '"' then begin
+        skip_string ();
+        add String_lit start l c
+      end
+      else if ch = '{' && quoted_delim () <> None then begin
+        (match quoted_delim () with Some id -> skip_quoted id | None -> ());
+        add String_lit start l c
+      end
+      else if is_ident_start ch then begin
+        while (match cur () with Some c' -> is_ident_char c' | None -> false) do
+          advance ()
+        done;
+        let text = String.sub src start (!pos - start) in
+        let kind =
+          if is_keyword text then Keyword
+          else if ch >= 'A' && ch <= 'Z' then Uident
+          else Lident
+        in
+        add kind start l c
+      end
+      else if is_digit ch then begin
+        let last = ref ' ' in
+        let continue () =
+          match cur () with
+          | Some c' when is_ident_char c' || c' = '.' -> true
+          | Some ('+' | '-') -> !last = 'e' || !last = 'E' || !last = 'p' || !last = 'P'
+          | _ -> false
+        in
+        while continue () do
+          (match cur () with Some c' -> last := c' | None -> ());
+          advance ()
+        done;
+        let text = String.sub src start (!pos - start) in
+        let kind = if String.contains text '.' then Float_lit else Int_lit in
+        add kind start l c
+      end
+      else if ch = '\'' then begin
+        if skip_char_literal () then add Char_lit start l c
+        else begin
+          advance ();
+          add Symbol start l c
+        end
+      end
+      else if is_op_char ch then begin
+        while (match cur () with Some c' -> is_op_char c' | None -> false) do
+          advance ()
+        done;
+        add Symbol start l c
+      end
+      else begin
+        advance ();
+        add Symbol start l c
+      end
+  done;
+  { tokens = Array.of_list (List.rev !tokens); comments = List.rev !comments }

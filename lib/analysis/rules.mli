@@ -1,0 +1,51 @@
+(** The srclint rule engine: rule records over the {!Srcmod} file model.
+
+    Two families share the engine:
+
+    - {b forksafe} (SA040–SA044): the fork-hygiene rules the old substring
+      scanner enforced, reimplemented on the token stream. Needles are now
+      plain string literals — the lexer never matches inside literals, so
+      the old trick of spelling needles via [String.concat] to avoid
+      self-tripping is retired.
+    - {b daemon} (SA060–SA064): event-loop, fd, signal, determinism, and
+      exception-swallowing passes introduced with the serve daemon.
+
+    Each rule carries its production path scope as an exemption predicate;
+    {!unscoped} strips the predicates so fixtures under [test/] exercise
+    every rule. *)
+
+type finding = {
+  f_line : int;
+  f_col : int;
+  f_code : Diagnostic.code;
+  f_message : string;  (** rule detail, without the [file:line] prefix *)
+}
+
+type rule = {
+  r_code : Diagnostic.code;
+  r_name : string;
+  r_exempt : string -> bool;  (** [true] = the rule skips this file path *)
+  r_check : Srcmod.t -> finding list;
+}
+
+val forksafe_rules : unit -> rule list
+(** SA040–SA044 with the historical exemptions: [Marshal]/[Unix.fork]
+    allowed in paths containing ["parpool"], toplevel mutable state in
+    ["telemetry"], stdout writes in ["telemetry"]/["table_fmt"]. *)
+
+val daemon_rules : unit -> rule list
+(** SA060–SA064 with production scoping: SA060–SA062 everywhere,
+    SA063's sub-rules scoped per hazard (Hashtbl order in [lib/serve],
+    wall clock in [lib/] outside [stopwatch]/[telemetry], [Random]
+    outside [rng]), SA064 in [lib/]. *)
+
+val default_rules : unit -> rule list
+(** [forksafe_rules] scoped to [lib/] plus [daemon_rules]: the production
+    rule set behind [sunstone check --src]. *)
+
+val unscoped : rule list -> rule list
+(** Drop every path exemption; used on fixture files. *)
+
+val contains_sub : string -> string -> bool
+(** [contains_sub s sub]: iterative substring search (no per-position
+    allocation, no recursion — safe on pathological megabyte lines). *)

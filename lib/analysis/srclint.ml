@@ -1,0 +1,117 @@
+module D = Diagnostic
+
+type hit = {
+  h_path : string;
+  h_line : int;
+  h_col : int;
+  h_text : string;
+  h_diag : D.t;
+}
+
+type report = {
+  files_scanned : int;
+  tokens_seen : int;
+  hits : hit list;
+  suppressed : int;
+  stale : D.t list;
+}
+
+let rec walk root =
+  if Sys.file_exists root && not (Sys.is_directory root) then
+    if Filename.check_suffix root ".ml" then [ root ] else []
+  else
+    match Sys.readdir root with
+    | exception Sys_error _ -> []
+    | entries ->
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc name ->
+          if name = "_build" || (String.length name > 0 && name.[0] = '.') then acc
+          else begin
+            let path = Filename.concat root name in
+            if Sys.is_directory path then acc @ walk path
+            else if Filename.check_suffix name ".ml" then acc @ [ path ]
+            else acc
+          end)
+        [] entries
+
+let hit_string h = Printf.sprintf "%s:%d:%s" h.h_path h.h_line h.h_text
+
+let diagnostics r = List.map (fun h -> h.h_diag) r.hits @ r.stale
+
+let load_allowlist path =
+  if not (Sys.file_exists path) then []
+  else
+    In_channel.with_open_text path In_channel.input_lines
+    |> List.filter_map (fun l ->
+           let l = String.trim l in
+           if l = "" || l.[0] = '#' then None else Some l)
+
+let scan ?(allowlist = []) ?rules ~roots () =
+  let rules = match rules with Some r -> r | None -> Rules.default_rules () in
+  let files = List.concat_map walk roots in
+  let allow = List.map (fun e -> (e, ref false)) allowlist in
+  let suppressed = ref 0 in
+  let tokens = ref 0 in
+  let stale = ref [] in
+  let hits = ref [] in
+  List.iter
+    (fun path ->
+      match In_channel.with_open_text path In_channel.input_all with
+      | exception Sys_error _ -> ()
+      | src ->
+        let sm = Srcmod.of_source ~path src in
+        tokens := !tokens + Array.length sm.Srcmod.sm_lex.Lexer.tokens;
+        let sups = Suppress.collect sm.Srcmod.sm_lex in
+        List.iter
+          (fun (r : Rules.rule) ->
+            if not (r.Rules.r_exempt path) then
+              List.iter
+                (fun (f : Rules.finding) ->
+                  let code = D.code_id f.Rules.f_code in
+                  if Suppress.suppresses sups ~code ~line:f.Rules.f_line then
+                    incr suppressed
+                  else begin
+                    let h =
+                      {
+                        h_path = path;
+                        h_line = f.Rules.f_line;
+                        h_col = f.Rules.f_col;
+                        h_text = Srcmod.line_text sm f.Rules.f_line;
+                        h_diag =
+                          D.error f.Rules.f_code
+                            (Printf.sprintf "%s:%d: %s" path f.Rules.f_line
+                               f.Rules.f_message);
+                      }
+                    in
+                    match
+                      List.find_opt
+                        (fun (e, _) -> Rules.contains_sub (hit_string h) e)
+                        allow
+                    with
+                    | Some (_, used) ->
+                      used := true;
+                      incr suppressed
+                    | None -> hits := h :: !hits
+                  end)
+                (r.Rules.r_check sm))
+          rules;
+        stale := !stale @ Suppress.stale ~path sups)
+    files;
+  let stale_allow =
+    List.filter_map
+      (fun (e, used) ->
+        if !used then None
+        else
+          Some
+            (D.warning D.Stale_suppression
+               (Printf.sprintf "allowlist entry '%s' matches no diagnostic" e)))
+      allow
+  in
+  {
+    files_scanned = List.length files;
+    tokens_seen = !tokens;
+    hits = List.rev !hits;
+    suppressed = !suppressed;
+    stale = !stale @ stale_allow;
+  }

@@ -1,0 +1,46 @@
+(** The srclint scan driver: walk roots, run {!Rules} over each file's
+    {!Srcmod} model, apply inline {!Suppress} comments and the legacy
+    fixed-substring allowlist, and report structured {!Diagnostic}s.
+
+    Hits are errors; stale suppressions (inline comments or allowlist
+    entries that matched nothing) are SA065 warnings, so a silenced rule
+    cannot rot without being seen. *)
+
+type hit = {
+  h_path : string;
+  h_line : int;
+  h_col : int;
+  h_text : string;  (** the offending source line, trimmed *)
+  h_diag : Diagnostic.t;
+}
+
+type report = {
+  files_scanned : int;
+  tokens_seen : int;
+  hits : hit list;  (** after suppression, in file/rule order *)
+  suppressed : int;  (** inline-suppressed plus allowlisted *)
+  stale : Diagnostic.t list;  (** SA065 warnings *)
+}
+
+val walk : string -> string list
+(** [*.ml] files under a directory root (skipping [_build] and
+    dot-directories), or the root itself when it is a [.ml] file — the
+    latter lets ci.sh point the scanner at a single bad fixture. *)
+
+val hit_string : hit -> string
+(** Grep-style ["path:line:text"] — the string allowlist entries match
+    against, unchanged from the old Forksafe format. *)
+
+val diagnostics : report -> Diagnostic.t list
+(** Hit diagnostics followed by stale-suppression warnings. *)
+
+val scan :
+  ?allowlist:string list -> ?rules:Rules.rule list -> roots:string list -> unit -> report
+(** Scan every file under [roots]. [rules] defaults to
+    {!Rules.default_rules}; pass [Rules.unscoped] rules to lint fixtures.
+    [allowlist] entries are legacy fixed substrings matched against
+    {!hit_string}; entries that match nothing become SA065 warnings. *)
+
+val load_allowlist : string -> string list
+(** Parse an allowlist file (blank lines and [#] comments ignored); a
+    missing file is an empty allowlist. *)

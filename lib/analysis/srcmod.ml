@@ -1,0 +1,276 @@
+type occurrence = {
+  o_index : int;
+  o_line : int;
+  o_col : int;
+  o_path : string list;
+  o_raw : string list;
+  o_bare : bool;
+}
+
+type binding = {
+  b_name : string;
+  b_line : int;
+  b_params : bool;
+  b_start : int;
+  b_body_start : int;
+  b_body_end : int;
+}
+
+type t = {
+  sm_path : string;
+  sm_lines : string array;
+  sm_lex : Lexer.t;
+  sm_opens : string list list;
+  sm_aliases : (string * string list) list;
+  sm_bindings : binding list;
+  sm_occurrences : occurrence list;
+}
+
+let split_lines src = Array.of_list (String.split_on_char '\n' src)
+
+(* Keywords that start a new toplevel structure item at column 0; a
+   binding's body extends to the token just before the next one. *)
+let item_starter text =
+  match text with
+  | "let" | "and" | "type" | "module" | "open" | "exception" | "include" | "external"
+  | "class" ->
+    true
+  | _ -> false
+
+let is_dot (tok : Lexer.token) = tok.t_kind = Lexer.Symbol && tok.t_text = "."
+
+let is_ident (tok : Lexer.token) =
+  match tok.t_kind with Lexer.Lident | Lexer.Uident -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Occurrences                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_path aliases raw =
+  let rec apply guard path =
+    if guard = 0 then path
+    else
+      match path with
+      | head :: rest -> (
+        match List.assoc_opt head aliases with
+        | Some expansion when expansion <> [ head ] -> apply (guard - 1) (expansion @ rest)
+        | _ -> path)
+      | [] -> path
+  in
+  match apply 5 raw with
+  | "Stdlib" :: (_ :: _ as rest) -> rest
+  | path -> path
+
+let collect_occurrences aliases (lx : Lexer.t) =
+  let toks = lx.Lexer.tokens in
+  let n = Array.length toks in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let tok = toks.(!i) in
+    if is_ident tok && not (!i > 0 && is_dot toks.(!i - 1)) then begin
+      let comps = ref [ tok.Lexer.t_text ] in
+      let k = ref !i in
+      while !k + 2 < n && is_dot toks.(!k + 1) && is_ident toks.(!k + 2) do
+        comps := toks.(!k + 2).Lexer.t_text :: !comps;
+        k := !k + 2
+      done;
+      let raw = List.rev !comps in
+      let bare = List.length raw = 1 && tok.Lexer.t_kind = Lexer.Lident in
+      out :=
+        {
+          o_index = !i;
+          o_line = tok.Lexer.t_line;
+          o_col = tok.Lexer.t_col;
+          o_path = resolve_path aliases raw;
+          o_raw = raw;
+          o_bare = bare;
+        }
+        :: !out;
+      i := !k + 1
+    end
+    else incr i
+  done;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Toplevel structure                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let uident_path toks n j =
+  let comps = ref [] in
+  let k = ref j in
+  if !k < n && toks.(!k).Lexer.t_kind = Lexer.Uident then begin
+    comps := [ toks.(!k).Lexer.t_text ];
+    while !k + 2 < n && is_dot toks.(!k + 1) && toks.(!k + 2).Lexer.t_kind = Lexer.Uident do
+      comps := toks.(!k + 2).Lexer.t_text :: !comps;
+      k := !k + 2
+    done
+  end;
+  List.rev !comps
+
+let bracket_delta (tok : Lexer.token) =
+  if tok.t_kind <> Lexer.Symbol then 0
+  else
+    match tok.t_text with
+    | "(" | "[" | "{" | "[|" -> 1
+    | ")" | "]" | "}" | "|]" -> -1
+    | _ -> 0
+
+let parse_structure (lx : Lexer.t) =
+  let toks = lx.Lexer.tokens in
+  let n = Array.length toks in
+  let opens = ref [] in
+  let aliases = ref [] in
+  let bindings = ref [] in
+  let next_item_start from =
+    let j = ref from in
+    let found = ref n in
+    while !found = n && !j < n do
+      let tok = toks.(!j) in
+      if tok.Lexer.t_col = 0 && tok.Lexer.t_kind = Lexer.Keyword && item_starter tok.Lexer.t_text
+      then found := !j
+      else incr j
+    done;
+    !found
+  in
+  let i = ref 0 in
+  while !i < n do
+    let tok = toks.(!i) in
+    if tok.Lexer.t_col = 0 && tok.Lexer.t_kind = Lexer.Keyword then begin
+      match tok.Lexer.t_text with
+      | "open" ->
+        (match uident_path toks n (!i + 1) with [] -> () | path -> opens := path :: !opens);
+        incr i
+      | "module" ->
+        (* [module X = Path] (alias form only; [= struct] defines no alias) *)
+        (if
+           !i + 2 < n
+           && toks.(!i + 1).Lexer.t_kind = Lexer.Uident
+           && toks.(!i + 2).Lexer.t_kind = Lexer.Symbol
+           && toks.(!i + 2).Lexer.t_text = "="
+         then
+           match uident_path toks n (!i + 3) with
+           | [] -> ()
+           | path -> aliases := (toks.(!i + 1).Lexer.t_text, path) :: !aliases);
+        incr i
+      | "let" | "and" ->
+        let start = !i in
+        let j = ref (!i + 1) in
+        if !j < n && toks.(!j).Lexer.t_kind = Lexer.Keyword && toks.(!j).Lexer.t_text = "rec"
+        then incr j;
+        let pat_start = !j in
+        (* find the binding-level [=] at bracket depth 0 *)
+        let depth = ref 0 in
+        let eq = ref n in
+        let limit = next_item_start (start + 1) in
+        while !eq = n && !j < limit do
+          let t' = toks.(!j) in
+          depth := !depth + bracket_delta t';
+          if !depth = 0 && t'.Lexer.t_kind = Lexer.Symbol && t'.Lexer.t_text = "=" then
+            eq := !j
+          else incr j
+        done;
+        if !eq < n then begin
+          let name =
+            let rec first_lident k =
+              if k >= !eq then "_"
+              else if toks.(k).Lexer.t_kind = Lexer.Lident then toks.(k).Lexer.t_text
+              else first_lident (k + 1)
+            in
+            first_lident pat_start
+          in
+          let params =
+            (* tokens between the name slot and [=] beyond a bare name mean
+               parameters; a leading [:] is a type annotation, not a param *)
+            !eq > pat_start + 1
+            &&
+            match toks.(pat_start + 1) with
+            | { Lexer.t_kind = Lexer.Symbol; t_text = ":"; _ } -> false
+            | _ -> true
+          in
+          bindings :=
+            {
+              b_name = name;
+              b_line = tok.Lexer.t_line;
+              b_params = params;
+              b_start = start;
+              b_body_start = !eq + 1;
+              b_body_end = limit - 1;
+            }
+            :: !bindings
+        end;
+        i := limit
+      | _ -> incr i
+    end
+    else incr i
+  done;
+  (List.rev !opens, List.rev !aliases, List.rev !bindings)
+
+let of_source ~path src =
+  let lx = Lexer.lex src in
+  let opens, aliases, bindings = parse_structure lx in
+  {
+    sm_path = path;
+    sm_lines = split_lines src;
+    sm_lex = lx;
+    sm_opens = opens;
+    sm_aliases = aliases;
+    sm_bindings = bindings;
+    sm_occurrences = collect_occurrences aliases lx;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let line_text t ln =
+  if ln >= 1 && ln <= Array.length t.sm_lines then String.trim t.sm_lines.(ln - 1) else ""
+
+let enclosing_binding t idx =
+  List.find_opt (fun b -> b.b_start <= idx && idx <= b.b_body_end) t.sm_bindings
+
+let binding_named t name = List.find_opt (fun b -> b.b_name = name) t.sm_bindings
+
+let matches t needle occ =
+  occ.o_path = needle
+  ||
+  match needle with
+  | [ m; x ] ->
+    occ.o_bare && occ.o_path = [ x ]
+    && List.exists (function h :: _ -> h = m | [] -> false) t.sm_opens
+    && binding_named t x = None
+  | _ -> false
+
+let reachable_from t root =
+  match binding_named t root with
+  | None -> []
+  | Some _ ->
+    let visited = Hashtbl.create 16 in
+    let order = ref [] in
+    let queue = Queue.create () in
+    Queue.add (root, [ root ]) queue;
+    Hashtbl.replace visited root [ root ];
+    while not (Queue.is_empty queue) do
+      let name, chain = Queue.take queue in
+      order := (name, chain) :: !order;
+      match binding_named t name with
+      | None -> ()
+      | Some b ->
+        List.iter
+          (fun occ ->
+            if
+              occ.o_bare
+              && occ.o_index >= b.b_body_start
+              && occ.o_index <= b.b_body_end
+            then
+              match occ.o_path with
+              | [ callee ] when binding_named t callee <> None ->
+                if not (Hashtbl.mem visited callee) then begin
+                  Hashtbl.replace visited callee (chain @ [ callee ]);
+                  Queue.add (callee, chain @ [ callee ]) queue
+                end
+              | _ -> ())
+          t.sm_occurrences
+    done;
+    List.rev !order

@@ -1,0 +1,67 @@
+(** Per-file source model built on the {!Lexer} token stream.
+
+    A [t] is what the rule engine sees for one compilation unit: the raw
+    lines (for rendering hits), the token stream, and three derived views:
+
+    - {b occurrences}: every dotted identifier path, with module aliases
+      resolved ([module Tel = Sun_telemetry.Metrics] makes [Tel.count]
+      match a [Sun_telemetry.Metrics.count] needle) and a leading [Stdlib]
+      stripped, so rules match on canonical paths;
+    - {b toplevel bindings}: column-0 [let]/[and] items with their name,
+      parameter-ness, and body token span — the unit of reachability;
+    - {b the intra-module call graph}: binding → bare references to other
+      toplevel bindings, used by the SA060 event-loop reachability pass.
+
+    Like the lexer this is deliberately an approximation: local shadowing
+    inside a body is not tracked, and patterns more exotic than tuples keep
+    only their first identifier. The rules that consume it are written so
+    the approximation errs toward silence on idiomatic code. *)
+
+type occurrence = {
+  o_index : int;  (** token index of the path head *)
+  o_line : int;
+  o_col : int;
+  o_path : string list;  (** resolved components (aliases applied, [Stdlib] stripped) *)
+  o_raw : string list;  (** components as written *)
+  o_bare : bool;  (** a single unqualified lowercase identifier *)
+}
+
+type binding = {
+  b_name : string;
+  b_line : int;
+  b_params : bool;  (** the binding abstracts over parameters *)
+  b_start : int;  (** token index of the [let]/[and] keyword *)
+  b_body_start : int;  (** first token after the binding-level [=] *)
+  b_body_end : int;  (** last token of the body, inclusive *)
+}
+
+type t = {
+  sm_path : string;
+  sm_lines : string array;
+  sm_lex : Lexer.t;
+  sm_opens : string list list;  (** toplevel [open] paths, outermost first *)
+  sm_aliases : (string * string list) list;  (** [module X = Path] aliases *)
+  sm_bindings : binding list;
+  sm_occurrences : occurrence list;
+}
+
+val of_source : path:string -> string -> t
+
+val line_text : t -> int -> string
+(** The raw source line (1-based), trimmed; [""] when out of range. *)
+
+val enclosing_binding : t -> int -> binding option
+(** The toplevel binding whose span contains the given token index. *)
+
+val binding_named : t -> string -> binding option
+
+val matches : t -> string list -> occurrence -> bool
+(** Does this occurrence denote the [needle] path? Exact resolved-path
+    equality, plus the [open M] case: a bare [x] matches [[M; x]] when [M]
+    is opened and no toplevel binding shadows [x]. *)
+
+val reachable_from : t -> string -> (string * string list) list
+(** Toplevel bindings reachable from the named root through bare
+    references, as [(name, call chain from the root)] pairs; the root
+    itself is included with a singleton chain. Empty when the root does
+    not exist. *)

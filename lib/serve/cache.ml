@@ -69,6 +69,7 @@ let read_file path =
 let evict_if_full t =
   if Hashtbl.length t.table >= t.capacity then begin
     let victim = ref None in
+    (* sunstone-lint: allow SA063 min-scan for the LRU victim; order-insensitive *)
     Hashtbl.iter
       (fun key entry ->
         match !victim with
@@ -94,7 +95,7 @@ let disk_lookup t key =
   | None -> None
   | Some dir -> (
     let path = entry_path dir key in
-    match (try Some (read_file path) with _ -> None) with
+    match (try Some (read_file path) with Sys_error _ | End_of_file -> None) with
     | None -> None
     | Some contents -> (
       match Json.of_string contents with
@@ -150,7 +151,7 @@ let persist t key value =
       | exception e ->
         (try Sys.remove tmp with Sys_error _ -> ());
         raise e
-    with _ -> ())
+    with Sys_error _ | Unix.Unix_error (_, _, _) -> ())
 
 let store t key value =
   insert t key value;

@@ -174,7 +174,7 @@ let parse_string st =
           let hex = String.sub st.src st.pos 4 in
           st.pos <- st.pos + 4;
           let code =
-            try int_of_string ("0x" ^ hex) with _ -> fail st "invalid \\u escape"
+            try int_of_string ("0x" ^ hex) with Failure _ -> fail st "invalid \\u escape"
           in
           add_utf8 buf code
         | c -> fail st (Printf.sprintf "invalid escape \\%c" c));

@@ -1,0 +1,15 @@
+(* srclint fixture: SA060 must fire on a blocking syscall reachable from
+   the [serve] event loop, and stay silent on blocking calls in bindings
+   the loop never reaches. Never compiled; lexed by the linter only. *)
+
+let helper () = Unix.sleepf 0.25
+
+let rec serve fd =
+  helper ();
+  serve fd
+
+(* Not reachable from [serve]: must NOT trip SA060. *)
+let client_only addr =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd addr;
+  Unix.close fd

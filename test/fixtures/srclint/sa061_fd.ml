@@ -1,0 +1,13 @@
+(* srclint fixture: SA061 must fire on an fd binding that never reaches
+   Unix.close in its module, and stay silent on one that does. Never
+   compiled; lexed by the linter only. *)
+
+let leak path =
+  let fd_leaked = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  ignore (Unix.read fd_leaked (Bytes.create 1) 0 1)
+
+let no_leak path =
+  let fd_ok = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let n = Unix.read fd_ok (Bytes.create 1) 0 1 in
+  Unix.close fd_ok;
+  n

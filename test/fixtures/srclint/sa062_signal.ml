@@ -1,0 +1,10 @@
+(* srclint fixture: SA062 must fire on a signal handler doing real work,
+   and stay silent on one that only sets a ref flag. Never compiled; lexed
+   by the linter only. *)
+
+let shutdown_requested = ref false
+
+let install () =
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle (fun _ -> Printf.eprintf "terminating now\n"));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> shutdown_requested := true))

@@ -1,0 +1,10 @@
+(* srclint fixture: SA063 must fire on all three determinism hazards —
+   Hashtbl iteration feeding output, wall-clock time, and Random. Never
+   compiled; lexed by the linter only. *)
+
+let emit table =
+  Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) table
+
+let stamp () = Unix.gettimeofday ()
+
+let pick xs = List.nth xs (Random.int (List.length xs))

@@ -1,0 +1,10 @@
+(* srclint fixture: SA064 must fire on [try ... with _ ->] and stay silent
+   on a [match] wildcard arm. Never compiled; lexed by the linter only. *)
+
+let swallow f = try f () with _ -> ()
+
+let classify = function
+  | 0 -> "zero"
+  | _ -> "other"
+
+let wildcard_match x = match x with _ -> x

@@ -1,0 +1,10 @@
+(* srclint fixture: a suppression matching no diagnostic must surface as
+   an SA065 warning, while a used suppression silences its rule without
+   one. Never compiled; lexed by the linter only. *)
+
+(* sunstone-lint: allow SA044 deliberately stale: the next line is clean *)
+let fine x = x + 1
+
+let first xs =
+  (* sunstone-lint: allow SA044 fixture exercises a used suppression *)
+  List.hd xs

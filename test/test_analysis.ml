@@ -60,6 +60,12 @@ let test_code_table () =
       (D.Unit_nonfinite, "SA050", "unit-nonfinite");
       (D.Unit_negative, "SA051", "unit-negative");
       (D.Unit_implausible, "SA052", "unit-implausible");
+      (D.Blocking_in_loop, "SA060", "blocking-in-event-loop");
+      (D.Fd_leak, "SA061", "fd-leak");
+      (D.Signal_unsafe, "SA062", "signal-handler-unsafe");
+      (D.Nondeterminism, "SA063", "determinism-hazard");
+      (D.Exception_swallowed, "SA064", "exception-swallowed");
+      (D.Stale_suppression, "SA065", "stale-suppression");
     ]
   in
   List.iter
@@ -101,7 +107,7 @@ let test_diagnostic_json () =
   Alcotest.(check bool) "no operand key" true (get "operand" = None)
 
 let test_diagnostic_roundtrip () =
-  Alcotest.(check int) "code table is exhaustive" 30 (List.length D.all_codes);
+  Alcotest.(check int) "code table is exhaustive" 36 (List.length D.all_codes);
   (* every code, every severity, assorted locations: decode ∘ encode = id *)
   List.iteri
     (fun i code ->

@@ -1,0 +1,285 @@
+module D = Sun_analysis.Diagnostic
+module Lexer = Sun_analysis.Lexer
+module Srcmod = Sun_analysis.Srcmod
+module Rules = Sun_analysis.Rules
+module Srclint = Sun_analysis.Srclint
+module Forksafe = Sun_analysis.Forksafe
+
+let has_code id diags = List.exists (fun (d : D.t) -> D.code_id d.D.code = id) diags
+
+let count_code id (r : Srclint.report) =
+  List.length
+    (List.filter (fun (h : Srclint.hit) -> D.code_id h.Srclint.h_diag.D.code = id) r.Srclint.hits)
+
+let unscoped_rules () = Rules.unscoped (Rules.default_rules ())
+
+let token_texts lx =
+  Array.to_list (Array.map (fun t -> t.Lexer.t_text) lx.Lexer.tokens)
+
+let has_token lx kind text =
+  Array.exists (fun t -> t.Lexer.t_kind = kind && t.Lexer.t_text = text) lx.Lexer.tokens
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_basics () =
+  let src =
+    "let x = 1 (* c1 (* nested *) still *)\n"
+    ^ "let s = \"a (* not a comment *) b\"\n"
+    ^ "let q = {|raw \"quoted\" (* nor this *)|}\n"
+    ^ "let c = 'a'\n" ^ "let tv : 'a option = None\n"
+  in
+  let lx = Lexer.lex src in
+  Alcotest.(check int) "one comment" 1 (List.length lx.Lexer.comments);
+  (match lx.Lexer.comments with
+  | [ c ] ->
+    Alcotest.(check bool) "nested text kept" true
+      (Forksafe.contains_sub c.Lexer.c_text "nested");
+    Alcotest.(check int) "comment line" 1 c.Lexer.c_line
+  | _ -> Alcotest.fail "expected exactly one comment");
+  Alcotest.(check bool) "comment words are not tokens" false
+    (List.mem "nested" (token_texts lx));
+  Alcotest.(check bool) "string interior is not tokens" false
+    (List.mem "not" (token_texts lx));
+  Alcotest.(check bool) "quoted-string interior is not tokens" false
+    (List.mem "raw" (token_texts lx));
+  Alcotest.(check bool) "string literal token" true
+    (has_token lx Lexer.String_lit "\"a (* not a comment *) b\"");
+  Alcotest.(check bool) "char literal" true (has_token lx Lexer.Char_lit "'a'");
+  Alcotest.(check bool) "type variable is not a char" true (has_token lx Lexer.Lident "option");
+  Alcotest.(check bool) "uident" true (has_token lx Lexer.Uident "None");
+  Alcotest.(check bool) "keyword" true (has_token lx Lexer.Keyword "let")
+
+let test_lexer_comment_literals () =
+  (* a comment-closer inside a string inside a comment must not end it *)
+  let lx = Lexer.lex "(* \"*)\" still a comment *) let y = 2" in
+  Alcotest.(check int) "one comment" 1 (List.length lx.Lexer.comments);
+  Alcotest.(check bool) "code after survives" true (has_token lx Lexer.Lident "y");
+  Alcotest.(check bool) "comment interior hidden" false (List.mem "still" (token_texts lx));
+  (* ... and the same for a char literal holding a double quote *)
+  let lx2 = Lexer.lex "(* '\"' *) let z = 3" in
+  Alcotest.(check int) "char-in-comment: one comment" 1 (List.length lx2.Lexer.comments);
+  Alcotest.(check bool) "char-in-comment: code survives" true
+    (has_token lx2 Lexer.Lident "z")
+
+let test_lexer_positions () =
+  let lx = Lexer.lex "let a = 1\n  let b = 2" in
+  let tok_b =
+    Array.to_list lx.Lexer.tokens
+    |> List.find_opt (fun t -> t.Lexer.t_text = "b")
+  in
+  match tok_b with
+  | None -> Alcotest.fail "token b missing"
+  | Some t ->
+    Alcotest.(check int) "line of b" 2 t.Lexer.t_line;
+    Alcotest.(check int) "col of b" 6 t.Lexer.t_col
+
+(* ------------------------------------------------------------------ *)
+(* Module model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_srcmod_resolution () =
+  let src =
+    "module T = Sun_telemetry.Metrics\n" ^ "let a q = T.count \"x\" q\n"
+    ^ "let serve q = a q\n" ^ "let unused () = ()\n"
+  in
+  let sm = Srcmod.of_source ~path:"probe.ml" src in
+  Alcotest.(check bool) "alias resolves" true
+    (List.exists
+       (fun (o : Srcmod.occurrence) ->
+         o.Srcmod.o_path = [ "Sun_telemetry"; "Metrics"; "count" ])
+       sm.Srcmod.sm_occurrences);
+  let reach = Srcmod.reachable_from sm "serve" in
+  Alcotest.(check bool) "serve reaches a" true (List.mem_assoc "a" reach);
+  Alcotest.(check bool) "serve does not reach unused" false (List.mem_assoc "unused" reach);
+  (match List.assoc_opt "a" reach with
+  | Some chain -> Alcotest.(check (list string)) "call chain" [ "serve"; "a" ] chain
+  | None -> Alcotest.fail "no chain for a");
+  match Srcmod.binding_named sm "serve" with
+  | Some b -> Alcotest.(check bool) "serve has params" true b.Srcmod.b_params
+  | None -> Alcotest.fail "binding serve missing"
+
+(* ------------------------------------------------------------------ *)
+(* Suppressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_file content f =
+  let path = Filename.temp_file "sun_srclint" ".ml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc content);
+      f path)
+
+let test_suppression_semantics () =
+  let src =
+    "let bad1 xs = List.hd xs (* sunstone-lint: allow SA044 same-line form *)\n"
+    ^ "(* sunstone-lint: allow SA044 next-line form *)\n" ^ "let bad2 xs = List.tl xs\n"
+    ^ "let bad3 xs = Option.get xs\n"
+    ^ "let bad4 xs = List.hd xs (* sunstone-lint: allow SA044 *)\n"
+  in
+  with_temp_file src (fun path ->
+      let r = Srclint.scan ~rules:(unscoped_rules ()) ~roots:[ path ] () in
+      Alcotest.(check int) "both suppression forms honoured" 2 r.Srclint.suppressed;
+      Alcotest.(check int) "unsuppressed hits remain" 2 (count_code "SA044" r);
+      Alcotest.(check bool) "reasonless allow is not a suppression" true
+        (List.exists (fun (h : Srclint.hit) -> h.Srclint.h_line = 5) r.Srclint.hits);
+      Alcotest.(check (list string)) "no stale warnings" []
+        (List.map (fun (d : D.t) -> d.D.message) r.Srclint.stale))
+
+let test_stale_allowlist_entry () =
+  with_temp_file "let fine x = x + 1\n" (fun path ->
+      let r =
+        Srclint.scan ~allowlist:[ "never-matches-anything" ] ~rules:(unscoped_rules ())
+          ~roots:[ path ] ()
+      in
+      Alcotest.(check bool) "stale allowlist entry warns SA065" true
+        (has_code "SA065" r.Srclint.stale))
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures: every daemon-era rule demonstrably fires                   *)
+(* ------------------------------------------------------------------ *)
+
+let source_root () =
+  let rec find d =
+    if Sys.file_exists (Filename.concat d "dune-project") then Some d
+    else
+      let parent = Filename.dirname d in
+      if parent = d then None else find parent
+  in
+  find (Sys.getcwd ())
+
+let scan_fixture root name =
+  let path = Filename.concat root (Filename.concat "test/fixtures/srclint" name) in
+  if Sys.file_exists path then
+    Some (Srclint.scan ~rules:(unscoped_rules ()) ~roots:[ path ] ())
+  else None
+
+let with_fixture name f =
+  match source_root () with
+  | None -> () (* no source tree visible from the sandbox: nothing to scan *)
+  | Some root -> ( match scan_fixture root name with None -> () | Some r -> f r)
+
+let test_fixture_sa060 () =
+  with_fixture "sa060_block.ml" (fun r ->
+      Alcotest.(check int) "one blocking call flagged" 1 (count_code "SA060" r);
+      match
+        List.find_opt
+          (fun (h : Srclint.hit) -> D.code_id h.Srclint.h_diag.D.code = "SA060")
+          r.Srclint.hits
+      with
+      | Some h ->
+        Alcotest.(check bool) "message names the call chain" true
+          (Forksafe.contains_sub h.Srclint.h_diag.D.message "serve -> helper")
+      | None -> Alcotest.fail "SA060 hit missing")
+
+let test_fixture_sa061 () =
+  with_fixture "sa061_fd.ml" (fun r ->
+      Alcotest.(check int) "one leak flagged" 1 (count_code "SA061" r);
+      match
+        List.find_opt
+          (fun (h : Srclint.hit) -> D.code_id h.Srclint.h_diag.D.code = "SA061")
+          r.Srclint.hits
+      with
+      | Some h ->
+        Alcotest.(check bool) "names the leaked binding" true
+          (Forksafe.contains_sub h.Srclint.h_diag.D.message "fd_leaked")
+      | None -> Alcotest.fail "SA061 hit missing")
+
+let test_fixture_sa062 () =
+  with_fixture "sa062_signal.ml" (fun r ->
+      Alcotest.(check int) "only the busy handler flagged" 1 (count_code "SA062" r))
+
+let test_fixture_sa063 () =
+  with_fixture "sa063_det.ml" (fun r ->
+      Alcotest.(check int) "hashtbl + wall clock + random" 3 (count_code "SA063" r))
+
+let test_fixture_sa064 () =
+  with_fixture "sa064_swallow.ml" (fun r ->
+      Alcotest.(check int) "try-swallow flagged, match wildcards not" 1
+        (count_code "SA064" r))
+
+let test_fixture_sa065 () =
+  with_fixture "sa065_stale.ml" (fun r ->
+      Alcotest.(check int) "used suppression silences SA044" 0 (count_code "SA044" r);
+      Alcotest.(check int) "one suppressed hit" 1 r.Srclint.suppressed;
+      Alcotest.(check int) "one stale warning" 1 (List.length r.Srclint.stale);
+      Alcotest.(check bool) "stale warning is SA065" true (has_code "SA065" r.Srclint.stale))
+
+(* ------------------------------------------------------------------ *)
+(* The shipping tree satisfies the full production rule set             *)
+(* ------------------------------------------------------------------ *)
+
+let test_tree_clean () =
+  match source_root () with
+  | None -> ()
+  | Some root ->
+    let roots =
+      List.filter Sys.file_exists
+        (List.map (Filename.concat root) [ "lib"; "bin"; "bench" ])
+    in
+    if roots <> [] then begin
+      let r = Srclint.scan ~rules:(Rules.default_rules ()) ~roots () in
+      Alcotest.(check (list string)) "production scan is clean" []
+        (List.map Srclint.hit_string r.Srclint.hits);
+      Alcotest.(check (list string)) "no stale suppressions" []
+        (List.map (fun (d : D.t) -> d.D.message) r.Srclint.stale);
+      Alcotest.(check bool) "scanned the whole tree" true (r.Srclint.files_scanned > 40)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* contains_sub: iterative, survives pathological lines                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_contains_sub () =
+  Alcotest.(check bool) "finds" true (Forksafe.contains_sub "abcdef" "cde");
+  Alcotest.(check bool) "misses" false (Forksafe.contains_sub "abcdef" "xyz");
+  Alcotest.(check bool) "empty needle" false (Forksafe.contains_sub "abc" "");
+  Alcotest.(check bool) "needle longer than hay" false (Forksafe.contains_sub "ab" "abc");
+  let mega = String.make 2_000_000 'a' in
+  Alcotest.(check bool) "worst case self-similar miss" false
+    (Forksafe.contains_sub mega (String.make 64 'a' ^ "b"));
+  Alcotest.(check bool) "finds at the very end" true
+    (Forksafe.contains_sub (mega ^ "needle") "needle")
+
+let test_walk_single_file () =
+  with_temp_file "let fine x = x\n" (fun path ->
+      Alcotest.(check (list string)) "file root is itself" [ path ] (Srclint.walk path));
+  Alcotest.(check (list string)) "missing root is empty" []
+    (Srclint.walk "definitely/not/a/path")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "sun_srclint"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "comments, strings, chars" `Quick test_lexer_basics;
+          Alcotest.test_case "literals inside comments" `Quick test_lexer_comment_literals;
+          Alcotest.test_case "token positions" `Quick test_lexer_positions;
+        ] );
+      ( "srcmod",
+        [ Alcotest.test_case "aliases and reachability" `Quick test_srcmod_resolution ] );
+      ( "suppress",
+        [
+          Alcotest.test_case "inline forms and reasons" `Quick test_suppression_semantics;
+          Alcotest.test_case "stale allowlist entry warns" `Quick test_stale_allowlist_entry;
+        ] );
+      ( "fixtures",
+        [
+          Alcotest.test_case "SA060 blocking in loop" `Quick test_fixture_sa060;
+          Alcotest.test_case "SA061 fd leak" `Quick test_fixture_sa061;
+          Alcotest.test_case "SA062 busy signal handler" `Quick test_fixture_sa062;
+          Alcotest.test_case "SA063 determinism hazards" `Quick test_fixture_sa063;
+          Alcotest.test_case "SA064 exception swallowing" `Quick test_fixture_sa064;
+          Alcotest.test_case "SA065 stale suppression" `Quick test_fixture_sa065;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "production scan is clean" `Quick test_tree_clean;
+          Alcotest.test_case "contains_sub pathological" `Quick test_contains_sub;
+          Alcotest.test_case "walk accepts file roots" `Quick test_walk_single_file;
+        ] );
+    ]
