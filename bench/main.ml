@@ -441,6 +441,175 @@ let lint_bench () =
   Printf.printf "lint: wrote %s\n" out;
   if hits > 0 then exit 1
 
+(* Cost-model hot path: evaluations/sec of the allocation-free evaluator
+   (full and score-only) against the frozen pre-PR evaluator (Model_ref) on
+   the registry's hardest kernels, min-of-N interleaved-free reps, plus the
+   footprint-probe memo cold vs memoized on an optimizer-like access
+   pattern. Persists everything to BENCH_evaluate.json and exits non-zero
+   unless the hardest kernel clears the 2x evaluations/sec gate and every
+   kernel's costs are bit-identical across evaluators. *)
+let evaluate_bench () =
+  let module W = Sun_tensor.Workload in
+  let module Model = Sun_cost.Model in
+  let module Ref = Sun_cost.Model_ref in
+  let module Probe = Sun_cost.Probe in
+  let module Json = Sun_serve.Json in
+  let arch_name = "conventional" in
+  let arch = Sun_arch.Presets.conventional in
+  (* hardest last: tcl (6 dims, 64^3 x 32^3) carries the acceptance gate *)
+  let kernel_names = [ "mmc"; "ttmc"; "tcl" ] in
+  let hardest = "tcl" in
+  let reps = 7 and evals = 1000 in
+  let time_once f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to evals do
+      f ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  Printf.printf "evaluate: %d evaluations/rep, min-of-%d, arch %s\n%!" evals reps arch_name;
+  let gate = 2.0 in
+  let gate_speedup = ref nan in
+  let all_identical = ref true in
+  let rows =
+    List.map
+      (fun name ->
+        let w =
+          match Sun_serve.Registry.find_workload name with
+          | Ok w -> w
+          | Error msg ->
+            Printf.eprintf "evaluate: %s\n" msg;
+            exit 2
+        in
+        let m =
+          match Sun_core.Optimizer.optimize w arch with
+          | Ok r -> r.Sun_core.Optimizer.mapping
+          | Error msg ->
+            Printf.eprintf "evaluate: no mapping for %s: %s\n" name msg;
+            exit 2
+        in
+        let ctx = Model.context w arch in
+        let ref_ctx = Ref.context w arch in
+        (* bit-identity spot check before timing anything *)
+        let identical =
+          match (Model.evaluate_ctx ctx m, Ref.evaluate_ctx ref_ctx m) with
+          | Ok c, Ok c' ->
+            Int64.bits_of_float c.Model.energy_pj = Int64.bits_of_float c'.Ref.energy_pj
+            && Int64.bits_of_float c.Model.cycles = Int64.bits_of_float c'.Ref.cycles
+            && Int64.bits_of_float c.Model.edp = Int64.bits_of_float c'.Ref.edp
+          | _ -> false
+        in
+        if not identical then all_identical := false;
+        (* interleave the three evaluators rep by rep, min-of-N each, so a
+           load spike hits all of them rather than skewing one ratio *)
+        let ref_best = ref infinity and full_best = ref infinity and score_best = ref infinity in
+        for _ = 1 to reps do
+          ref_best := Float.min !ref_best (time_once (fun () -> ignore (Ref.evaluate_ctx ref_ctx m)));
+          full_best :=
+            Float.min !full_best (time_once (fun () -> ignore (Model.evaluate_ctx ctx m)));
+          score_best :=
+            Float.min !score_best (time_once (fun () -> ignore (Model.score_ctx ctx m)))
+        done;
+        let ref_eps = float_of_int evals /. !ref_best in
+        let full_eps = float_of_int evals /. !full_best in
+        let score_eps = float_of_int evals /. !score_best in
+        let speedup_full = full_eps /. ref_eps in
+        let speedup_score = score_eps /. ref_eps in
+        if name = hardest then gate_speedup := speedup_score;
+        (* probe memo, cold vs warm: the optimizer's fit-test pattern — a
+           small pool of candidate extent vectors probed for every operand,
+           revisited many times within one search scope *)
+        let dims = Array.of_list (W.dim_names w) in
+        let dim_idx = Hashtbl.create 16 in
+        Array.iteri (fun i d -> Hashtbl.replace dim_idx d i) dims;
+        let nvec = 64 in
+        let pool =
+          Array.init nvec (fun v ->
+              Array.mapi (fun i _ -> 1 + ((v + i) mod 4)) dims)
+        in
+        let ops = List.map (fun (op : W.operand) -> op.W.name) w.W.operands in
+        let probe_rounds = 200 in
+        let run_probes probe =
+          for _ = 1 to probe_rounds do
+            Array.iter
+              (fun vec ->
+                Probe.set_extents probe (fun d -> vec.(Hashtbl.find dim_idx d));
+                List.iter (fun op -> ignore (Probe.footprint probe ~op ~level:0)) ops)
+              pool
+          done
+        in
+        let nprobes = probe_rounds * nvec * List.length ops in
+        let probes_once probe =
+          let t0 = Unix.gettimeofday () in
+          run_probes probe;
+          Unix.gettimeofday () -. t0
+        in
+        let cold = Probe.create ~memo:false w in
+        let warm = Probe.create ~memo:true w in
+        let cold_best = ref infinity and warm_best = ref infinity in
+        for _ = 1 to reps do
+          cold_best := Float.min !cold_best (probes_once cold);
+          warm_best := Float.min !warm_best (probes_once warm)
+        done;
+        let cold_pps = float_of_int nprobes /. !cold_best in
+        let warm_pps = float_of_int nprobes /. !warm_best in
+        let hits = Probe.hits warm and misses = Probe.misses warm in
+        Printf.printf
+          "  %-5s ref %9.0f/s  full %9.0f/s (%.2fx)  score %9.0f/s (%.2fx)  %s\n%!" name
+          ref_eps full_eps speedup_full score_eps speedup_score
+          (if identical then "bit-identical" else "COSTS DIFFER");
+        Printf.printf
+          "        probes cold %9.0f/s  memoized %9.0f/s (%.2fx)  %d hits / %d misses\n%!"
+          cold_pps warm_pps (warm_pps /. cold_pps) hits misses;
+        Json.Obj
+          [
+            ("kernel", Json.String name);
+            ("arch", Json.String arch_name);
+            ("ref_evals_per_s", Json.Float ref_eps);
+            ("full_evals_per_s", Json.Float full_eps);
+            ("score_evals_per_s", Json.Float score_eps);
+            ("speedup_full", Json.Float speedup_full);
+            ("speedup_score", Json.Float speedup_score);
+            ("bit_identical", Json.Bool identical);
+            ( "probe",
+              Json.Obj
+                [
+                  ("cold_probes_per_s", Json.Float cold_pps);
+                  ("memoized_probes_per_s", Json.Float warm_pps);
+                  ("hits", Json.Int hits);
+                  ("misses", Json.Int misses);
+                ] );
+          ])
+      kernel_names
+  in
+  let pass = !all_identical && !gate_speedup >= gate in
+  Printf.printf "evaluate: hardest kernel %s speedup %.2fx (gate %.1fx)  %s\n%!" hardest
+    !gate_speedup gate
+    (if pass then "ok" else "FAILED");
+  let out = "BENCH_evaluate.json" in
+  let oc = open_out out in
+  output_string oc
+    (Json.to_string_pretty
+       (Json.Obj
+          [
+            ( "evaluate",
+              Json.Obj
+                [
+                  ("reps", Json.Int reps);
+                  ("evals_per_rep", Json.Int evals);
+                  ("kernels", Json.List rows);
+                  ("hardest", Json.String hardest);
+                  ("gate_speedup", Json.Float gate);
+                  ("measured_speedup", Json.Float !gate_speedup);
+                  ("bit_identical", Json.Bool !all_identical);
+                  ("pass", Json.Bool pass);
+                ] );
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "evaluate: wrote %s\n" out;
+  if not pass then exit 1
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let known = List.map fst Sun_experiments.Figures.all in
@@ -450,6 +619,7 @@ let () =
   | [ "serve-daemon" ] -> serve_daemon_bench ()
   | [ "audit" ] -> audit_bench ()
   | [ "telemetry" ] -> telemetry_bench ()
+  | [ "evaluate" ] -> evaluate_bench ()
   | [ "lint" ] -> lint_bench ()
   | [] -> List.iter (fun (name, driver) -> run_experiment name driver) Sun_experiments.Figures.all
   | names ->
@@ -460,7 +630,7 @@ let () =
         | None ->
           Printf.eprintf
             "unknown experiment %S; known: %s, 'micro', 'serve', 'serve-daemon', 'audit', \
-             'telemetry' or 'lint'\n"
+             'telemetry', 'evaluate' or 'lint'\n"
             name
             (String.concat ", " known);
           exit 2)

@@ -166,6 +166,56 @@ dune exec bench/main.exe -- telemetry
 echo "== bench lint (scan throughput, clean-tree gate)"
 dune exec bench/main.exe -- lint
 
+echo "== bench evaluate (cost-model hot path, >=2x gate on hardest kernel)"
+dune exec bench/main.exe -- evaluate
+if ! [ -s BENCH_evaluate.json ]; then
+  echo "bench evaluate: BENCH_evaluate.json missing or empty" >&2
+  exit 1
+fi
+
+echo "== probe memo parity (SUNSTONE_PROBE_MEMO=off vs default, mixed batch)"
+# The footprint memo must be invisible in every emitted cost record: a
+# batch run with the memo disabled has to produce byte-identical
+# responses, modulo wall_s timings.
+set +e
+SUNSTONE_PROBE_MEMO=off dune exec bin/sunstone_cli.exe -- batch \
+  -i test/fixtures/batch_mixed.jsonl \
+  -o "$PARITY_TMP/memo-off.jsonl" --cache-dir "$PARITY_TMP/cache-memo-off" --jobs 1 2>/dev/null
+off_rc=$?
+dune exec bin/sunstone_cli.exe -- batch \
+  -i test/fixtures/batch_mixed.jsonl \
+  -o "$PARITY_TMP/memo-on.jsonl" --cache-dir "$PARITY_TMP/cache-memo-on" --jobs 1 2>/dev/null
+on_rc=$?
+set -e
+if [ "$off_rc" -ne "$on_rc" ]; then
+  echo "memo parity: exit codes differ (memo off: $off_rc, memo on: $on_rc)" >&2
+  exit 1
+fi
+sed -E 's/"wall_s":[-+0-9.eE]+/"wall_s":0/g' "$PARITY_TMP/memo-off.jsonl" >"$PARITY_TMP/memo-off.norm"
+sed -E 's/"wall_s":[-+0-9.eE]+/"wall_s":0/g' "$PARITY_TMP/memo-on.jsonl" >"$PARITY_TMP/memo-on.norm"
+if ! diff -u "$PARITY_TMP/memo-off.norm" "$PARITY_TMP/memo-on.norm"; then
+  echo "memo parity: memoized responses differ from memo-off baseline" >&2
+  exit 1
+fi
+echo "memo parity: ok ($(wc -l <"$PARITY_TMP/memo-on.norm" | tr -d ' ') responses identical)"
+
+echo "== srclint SA063 scope (lib/cost in, lib/arch out)"
+# The hashtbl-order rule covers lib/serve and lib/cost. The same fixture
+# must trip the scoped scanner under a lib/cost path and pass under
+# lib/arch, proving the scope extension neither over- nor under-reaches.
+mkdir -p "$PARITY_TMP/scope/lib/cost" "$PARITY_TMP/scope2/lib/arch"
+cp test/fixtures/srclint/sa063_cost.ml "$PARITY_TMP/scope/lib/cost/"
+cp test/fixtures/srclint/sa063_cost.ml "$PARITY_TMP/scope2/lib/arch/"
+if dune exec bin/lint_src.exe -- "$PARITY_TMP/scope/lib" >/dev/null 2>&1; then
+  echo "srclint scope: SA063 fixture under lib/cost was NOT flagged" >&2
+  exit 1
+fi
+if ! dune exec bin/lint_src.exe -- "$PARITY_TMP/scope2/lib" >/dev/null 2>&1; then
+  echo "srclint scope: SA063 fixture under lib/arch was flagged (overreach)" >&2
+  exit 1
+fi
+echo "srclint scope: ok (SA063 fires in lib/cost, silent in lib/arch)"
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt"
   dune build @fmt

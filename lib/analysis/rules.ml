@@ -40,6 +40,8 @@ let under_lib path = has_segment "lib" path
 
 let under_serve path = under_lib path && has_segment "serve" path
 
+let under_cost path = under_lib path && has_segment "cost" path
+
 let in_parpool path = contains_sub path "parpool"
 
 let in_telemetry path = contains_sub path "telemetry"
@@ -706,7 +708,9 @@ let daemon_rules () =
     blocking_in_loop_rule ~exempt:no_exemption;
     fd_leak_rule ~exempt:no_exemption;
     signal_rule ~exempt:no_exemption;
-    hashtbl_order_rule ~exempt:(fun p -> not (under_serve p));
+    (* cost joined serve in SA063's scope when the probe memo landed: the
+       memo tables must never be walked in iteration order either *)
+    hashtbl_order_rule ~exempt:(fun p -> not (under_serve p || under_cost p));
     wallclock_rule ~exempt:(fun p ->
         (not (under_lib p)) || contains_sub p "stopwatch" || in_telemetry p);
     random_rule ~exempt:(fun p -> contains_sub p "rng");

@@ -24,6 +24,12 @@ type cost = {
   spatial_utilization : float;
 }
 
+type score = {
+  s_energy_pj : float;
+  s_cycles : float;
+  s_edp : float;
+}
+
 (* ------------------------------------------------------------------ *)
 (* Context: everything derivable from (workload, arch, binding) alone   *)
 (* ------------------------------------------------------------------ *)
@@ -36,11 +42,44 @@ type part_ref = {
 type op_info = {
   op : W.operand;
   is_output : bool;
-  axes : (int * int) array array;  (** per tensor axis: (dim id, coeff) terms *)
+  axes_d : int array array;  (** per tensor axis: dim ids of its terms *)
+  axes_c : int array array;  (** per tensor axis: matching coefficients *)
   indexing : bool array;  (** per dim id *)
   sliding : bool array;  (** per dim id: inside a compound axis *)
   part_at : part_ref option array;  (** per level *)
   storing : int array;  (** storing level indices, ascending *)
+}
+
+(* Converted-mapping scratch: the matrices are allocated once per context
+   and overwritten by [convert_into] for every candidate, so scoring a
+   mapping allocates no layout state. [order] rows are resized only in the
+   (never hit by [Mapping.make]-validated mappings) case of an order longer
+   than the dim count; [olen] carries each row's live length. *)
+type mlay = {
+  t : int array array;  (** temporal factor [level].(dim) *)
+  s : int array array;
+  mutable order : int array array;  (** dim ids, outermost first *)
+  olen : int array;  (** live length of [order.(level)] *)
+  cum : int array array;  (** tile extent at/below level: [level].(dim) *)
+  sprod : int array;  (** per level: product of spatial factors *)
+}
+
+(* Scalar accumulators of the evaluator. All fields are [float], so the
+   record is flat and every store is an unboxed float write — the reason
+   these live here instead of in local [ref]s, which box on each store. *)
+type fscratch = {
+  mutable f_rm : float;  (** chain reads multiplier *)
+  mutable f_fm : float;  (** chain fills multiplier *)
+  mutable f_outer : float;  (** chain outer trip count *)
+  mutable f_reads : float;  (** chain result: words read from producer *)
+  mutable f_fills : float;  (** chain result: words filled into consumer *)
+  mutable f_denom : float;  (** MAC-streaming multicast denominator *)
+  mutable f_noc : float;  (** NoC energy accumulator (pJ) *)
+  mutable f_bw : float;  (** bandwidth-bound cycles *)
+  mutable f_spatial : float;  (** total spatial unrolling product *)
+  mutable f_energy : float;  (** eval_core result: total energy (pJ) *)
+  mutable f_cycles : float;  (** eval_core result: cycles *)
+  mutable f_mac : float;  (** eval_core result: MAC energy (pJ) *)
 }
 
 type ctx = {
@@ -48,41 +87,58 @@ type ctx = {
   arch : A.t;
   binding : binding;
   ndims : int;
+  dim_names : string array;  (** by dim id — positional fast path *)
   dim_of : (string, int) Hashtbl.t;
   bounds : int array;
   nlevels : int;
   levels : A.level array;
   macs : float;
   operands : op_info array;
+  unstored : string option;  (** first operand stored at no level, if any *)
   part_names : string array;  (** by gid *)
   part_level : int array;  (** by gid *)
   parts : A.partition array;  (** by gid *)
   nparts : int;
+  (* per-context scratch; a context is single-in-flight: one evaluation
+     uses it at a time (create one context per concurrent evaluator) *)
+  lay : mlay;
+  chain : int array;  (** chain_pair's served-extent row *)
+  inst : float array;  (** instances per level for bandwidth scaling *)
+  fs : fscratch;
+  sc_used : U.word U.count U.Arr.arr;  (** per gid, validation *)
+  sc_energy : U.energy U.Arr.arr;  (** per gid *)
+  sc_words : U.access U.count U.Arr.arr;  (** per gid *)
+  mutable sc_transfers : transfer list;  (** details-mode accumulator *)
+  mutable sc_violation : string option;  (** first validation violation *)
+  mutable sc_stopped : bool;  (** chain_pair's reuse-scan state *)
 }
 
 let context ?(binding = Fun.id) w arch =
   let dims = W.dim_names w in
   let ndims = List.length dims in
+  let dim_names = Array.of_list dims in
   let dim_of = Hashtbl.create 8 in
   List.iteri (fun i d -> Hashtbl.replace dim_of d i) dims;
   let bounds = Array.of_list (List.map (fun d -> W.bound w d) dims) in
   let levels = Array.of_list arch.A.levels in
   let nlevels = Array.length levels in
-  (* global partition table *)
-  let parts = ref [] and part_names = ref [] and part_level = ref [] in
+  (* global partition table: gids run level-major in declaration order;
+     accumulate reversed with a running counter and reverse once *)
+  let parts_rev = ref [] and names_rev = ref [] and levels_rev = ref [] in
+  let next_gid = ref 0 in
   let gid_of = Hashtbl.create 8 in
   Array.iteri
     (fun li (lvl : A.level) ->
       List.iter
         (fun (p : A.partition) ->
-          let gid = List.length !parts in
-          Hashtbl.replace gid_of (li, p.A.part_name) gid;
-          parts := !parts @ [ p ];
-          part_names := !part_names @ [ p.A.part_name ];
-          part_level := !part_level @ [ li ])
+          Hashtbl.replace gid_of (li, p.A.part_name) !next_gid;
+          incr next_gid;
+          parts_rev := p :: !parts_rev;
+          names_rev := p.A.part_name :: !names_rev;
+          levels_rev := li :: !levels_rev)
         lvl.A.partitions)
     levels;
-  let nparts = List.length !parts in
+  let nparts = !next_gid in
   let op_info (op : W.operand) =
     let axes =
       Array.of_list
@@ -100,15 +156,17 @@ let context ?(binding = Fun.id) w arch =
     Array.iter
       (fun terms -> if Array.length terms > 1 then Array.iter (fun (d, _) -> sliding.(d) <- true) terms)
       axes;
+    (* the evaluator reads the axes as two parallel int arrays — no tuple
+       dereference per term on the footprint path *)
+    let axes_d = Array.map (Array.map fst) axes in
+    let axes_c = Array.map (Array.map snd) axes in
     let role = binding op.W.name in
+    (* the level index is the iteration index — no identity scan *)
     let part_at =
-      Array.map
-        (fun (lvl : A.level) ->
+      Array.mapi
+        (fun li (lvl : A.level) ->
           match A.partition_for lvl ~role with
-          | Some p ->
-            let li = ref (-1) in
-            Array.iteri (fun i l -> if l == lvl then li := i) levels;
-            Some { gid = Hashtbl.find gid_of (!li, p.A.part_name); part = p }
+          | Some p -> Some { gid = Hashtbl.find gid_of (li, p.A.part_name); part = p }
           | None -> None)
         levels
     in
@@ -117,67 +175,173 @@ let context ?(binding = Fun.id) w arch =
         (List.concat
            (List.init nlevels (fun i -> if part_at.(i) <> None then [ i ] else [])))
     in
-    { op; is_output = op.W.kind = `Output; axes; indexing; sliding; part_at; storing }
+    { op; is_output = op.W.kind = `Output; axes_d; axes_c; indexing; sliding; part_at; storing }
+  in
+  let operands = Array.of_list (List.map op_info w.W.operands) in
+  (* whether some operand is stored nowhere is a property of the context,
+     not of any particular mapping — resolve it once *)
+  let unstored =
+    Array.fold_left
+      (fun acc info ->
+        if acc = None && Array.length info.storing = 0 then
+          Some
+            (Printf.sprintf "operand %s is stored at no level (no partition accepts its role)"
+               info.op.W.name)
+        else acc)
+      None operands
   in
   {
     w;
     arch;
     binding;
     ndims;
+    dim_names;
     dim_of;
     bounds;
     nlevels;
     levels;
     macs = W.macs w;
-    operands = Array.of_list (List.map op_info w.W.operands);
-    part_names = Array.of_list !part_names;
-    part_level = Array.of_list !part_level;
-    parts = Array.of_list !parts;
+    operands;
+    unstored;
+    part_names = Array.of_list (List.rev !names_rev);
+    part_level = Array.of_list (List.rev !levels_rev);
+    parts = Array.of_list (List.rev !parts_rev);
     nparts;
+    lay =
+      {
+        t = Array.make_matrix nlevels ndims 1;
+        s = Array.make_matrix nlevels ndims 1;
+        order = Array.make_matrix nlevels ndims 0;
+        olen = Array.make nlevels 0;
+        cum = Array.make_matrix nlevels ndims 1;
+        sprod = Array.make nlevels 1;
+      };
+    chain = Array.make ndims 1;
+    inst = Array.make nlevels 1.0;
+    fs =
+      {
+        f_rm = 1.0;
+        f_fm = 1.0;
+        f_outer = 1.0;
+        f_reads = 0.0;
+        f_fills = 0.0;
+        f_denom = 1.0;
+        f_noc = 0.0;
+        f_bw = 0.0;
+        f_spatial = 1.0;
+        f_energy = 0.0;
+        f_cycles = 0.0;
+        f_mac = 0.0;
+      };
+    sc_used = U.Arr.make nparts;
+    sc_energy = U.Arr.make nparts;
+    sc_words = U.Arr.make nparts;
+    sc_transfers = [];
+    sc_violation = None;
+    sc_stopped = false;
   }
+
+let partitions ctx =
+  Array.init ctx.nparts (fun gid -> (ctx.part_names.(gid), ctx.part_level.(gid)))
 
 (* ------------------------------------------------------------------ *)
 (* Mapping conversion                                                   *)
 (* ------------------------------------------------------------------ *)
 
-type mlay = {
-  t : int array array;  (** temporal factor [level].(dim) *)
-  s : int array array;
-  order : int array array;  (** dim ids, outermost first *)
-  cum : int array array;  (** tile extent at/below level: [level].(dim) *)
-}
+(* Mappings built by the search carry their dim lists in workload order, so
+   position [i] almost always names dim [i]. The positional probe tries
+   physical equality first (search-built mappings share the workload's dim
+   strings), then a structural compare, then the hash table — a pure fast
+   path, never the only mechanism, unlike the pre-PR level scan. *)
+let[@inline] dim_index ctx i d =
+  if
+    i < ctx.ndims
+    &&
+    let n = Array.unsafe_get ctx.dim_names i in
+    d == n || String.equal d n
+  then i
+  else Hashtbl.find ctx.dim_of d
 
-let convert ctx (m : M.t) =
+(* Closure-free list walks for [convert_into]: [List.iteri] would allocate
+   a closure per level per list on this path. *)
+let rec fill_factors ctx row i = function
+  | [] -> ()
+  | (d, f) :: rest ->
+    row.(dim_index ctx i d) <- f;
+    fill_factors ctx row (i + 1) rest
+
+let rec fill_order ctx row i = function
+  | [] -> i
+  | d :: rest ->
+    Array.unsafe_set row i (dim_index ctx i d);
+    fill_order ctx row (i + 1) rest
+
+(* Overwrite the context's layout scratch with mapping [m]. *)
+let convert_into ctx (m : M.t) =
+  let lay = ctx.lay in
   let n = ctx.nlevels in
-  let t = Array.make_matrix n ctx.ndims 1 in
-  let s = Array.make_matrix n ctx.ndims 1 in
-  let order = Array.make n [||] in
   for l = 0 to n - 1 do
     let lm = m.M.levels.(l) in
-    List.iter (fun (d, f) -> t.(l).(Hashtbl.find ctx.dim_of d) <- f) lm.M.temporal;
-    List.iter (fun (d, f) -> s.(l).(Hashtbl.find ctx.dim_of d) <- f) lm.M.spatial;
-    order.(l) <- Array.of_list (List.map (Hashtbl.find ctx.dim_of) lm.M.order)
-  done;
-  let cum = Array.make_matrix n ctx.ndims 1 in
-  for l = 0 to n - 1 do
+    let trow = lay.t.(l) and srow = lay.s.(l) in
+    (* manual reset: [Array.fill] is a C call, twice per level per candidate *)
     for d = 0 to ctx.ndims - 1 do
-      cum.(l).(d) <- (if l = 0 then 1 else cum.(l - 1).(d)) * t.(l).(d) * s.(l).(d)
-    done
+      Array.unsafe_set trow d 1;
+      Array.unsafe_set srow d 1
+    done;
+    fill_factors ctx trow 0 lm.M.temporal;
+    fill_factors ctx srow 0 lm.M.spatial;
+    let olen = List.length lm.M.order in
+    if olen > Array.length lay.order.(l) then lay.order.(l) <- Array.make olen 0;
+    lay.olen.(l) <- olen;
+    ignore (fill_order ctx lay.order.(l) 0 lm.M.order);
+    let rec sprod d acc =
+      if d >= ctx.ndims then acc else sprod (d + 1) (acc * Array.unsafe_get srow d)
+    in
+    lay.sprod.(l) <- sprod 0 1
   done;
-  { t; s; order; cum }
+  for l = 0 to n - 1 do
+    let crow = lay.cum.(l) and trow = lay.t.(l) and srow = lay.s.(l) in
+    if l = 0 then
+      for d = 0 to ctx.ndims - 1 do
+        Array.unsafe_set crow d (Array.unsafe_get trow d * Array.unsafe_get srow d)
+      done
+    else begin
+      let prev = lay.cum.(l - 1) in
+      for d = 0 to ctx.ndims - 1 do
+        Array.unsafe_set crow d
+          (Array.unsafe_get prev d * Array.unsafe_get trow d * Array.unsafe_get srow d)
+      done
+    end
+  done;
+  lay
 
-let axis_extent extents terms =
-  let acc = ref 1 in
-  Array.iter (fun (d, c) -> acc := !acc + (c * (extents.(d) - 1))) terms;
-  !acc
+(* Tail-recursive accumulation: ocamlopt keeps the int and float
+   accumulators in registers for these direct local calls, where a [ref]
+   would allocate per invocation. *)
+let axis_extent extents dims coeffs =
+  let n = Array.length dims in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      go (i + 1)
+        (acc
+        + Array.unsafe_get coeffs i * (Array.unsafe_get extents (Array.unsafe_get dims i) - 1))
+  in
+  go 0 1
 
 let footprint (info : op_info) extents =
-  let acc = ref 1.0 in
-  Array.iter (fun terms -> acc := !acc *. float_of_int (axis_extent extents terms)) info.axes;
-  !acc
+  let ad = info.axes_d and ac = info.axes_c in
+  let n = Array.length ad in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      go (i + 1)
+        (acc
+        *. float_of_int (axis_extent extents (Array.unsafe_get ad i) (Array.unsafe_get ac i)))
+  in
+  go 0 1.0
 
-let spatial_product lay l =
-  Array.fold_left (fun acc f -> acc * f) 1 lay.s.(l)
+let[@inline] spatial_product lay l = lay.sprod.(l)
 
 (* [part_at.(l)] is [Some _] exactly at the levels listed in [storing];
    callers only index with members of [storing], so [None] here means the
@@ -193,55 +357,55 @@ let part_ref_at (info : op_info) l =
 (* ------------------------------------------------------------------ *)
 
 let validate_lay ctx lay =
-  let violation = ref None in
-  let set msg = if !violation = None then violation := Some msg in
-  Array.iter
-    (fun info ->
-      if Array.length info.storing = 0 then
-        set
-          (Printf.sprintf "operand %s is stored at no level (no partition accepts its role)"
-             info.op.W.name))
-    ctx.operands;
+  ctx.sc_violation <- ctx.unstored;
   for l = 0 to ctx.nlevels - 1 do
     let lvl = ctx.levels.(l) in
     let sp = spatial_product lay l in
-    if sp > lvl.A.fanout then
-      set
-        (Printf.sprintf "level %s: spatial unrolling %d exceeds fanout %d" lvl.A.level_name sp
-           lvl.A.fanout)
+    if sp > lvl.A.fanout && ctx.sc_violation = None then
+      ctx.sc_violation <-
+        Some
+          (Printf.sprintf "level %s: spatial unrolling %d exceeds fanout %d" lvl.A.level_name sp
+             lvl.A.fanout)
   done;
-  if !violation = None then begin
-    let used : U.word U.count U.t array = Array.make ctx.nparts U.zero in
-    Array.iter
-      (fun info ->
-        for l = 0 to ctx.nlevels - 1 do
-          match info.part_at.(l) with
-          | Some { gid; _ } -> used.(gid) <- U.(used.(gid) +: count (footprint info lay.cum.(l)))
-          | None -> ()
-        done)
-      ctx.operands;
+  if ctx.sc_violation = None then begin
+    let used = ctx.sc_used in
+    U.Arr.fill used;
+    for oi = 0 to Array.length ctx.operands - 1 do
+      let info = ctx.operands.(oi) in
+      for l = 0 to ctx.nlevels - 1 do
+        match info.part_at.(l) with
+        | Some { gid; _ } ->
+          U.Arr.set used gid U.(Arr.get used gid +: count (footprint info lay.cum.(l)))
+        | None -> ()
+      done
+    done;
     for gid = 0 to ctx.nparts - 1 do
       let l = ctx.part_level.(gid) in
       if not ctx.levels.(l).A.unbounded then begin
         let p = ctx.parts.(gid) in
-        if U.gt used.(gid) (U.count (float_of_int p.A.capacity_words +. 1e-9)) then
-          set
-            (Printf.sprintf "partition %s at %s: footprint %.0f exceeds capacity %d"
-               ctx.part_names.(gid) ctx.levels.(l).A.level_name
-               (U.to_float used.(gid)) p.A.capacity_words)
+        if
+          U.gt (U.Arr.get used gid) (U.count (float_of_int p.A.capacity_words +. 1e-9))
+          && ctx.sc_violation = None
+        then
+          ctx.sc_violation <-
+            Some
+              (Printf.sprintf "partition %s at %s: footprint %.0f exceeds capacity %d"
+                 ctx.part_names.(gid) ctx.levels.(l).A.level_name
+                 (U.to_float (U.Arr.get used gid))
+                 p.A.capacity_words)
       end
     done
   end;
-  match !violation with None -> Ok () | Some msg -> Error msg
+  match ctx.sc_violation with None -> Ok () | Some msg -> Error msg
 
 let validate_ctx ctx m =
   if M.num_levels m <> ctx.nlevels then
     Error
       (Printf.sprintf "mapping has %d levels, architecture has %d" (M.num_levels m) ctx.nlevels)
-  else validate_lay ctx (convert ctx m)
+  else validate_lay ctx (convert_into ctx m)
 
 let level_fill_fraction_ctx ctx m ~level =
-  let lay = convert ctx m in
+  let lay = convert_into ctx m in
   let lvl = ctx.levels.(level) in
   let worst = ref 0.0 in
   List.iter
@@ -268,96 +432,116 @@ let level_fill_fraction_ctx ctx m ~level =
    storing level [lc]: refills are the temporal loops strictly above [lc]
    scanned innermost-first with full/partial reuse absorption; spatial
    factors above [lc] either enlarge the served footprint (indexing dims)
-   or broadcast/replicate (non-indexing). *)
+   or broadcast/replicate (non-indexing). Results land in [fs.f_reads] and
+   [fs.f_fills]. *)
 let chain_pair ctx lay (info : op_info) ~lc ~lp =
+  let fs = ctx.fs in
   let top = ctx.nlevels - 1 in
-  let cum = Array.copy lay.cum.(lc) in
-  let reads_mult = ref 1.0 and fills_mult = ref 1.0 in
+  let cum = ctx.chain in
+  let src = lay.cum.(lc) in
+  for d = 0 to ctx.ndims - 1 do
+    Array.unsafe_set cum d (Array.unsafe_get src d)
+  done;
+  fs.f_rm <- 1.0;
+  fs.f_fm <- 1.0;
   for j = lc + 1 to top do
     let multicast = ctx.levels.(j).A.multicast in
     let srow = lay.s.(j) in
     for d = 0 to ctx.ndims - 1 do
-      let f = srow.(d) in
+      let f = Array.unsafe_get srow d in
       if f > 1 then
-        if info.indexing.(d) then cum.(d) <- cum.(d) * f
+        if Array.unsafe_get info.indexing d then
+          Array.unsafe_set cum d (Array.unsafe_get cum d * f)
         else if j <= lp then begin
-          fills_mult := !fills_mult *. float_of_int f;
-          if not multicast then reads_mult := !reads_mult *. float_of_int f
+          fs.f_fm <- fs.f_fm *. float_of_int f;
+          if not multicast then fs.f_rm <- fs.f_rm *. float_of_int f
         end
         else begin
-          reads_mult := !reads_mult *. float_of_int f;
-          fills_mult := !fills_mult *. float_of_int f
+          fs.f_rm <- fs.f_rm *. float_of_int f;
+          fs.f_fm <- fs.f_fm *. float_of_int f
         end
     done
   done;
   (* temporal reuse scan, innermost loop first *)
-  let stopped = ref false and outer = ref 1.0 in
+  ctx.sc_stopped <- false;
+  fs.f_outer <- 1.0;
   for j = lc + 1 to top do
     let ord = lay.order.(j) and trow = lay.t.(j) in
-    for i = Array.length ord - 1 downto 0 do
-      let d = ord.(i) in
+    for i = lay.olen.(j) - 1 downto 0 do
+      let d = Array.unsafe_get ord i in
       let b = trow.(d) in
       if b > 1 then
-        if !stopped then outer := !outer *. float_of_int b
-        else if not info.indexing.(d) then () (* fully reused across this loop *)
-        else if info.sliding.(d) then begin
+        if ctx.sc_stopped then fs.f_outer <- fs.f_outer *. float_of_int b
+        else if not (Array.unsafe_get info.indexing d) then
+          () (* fully reused across this loop *)
+        else if Array.unsafe_get info.sliding d then begin
           (* sliding-window partial reuse: fetch the union of the windows *)
           cum.(d) <- cum.(d) * b;
-          stopped := true
+          ctx.sc_stopped <- true
         end
         else begin
-          stopped := true;
-          outer := !outer *. float_of_int b
+          ctx.sc_stopped <- true;
+          fs.f_outer <- fs.f_outer *. float_of_int b
         end
     done
   done;
   let fp = footprint info cum in
-  let reads = !outer *. fp *. !reads_mult in
-  let fills = !outer *. fp *. !fills_mult in
-  (reads, fills)
+  fs.f_reads <- fs.f_outer *. fp *. fs.f_rm;
+  fs.f_fills <- fs.f_outer *. fp *. fs.f_fm
 
-(* Per-MAC streaming from the nearest storing level [l0]; unrolled
-   non-indexing dims below [l0] share one read across lanes when the
-   interconnect multicasts. *)
+(* Per-MAC streaming denominator from the nearest storing level [l0]:
+   unrolled non-indexing dims below [l0] share one read across lanes when
+   the interconnect multicasts. Lands in [fs.f_denom]. *)
 let mac_streaming ctx lay (info : op_info) ~l0 =
-  let denom = ref 1.0 in
+  let fs = ctx.fs in
+  fs.f_denom <- 1.0;
   for j = 0 to l0 do
     if ctx.levels.(j).A.multicast then begin
       let srow = lay.s.(j) in
       for d = 0 to ctx.ndims - 1 do
         if srow.(d) > 1 && not info.indexing.(d) then
-          denom := !denom *. float_of_int srow.(d)
+          fs.f_denom <- fs.f_denom *. float_of_int srow.(d)
       done
     end
-  done;
-  ctx.macs /. !denom
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Energy and latency assembly                                          *)
 (* ------------------------------------------------------------------ *)
 
-let evaluate_lay ctx lay =
-  let energy : U.energy U.t array = Array.make ctx.nparts U.zero in
-  let words : U.access U.count U.t array = Array.make ctx.nparts U.zero in
-  let noc_energy = ref (U.zero : U.energy U.t) in
-  let transfers = ref [] in
-  Array.iter
-    (fun info ->
-      let storing = info.storing in
-      let nst = Array.length storing in
-      if nst = 0 then invalid_arg (Printf.sprintf "operand %s stored nowhere" info.op.W.name);
-      (* MAC streaming from the innermost storing level *)
-      let l0 = storing.(0) in
-      let { gid; part } = part_ref_at info l0 in
-      let reads = mac_streaming ctx lay info ~l0 in
-      let per_word : U.access U.rate U.t =
-        if info.is_output then U.(rate part.A.read_energy +: rate part.A.write_energy)
-        else U.rate part.A.read_energy
-      in
-      energy.(gid) <- U.(energy.(gid) +: charge (count reads) per_word);
-      words.(gid) <-
-        U.(words.(gid) +: count (reads *. if info.is_output then 2.0 else 1.0));
-      transfers :=
+(* The evaluator core. Float operations run in exactly the order of the
+   pre-rewrite evaluator ([Model_ref], pinned by the golden bit-identity
+   suite), so energies, cycles and EDP are bit-identical. With
+   [details = false] (the search's score path) no transfer records are
+   built; per-gid energies/words and scalar accumulators live in the
+   context's scratch either way. *)
+let eval_core ctx lay ~details =
+  let fs = ctx.fs in
+  let energy = ctx.sc_energy in
+  let words = ctx.sc_words in
+  U.Arr.fill energy;
+  U.Arr.fill words;
+  fs.f_noc <- 0.0;
+  if details then ctx.sc_transfers <- [];
+  for oi = 0 to Array.length ctx.operands - 1 do
+    let info = ctx.operands.(oi) in
+    let storing = info.storing in
+    let nst = Array.length storing in
+    if nst = 0 then invalid_arg (Printf.sprintf "operand %s stored nowhere" info.op.W.name);
+    (* MAC streaming from the innermost storing level *)
+    let l0 = storing.(0) in
+    let { gid; part } = part_ref_at info l0 in
+    mac_streaming ctx lay info ~l0;
+    let reads = ctx.macs /. fs.f_denom in
+    let per_word : U.access U.rate U.t =
+      if info.is_output then U.(rate part.A.read_energy +: rate part.A.write_energy)
+      else U.rate part.A.read_energy
+    in
+    U.Arr.set energy gid U.(Arr.get energy gid +: charge (count reads) per_word);
+    U.Arr.set words gid
+      U.(Arr.get words gid +: count (reads *. if info.is_output then 2.0 else 1.0));
+    if details then
+      ctx.sc_transfers <-
         {
           operand = info.op.W.name;
           from_level = l0;
@@ -366,31 +550,34 @@ let evaluate_lay ctx lay =
           fills = 0.0;
           noc_deliveries = 0.0;
         }
-        :: !transfers;
-      (* chain transfers between consecutive storing levels *)
-      for i = 0 to nst - 2 do
-        let lc = storing.(i) and lp = storing.(i + 1) in
-        let reads, fills = chain_pair ctx lay info ~lc ~lp in
-        let rp = part_ref_at info lp in
-        let rc = part_ref_at info lc in
-        let dir = if info.is_output then 2.0 else 1.0 in
-        let prod_per_word : U.access U.rate U.t =
-          if info.is_output then U.(halve (rate rp.part.A.read_energy +: rate rp.part.A.write_energy))
-          else U.rate rp.part.A.read_energy
-        in
-        let cons_per_word : U.access U.rate U.t =
-          if info.is_output then U.(halve (rate rc.part.A.read_energy +: rate rc.part.A.write_energy))
-          else U.rate rc.part.A.write_energy
-        in
-        energy.(rp.gid) <- U.(energy.(rp.gid) +: charge (count (dir *. reads)) prod_per_word);
-        energy.(rc.gid) <- U.(energy.(rc.gid) +: charge (count (dir *. fills)) cons_per_word);
-        words.(rp.gid) <- U.(words.(rp.gid) +: count (dir *. reads));
-        words.(rc.gid) <- U.(words.(rc.gid) +: count (dir *. fills));
-        for j = lc + 1 to lp do
-          noc_energy :=
-            U.(!noc_energy +: charge (count (dir *. fills)) (rate ctx.levels.(j).A.noc_hop_energy))
-        done;
-        transfers :=
+        :: ctx.sc_transfers;
+    (* chain transfers between consecutive storing levels *)
+    for i = 0 to nst - 2 do
+      let lc = storing.(i) and lp = storing.(i + 1) in
+      chain_pair ctx lay info ~lc ~lp;
+      let reads = fs.f_reads and fills = fs.f_fills in
+      let rp = part_ref_at info lp in
+      let rc = part_ref_at info lc in
+      let dir = if info.is_output then 2.0 else 1.0 in
+      let prod_per_word : U.access U.rate U.t =
+        if info.is_output then U.(halve (rate rp.part.A.read_energy +: rate rp.part.A.write_energy))
+        else U.rate rp.part.A.read_energy
+      in
+      let cons_per_word : U.access U.rate U.t =
+        if info.is_output then U.(halve (rate rc.part.A.read_energy +: rate rc.part.A.write_energy))
+        else U.rate rc.part.A.write_energy
+      in
+      U.Arr.set energy rp.gid U.(Arr.get energy rp.gid +: charge (count (dir *. reads)) prod_per_word);
+      U.Arr.set energy rc.gid U.(Arr.get energy rc.gid +: charge (count (dir *. fills)) cons_per_word);
+      U.Arr.set words rp.gid U.(Arr.get words rp.gid +: count (dir *. reads));
+      U.Arr.set words rc.gid U.(Arr.get words rc.gid +: count (dir *. fills));
+      for j = lc + 1 to lp do
+        fs.f_noc <-
+          U.to_float
+            U.(pj fs.f_noc +: charge (count (dir *. fills)) (rate ctx.levels.(j).A.noc_hop_energy))
+      done;
+      if details then
+        ctx.sc_transfers <-
           {
             operand = info.op.W.name;
             from_level = lp;
@@ -399,33 +586,45 @@ let evaluate_lay ctx lay =
             fills;
             noc_deliveries = fills;
           }
-          :: !transfers
-      done)
-    ctx.operands;
+          :: ctx.sc_transfers
+    done
+  done;
   let mac_energy =
     U.charge (U.count ctx.macs) (U.rate ctx.arch.A.mac_energy : U.op U.rate U.t)
   in
-  let total_energy = U.to_float U.(sum energy +: !noc_energy +: mac_energy) in
+  let total_energy = U.to_float U.(Arr.sum energy +: pj fs.f_noc +: mac_energy) in
   (* latency *)
-  let total_spatial =
-    let p = ref 1.0 in
-    for l = 0 to ctx.nlevels - 1 do
-      p := !p *. float_of_int (spatial_product lay l)
-    done;
-    !p
-  in
-  let compute_cycles = ctx.macs /. (total_spatial *. float_of_int ctx.arch.A.mac_throughput) in
-  let inst_used = Array.make ctx.nlevels 1.0 in
+  fs.f_spatial <- 1.0;
+  for l = 0 to ctx.nlevels - 1 do
+    fs.f_spatial <- fs.f_spatial *. float_of_int (spatial_product lay l)
+  done;
+  let compute_cycles = ctx.macs /. (fs.f_spatial *. float_of_int ctx.arch.A.mac_throughput) in
+  let inst_used = ctx.inst in
+  for l = 0 to ctx.nlevels - 1 do
+    Array.unsafe_set inst_used l 1.0
+  done;
   for l = ctx.nlevels - 2 downto 0 do
     inst_used.(l) <- inst_used.(l + 1) *. float_of_int (spatial_product lay (l + 1))
   done;
-  let bw_cycles = ref 0.0 in
+  fs.f_bw <- 0.0;
   for gid = 0 to ctx.nparts - 1 do
     let p = ctx.parts.(gid) in
     let l = ctx.part_level.(gid) in
-    bw_cycles := Float.max !bw_cycles (U.to_float words.(gid) /. (p.A.bandwidth *. inst_used.(l)))
+    fs.f_bw <-
+      Float.max fs.f_bw (U.to_float (U.Arr.get words gid) /. (p.A.bandwidth *. inst_used.(l)))
   done;
-  let cycles = Float.max compute_cycles !bw_cycles in
+  fs.f_energy <- total_energy;
+  fs.f_cycles <- Float.max compute_cycles fs.f_bw;
+  fs.f_mac <- U.to_float mac_energy
+
+let score_lay ctx lay =
+  eval_core ctx lay ~details:false;
+  let fs = ctx.fs in
+  { s_energy_pj = fs.f_energy; s_cycles = fs.f_cycles; s_edp = fs.f_energy *. fs.f_cycles }
+
+let evaluate_lay ctx lay =
+  eval_core ctx lay ~details:true;
+  let fs = ctx.fs in
   (* breakdown by partition name *)
   let breakdown = ref [] in
   let add name v =
@@ -437,18 +636,19 @@ let evaluate_lay ctx lay =
     breakdown := go !breakdown
   in
   for gid = 0 to ctx.nparts - 1 do
-    if U.to_float energy.(gid) <> 0.0 then add ctx.part_names.(gid) (U.to_float energy.(gid))
+    let e = U.to_float (U.Arr.get ctx.sc_energy gid) in
+    if e <> 0.0 then add ctx.part_names.(gid) e
   done;
-  add "NoC" (U.to_float !noc_energy);
-  add "MAC" (U.to_float mac_energy);
+  add "NoC" fs.f_noc;
+  add "MAC" fs.f_mac;
   {
-    energy_pj = total_energy;
-    cycles;
-    edp = total_energy *. cycles;
+    energy_pj = fs.f_energy;
+    cycles = fs.f_cycles;
+    edp = fs.f_energy *. fs.f_cycles;
     macs = ctx.macs;
-    transfers = List.rev !transfers;
+    transfers = List.rev ctx.sc_transfers;
     breakdown = !breakdown;
-    spatial_utilization = total_spatial /. float_of_int (A.total_fanout ctx.arch);
+    spatial_utilization = fs.f_spatial /. float_of_int (A.total_fanout ctx.arch);
   }
 
 (* Pre-registered telemetry handles: an [incr] is one flag load when
@@ -460,25 +660,63 @@ let tel_evaluations = Sun_telemetry.Metrics.counter "model.evaluations"
 
 let tel_rejected = Sun_telemetry.Metrics.counter "model.evaluate_rejected"
 
-let evaluate_ctx ctx m =
-  if M.num_levels m <> ctx.nlevels then begin
-    Sun_telemetry.Metrics.incr tel_rejected;
+(* Shared evaluate/score front end without telemetry, so the batch entry
+   points can count once per batch. *)
+let prepared ctx m =
+  if M.num_levels m <> ctx.nlevels then
     Error
       (Printf.sprintf "mapping has %d levels, architecture has %d" (M.num_levels m) ctx.nlevels)
-  end
   else begin
-    let lay = convert ctx m in
-    match validate_lay ctx lay with
-    | Error _ as e ->
-      Sun_telemetry.Metrics.incr tel_rejected;
-      e
-    | Ok () ->
-      Sun_telemetry.Metrics.incr tel_evaluations;
-      Ok (evaluate_lay ctx lay)
+    let lay = convert_into ctx m in
+    match validate_lay ctx lay with Error _ as e -> e | Ok () -> Ok lay
   end
 
+let evaluate_ctx ctx m =
+  match prepared ctx m with
+  | Error _ as e ->
+    Sun_telemetry.Metrics.incr tel_rejected;
+    e
+  | Ok lay ->
+    Sun_telemetry.Metrics.incr tel_evaluations;
+    Ok (evaluate_lay ctx lay)
+
+let score_ctx ctx m =
+  match prepared ctx m with
+  | Error _ as e ->
+    Sun_telemetry.Metrics.incr tel_rejected;
+    e
+  | Ok lay ->
+    Sun_telemetry.Metrics.incr tel_evaluations;
+    Ok (score_lay ctx lay)
+
+(* Batch entry points: one telemetry flush for the whole sibling set. The
+   context's scratch is reused across the batch, which is the point — the
+   per-candidate cost is the arithmetic, not setup. *)
+let batch_over ctx ms ~f =
+  let ok = ref 0 and rejected = ref 0 in
+  let out =
+    Array.map
+      (fun m ->
+        match prepared ctx m with
+        | Error _ as e ->
+          incr rejected;
+          e
+        | Ok lay ->
+          incr ok;
+          Ok (f ctx lay))
+      ms
+  in
+  Sun_telemetry.Metrics.add tel_evaluations !ok;
+  Sun_telemetry.Metrics.add tel_rejected !rejected;
+  out
+
+let score_batch_ctx ctx ms = batch_over ctx ms ~f:score_lay
+
+let evaluate_batch_ctx ctx ms = batch_over ctx ms ~f:evaluate_lay
+
 let energy_lower_bound_ctx ctx ~partial_levels m =
-  let lay = convert ctx m in
+  let lay = convert_into ctx m in
+  let fs = ctx.fs in
   let energy =
     ref (U.charge (U.count ctx.macs) (U.rate ctx.arch.A.mac_energy : U.op U.rate U.t))
   in
@@ -489,7 +727,8 @@ let energy_lower_bound_ctx ctx ~partial_levels m =
       if nst > 0 && storing.(0) < partial_levels then begin
         let l0 = storing.(0) in
         let { part; _ } = part_ref_at info l0 in
-        let reads = mac_streaming ctx lay info ~l0 in
+        mac_streaming ctx lay info ~l0;
+        let reads = ctx.macs /. fs.f_denom in
         let per_word : U.access U.rate U.t =
           if info.is_output then U.(rate part.A.read_energy +: rate part.A.write_energy)
           else U.rate part.A.read_energy
@@ -499,7 +738,8 @@ let energy_lower_bound_ctx ctx ~partial_levels m =
       for i = 0 to nst - 2 do
         let lc = storing.(i) and lp = storing.(i + 1) in
         if lp < partial_levels then begin
-          let reads, fills = chain_pair ctx lay info ~lc ~lp in
+          chain_pair ctx lay info ~lc ~lp;
+          let reads = fs.f_reads and fills = fs.f_fills in
           let rp = part_ref_at info lp in
           let rc = part_ref_at info lc in
           let dir = if info.is_output then 2.0 else 1.0 in

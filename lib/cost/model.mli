@@ -44,17 +44,48 @@ type cost = {
   spatial_utilization : float;  (** used lanes / peak lanes, in (0, 1] *)
 }
 
+type score = {
+  s_energy_pj : float;
+  s_cycles : float;
+  s_edp : float;  (** [s_energy_pj *. s_cycles] *)
+}
+(** The search's scoring triple. [score_ctx] computes exactly the same
+    energy/cycles/EDP floats as [evaluate_ctx] (bit-identical — the same
+    arithmetic runs in the same order) but skips assembling the transfer
+    list and energy breakdown, which is most of the allocation of a full
+    evaluation. *)
+
 type ctx
 (** Precomputed evaluation context for one (workload, architecture,
     binding) triple: integer-indexed dimensions, operand axes, storage
-    chains and partition lookups. Searches that score many mappings of the
-    same problem should create one context and reuse it. *)
+    chains, partition lookups — and the evaluator's preallocated scratch
+    (layout matrices, per-partition accumulators), so scoring a candidate
+    allocates no per-call state. A context is single-in-flight: one
+    evaluation uses its scratch at a time. Searches that score many
+    mappings of the same problem should create one context and reuse it. *)
 
 val context :
   ?binding:binding -> Sun_tensor.Workload.t -> Sun_arch.Arch.t -> ctx
 
+val partitions : ctx -> (string * int) array
+(** The global partition table by gid: (partition name, level index), in
+    gid order — level-major, declaration order within a level. Pinned by a
+    unit test; serialized caches depend on this order being stable. *)
+
 val validate_ctx : ctx -> Sun_mapping.Mapping.t -> (unit, string) result
 val evaluate_ctx : ctx -> Sun_mapping.Mapping.t -> (cost, string) result
+
+val score_ctx : ctx -> Sun_mapping.Mapping.t -> (score, string) result
+(** Validate and score without building transfers/breakdown — the search
+    hot path. Same error strings as [evaluate_ctx]. *)
+
+val evaluate_batch_ctx : ctx -> Sun_mapping.Mapping.t array -> (cost, string) result array
+
+val score_batch_ctx : ctx -> Sun_mapping.Mapping.t array -> (score, string) result array
+(** Batch forms: evaluate sibling candidates through one context and one
+    telemetry flush, in array order. Equivalent to mapping the scalar
+    functions; the batch amortizes the per-call bookkeeping. *)
+
 val energy_lower_bound_ctx : ctx -> partial_levels:int -> Sun_mapping.Mapping.t -> float
 val level_fill_fraction_ctx : ctx -> Sun_mapping.Mapping.t -> level:int -> float
 

@@ -35,25 +35,30 @@ type 'c rate
 type 'u t
 (** A float carrying unit ['u]. Zero-cost: the representation is [float]. *)
 
-val pj : float -> energy t
-val count : float -> 'c count t
-val rate : float -> 'c rate t
+(** The tag-only wrappers and the arithmetic are declared as compiler
+    primitives (matching [external] declarations in the implementation): even
+    without flambda, a cross-module call compiles to the raw float
+    instruction, so the evaluator's hot path pays nothing for the types. *)
 
-val to_float : 'u t -> float
+external pj : float -> energy t = "%identity"
+external count : float -> 'c count t = "%identity"
+external rate : float -> 'c rate t = "%identity"
+
+external to_float : 'u t -> float = "%identity"
 (** Strip the unit tag. Used only at the model's public boundary. *)
 
 val zero : 'u t
 
-val ( +: ) : 'u t -> 'u t -> 'u t
-val ( -: ) : 'u t -> 'u t -> 'u t
+external ( +: ) : 'u t -> 'u t -> 'u t = "%addfloat"
+external ( -: ) : 'u t -> 'u t -> 'u t = "%subfloat"
 
-val scale : float -> 'u t -> 'u t
+external scale : float -> 'u t -> 'u t = "%mulfloat"
 (** Dimensionless scaling (loop trip counts, directional doubling). *)
 
 val halve : 'u t -> 'u t
 (** Exact division by two (implemented as [/. 2.0], not [*. 0.5]). *)
 
-val charge : 'c count t -> 'c rate t -> energy t
+external charge : 'c count t -> 'c rate t -> energy t = "%mulfloat"
 (** [charge n r] is the energy of [n] events at [r] pJ each. The phantom
     ['c] forces the count and the rate to agree on what is being counted. *)
 
@@ -64,3 +69,23 @@ val max : 'u t -> 'u t -> 'u t
 val gt : 'u t -> 'u t -> bool
 val is_finite : 'u t -> bool
 val is_nonneg : 'u t -> bool
+
+(** Unit-tagged flat float arrays ([floatarray]-backed) for the evaluator's
+    preallocated scratch: unboxed get/set — again via primitives — with the
+    same phantom tags as scalar values. [Arr.sum] folds left from zero,
+    matching [Array.fold_left ( +. ) 0.0] bit for bit. *)
+module Arr : sig
+  type 'u arr
+
+  val make : int -> 'u arr
+  (** Zero-filled. *)
+
+  external get : 'u arr -> int -> 'u t = "%floatarray_safe_get"
+  external set : 'u arr -> int -> 'u t -> unit = "%floatarray_safe_set"
+
+  val fill : 'u arr -> unit
+  (** Reset every element to zero. *)
+
+  val length : 'u arr -> int
+  val sum : 'u arr -> 'u t
+end

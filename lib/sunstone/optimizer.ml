@@ -2,6 +2,7 @@ module W = Sun_tensor.Workload
 module A = Sun_arch.Arch
 module M = Sun_mapping.Mapping
 module Model = Sun_cost.Model
+module Probe = Sun_cost.Probe
 module Listx = Sun_util.Listx
 module Tel = Sun_telemetry.Metrics
 
@@ -57,6 +58,8 @@ type search_state = {
   arch : A.t;
   cfg : config;
   ctx : Model.ctx;
+  probe : Probe.t;
+      (** memoized footprint probes, scoped to this search (DESIGN.md §3.7) *)
   dims : W.dim list;
   mutable fits : (float * W.operand list) list array;
       (** per level: (capacity, operands stored) per partition *)
@@ -70,7 +73,9 @@ type search_state = {
   mutable tile_candidates : int;  (** tile-tree frontier tiles emitted *)
   mutable unroll_candidates : int;  (** spatial unroll choices emitted *)
   mutable inject : injection;
-  mutable best : (M.t * Model.cost) option;
+  mutable best : (M.t * Model.score) option;
+      (** incumbent: scored on the allocation-free path, fully evaluated
+          once at the end of the search *)
 }
 
 let ones dims = List.map (fun d -> (d, 1)) dims
@@ -104,11 +109,19 @@ let fit_table st =
             (float_of_int p.A.capacity_words +. 1e-9, ops))
           lvl.A.partitions)
 
-(* Does a tile with the given extents fit every partition of the level? *)
+(* Does a tile with the given extents fit every partition of the level?
+   The extent vector is resolved once per call; the per-operand footprints
+   go through the search-scoped memo (sibling candidates share most of
+   their extent vectors). [Probe.footprint] is bit-identical to
+   [W.footprint extent], so the fold matches [Listx.sum_by] exactly. *)
 let extents_fit st ~level extent =
+  Probe.set_extents st.probe extent;
   List.for_all
     (fun (cap, ops) ->
-      Sun_util.Listx.sum_by (W.footprint extent) ops <= cap)
+      List.fold_left
+        (fun acc (op : W.operand) -> acc +. Probe.footprint st.probe ~op:op.W.name ~level)
+        0.0 ops
+      <= cap)
     st.fits.(level)
 
 (* Breaking exact dim coverage (doubling one temporal factor) makes
@@ -123,10 +136,7 @@ let corrupt_first_build levels =
     in
     { lm with M.temporal } :: rest
 
-(* Score a structurally complete mapping; updates the incumbent. Build and
-   evaluation rejections are counted, never swallowed: a mapspace bug must
-   look different from legitimate pruning in the stats. *)
-let score st levels =
+let build st levels =
   let levels_list =
     match st.inject with
     | No_injection -> Array.to_list levels
@@ -138,17 +148,57 @@ let score st levels =
   | Error _ ->
     st.build_errors <- st.build_errors + 1;
     None
-  | Ok m -> (
+  | Ok m ->
     st.evaluated <- st.evaluated + 1;
-    match Model.evaluate_ctx st.ctx m with
+    Some m
+
+let update_best st m (s : Model.score) =
+  match st.best with
+  | Some (_, best) when best.Model.s_edp <= s.Model.s_edp -> ()
+  | _ -> st.best <- Some (m, s)
+
+(* Score a structurally complete mapping; updates the incumbent. Build and
+   evaluation rejections are counted, never swallowed: a mapspace bug must
+   look different from legitimate pruning in the stats. Scoring runs on the
+   allocation-free [score_ctx] path: same energy/cycles/EDP bits as a full
+   evaluation, no transfer/breakdown assembly. *)
+let score st levels =
+  match build st levels with
+  | None -> None
+  | Some m -> (
+    match Model.score_ctx st.ctx m with
     | Error _ ->
       st.eval_errors <- st.eval_errors + 1;
       None
-    | Ok cost ->
-      (match st.best with
-      | Some (_, best) when best.Model.edp <= cost.Model.edp -> ()
-      | _ -> st.best <- Some (m, cost));
-      Some cost)
+    | Ok s ->
+      update_best st m s;
+      Some s)
+
+(* Batch-score sibling candidates through one [Model.score_batch_ctx]
+   call. Builds, scores and incumbent updates all happen in list order —
+   the same sequence the scalar [score] would produce, so tie-breaking and
+   stats are unchanged. Only passes with no incumbent-dependent pruning
+   between siblings may batch (alpha-beta consults the incumbent mid-pass
+   and must stay sequential). Returns [(tag, score)] for the survivors. *)
+let score_batch st tagged =
+  let built =
+    List.filter_map
+      (fun (tag, levels) ->
+        match build st levels with None -> None | Some m -> Some (tag, m))
+      tagged
+  in
+  let results = Model.score_batch_ctx st.ctx (Array.of_list (List.map snd built)) in
+  List.concat
+    (List.mapi
+       (fun i (tag, m) ->
+         match results.(i) with
+         | Error _ ->
+           st.eval_errors <- st.eval_errors + 1;
+           []
+         | Ok s ->
+           update_best st m s;
+           [ (tag, s) ])
+       built)
 
 (* The grow dimensions of the Tiling / Unrolling Principles: the indexing
    dimensions of the operand temporally reused at the boundary. With no
@@ -199,7 +249,8 @@ let alpha_beta_prunes st ~fixed_levels levels =
   | Some (_, best) ->
     let lb = Model.energy_lower_bound_ctx st.ctx ~partial_levels:fixed_levels { M.levels } in
     let energy_slack = 1.5 in
-    if lb > best.Model.energy_pj *. energy_slack || lb *. min_cycles st > best.Model.edp then begin
+    if lb > best.Model.s_energy_pj *. energy_slack || lb *. min_cycles st > best.Model.s_edp
+    then begin
       st.pruned <- st.pruned + 1;
       true
     end
@@ -375,14 +426,23 @@ let dedup_prefixes prefixes =
    remaining slots go to the global ranking. *)
 let select_beam st ~fixed_levels prefixes =
   let scored =
-    List.filter_map
-      (fun levels ->
-        if fixed_levels > 0 && alpha_beta_prunes st ~fixed_levels levels then None
-        else
-          match score st (complete_at_top st levels) with
-          | Some cost -> Some (levels, cost.Model.edp)
-          | None -> None)
-      prefixes
+    if fixed_levels = 0 then
+      (* no alpha-beta below the first boundary: the sibling completions
+         batch through one scoring call *)
+      List.map
+        (fun (levels, s) -> (levels, s.Model.s_edp))
+        (score_batch st (List.map (fun levels -> (levels, complete_at_top st levels)) prefixes))
+    else
+      (* the incumbent tightens mid-pass and feeds the alpha-beta test of
+         the next prefix, so this path stays candidate-by-candidate *)
+      List.filter_map
+        (fun levels ->
+          if alpha_beta_prunes st ~fixed_levels levels then None
+          else
+            match score st (complete_at_top st levels) with
+            | Some s -> Some (levels, s.Model.s_edp)
+            | None -> None)
+        prefixes
   in
   let sorted = List.sort (fun (_, a) (_, b) -> compare a b) scored in
   let spatial_key levels =
@@ -542,12 +602,9 @@ let optimize_top_down st =
        unassigned, so every prefix shares the same (serial) cycle count and
        EDP cannot discriminate *)
     let scored =
-      List.filter_map
-        (fun levels ->
-          match score st (copy_levels levels) with
-          | Some cost -> Some (levels, cost.Model.energy_pj)
-          | None -> None)
-        prefixes
+      List.map
+        (fun (levels, s) -> (levels, s.Model.s_energy_pj))
+        (score_batch st (List.map (fun levels -> (levels, copy_levels levels)) prefixes))
     in
     let sorted = List.sort (fun (_, a) (_, b) -> compare a b) scored in
     List.map fst (Listx.take st.cfg.beam_width sorted)
@@ -561,9 +618,11 @@ let optimize_top_down st =
     end
   in
   let final = run top start in
-  (* split the innermost aggregate over the lane fanout *)
+  (* split the innermost aggregate over the lane fanout; the splits of one
+     prefix are sibling candidates, batched through one scoring call *)
   List.iter
-    (fun levels -> List.iter (fun ls -> ignore (score st ls)) (lane_pass_split st levels))
+    (fun levels ->
+      ignore (score_batch st (List.map (fun ls -> ((), ls)) (lane_pass_split st levels))))
     final
 
 (* ------------------------------------------------------------------ *)
@@ -588,7 +647,7 @@ let refine st =
   let continue_ = ref true in
   while !continue_ && !rounds < 8 do
     incr rounds;
-    let before = match st.best with Some (_, c) -> c.Model.edp | None -> infinity in
+    let before = match st.best with Some (_, c) -> c.Model.s_edp | None -> infinity in
     (match st.best with
     | None -> ()
     | Some (m, _) ->
@@ -627,7 +686,7 @@ let refine st =
           try_improve levels
         done
       done);
-    let after = match st.best with Some (_, c) -> c.Model.edp | None -> infinity in
+    let after = match st.best with Some (_, c) -> c.Model.s_edp | None -> infinity in
     if after >= before *. 0.9999 then continue_ := false
   done
 
@@ -652,7 +711,10 @@ let flush_telemetry st wall_seconds =
     Tel.count "optimizer.tile_candidates" st.tile_candidates;
     Tel.count "optimizer.unroll_candidates" st.unroll_candidates;
     Tel.observe (Tel.histogram "optimizer.search_s") wall_seconds
-  end
+  end;
+  (* probe hit/miss tallies flow to model.probe_hits / model.probe_misses
+     (and reset) regardless, so stats stay per-search *)
+  Probe.flush_telemetry st.probe
 
 let optimize ?(config = default_config) ?(inject = No_injection) w arch =
   let timer = Sun_util.Stopwatch.start () in
@@ -662,6 +724,7 @@ let optimize ?(config = default_config) ?(inject = No_injection) w arch =
       arch;
       cfg = config;
       ctx = Model.context ~binding:config.binding w arch;
+      probe = Probe.create w;
       dims = W.dim_names w;
       fits = [||];
       examined = 0;
@@ -682,9 +745,20 @@ let optimize ?(config = default_config) ?(inject = No_injection) w arch =
   | Bottom_up -> optimize_bottom_up st
   | Top_down -> optimize_top_down st);
   if config.refine then refine st;
+  (* the search scored candidates on the allocation-free path; the single
+     full evaluation of the incumbent rebuilds transfers and breakdown
+     (bit-identical energy/cycles/EDP to its score) *)
+  let final =
+    match st.best with
+    | None -> None
+    | Some (mapping, _) -> (
+      match Model.evaluate_ctx st.ctx mapping with
+      | Ok cost -> Some (mapping, cost)
+      | Error _ -> None)
+  in
   let wall_seconds = Sun_util.Stopwatch.elapsed_s timer in
   flush_telemetry st wall_seconds;
-  match st.best with
+  match final with
   | None -> Error "no valid mapping found (does a unit tile fit the innermost buffers?)"
   | Some (mapping, cost) ->
     Ok

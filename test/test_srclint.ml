@@ -207,6 +207,50 @@ let test_fixture_sa065 () =
       Alcotest.(check int) "one stale warning" 1 (List.length r.Srclint.stale);
       Alcotest.(check bool) "stale warning is SA065" true (has_code "SA065" r.Srclint.stale))
 
+(* SA063's production scope is lib/serve plus lib/cost (the probe memo
+   keeps hashtables in the hot path). Stage the cost fixture under both a
+   lib/cost/ and a lib/arch/ path and scan with the *scoped* rules: the
+   same source must fire in cost and stay silent in arch. *)
+let test_sa063_cost_scope () =
+  match source_root () with
+  | None -> ()
+  | Some root ->
+    let fixture = Filename.concat root "test/fixtures/srclint/sa063_cost.ml" in
+    if Sys.file_exists fixture then begin
+      let src = In_channel.with_open_text fixture In_channel.input_all in
+      let tmp = Filename.temp_file "sun_sa063" "" in
+      Sys.remove tmp;
+      Fun.protect
+        ~finally:(fun () ->
+          let rm p = if Sys.file_exists p then Sys.remove p in
+          rm (Filename.concat tmp "lib/cost/sa063_cost.ml");
+          rm (Filename.concat tmp "lib/arch/sa063_cost.ml");
+          let rmdir p = if Sys.file_exists p then Sys.rmdir p in
+          rmdir (Filename.concat tmp "lib/cost");
+          rmdir (Filename.concat tmp "lib/arch");
+          rmdir (Filename.concat tmp "lib");
+          rmdir tmp)
+        (fun () ->
+          let mkdir p = try Sys.mkdir p 0o755 with Sys_error _ -> () in
+          List.iter
+            (fun sub ->
+              let dir = Filename.concat tmp sub in
+              mkdir tmp;
+              mkdir (Filename.dirname dir);
+              mkdir dir;
+              Out_channel.with_open_text (Filename.concat dir "sa063_cost.ml")
+                (fun oc -> Out_channel.output_string oc src))
+            [ "lib/cost"; "lib/arch" ];
+          let scan sub =
+            Srclint.scan ~rules:(Rules.default_rules ())
+              ~roots:[ Filename.concat tmp sub ] ()
+          in
+          Alcotest.(check int) "fires under lib/cost" 3
+            (count_code "SA063" (scan "lib/cost"));
+          Alcotest.(check int) "silent under lib/arch" 0
+            (count_code "SA063" (scan "lib/arch")))
+    end
+
 (* ------------------------------------------------------------------ *)
 (* The shipping tree satisfies the full production rule set             *)
 (* ------------------------------------------------------------------ *)
@@ -275,6 +319,7 @@ let () =
           Alcotest.test_case "SA063 determinism hazards" `Quick test_fixture_sa063;
           Alcotest.test_case "SA064 exception swallowing" `Quick test_fixture_sa064;
           Alcotest.test_case "SA065 stale suppression" `Quick test_fixture_sa065;
+          Alcotest.test_case "SA063 lib/cost scoping" `Quick test_sa063_cost_scope;
         ] );
       ( "tree",
         [
