@@ -414,11 +414,38 @@ let lint_bench () =
   done;
   let hits = List.length r.Srclint.hits in
   let stale = List.length r.Srclint.stale in
+  let throughput = float_of_int r.Srclint.tokens_seen /. !best in
   Printf.printf
     "lint: %d files, %d tokens, %d hit(s), %d stale, min-of-%d %.4fs (%.0f ktok/s)\n%!"
     r.Srclint.files_scanned r.Srclint.tokens_seen hits stale reps !best
-    (float_of_int r.Srclint.tokens_seen /. !best /. 1e3);
+    (throughput /. 1e3);
   let out = "BENCH_lint.json" in
+  (* regression gate against the committed baseline, before overwriting it:
+     the interprocedural passes must not halve the scan throughput *)
+  let regressed =
+    match
+      if Sys.file_exists out then Json.of_string (In_channel.with_open_text out In_channel.input_all)
+      else Error "no baseline"
+    with
+    | Error _ -> false
+    | Ok j -> (
+      let get f conv = Result.bind (Result.bind (Json.field "lint" j) (Json.field f)) conv in
+      match (get "tokens" Json.as_int, get "wall_s" Json.as_float) with
+      | Ok tokens, Ok wall_s when tokens > 0 && wall_s > 0.0 ->
+        let baseline = float_of_int tokens /. wall_s in
+        if throughput < 0.5 *. baseline then begin
+          Printf.eprintf
+            "lint: throughput %.0f tok/s is below 0.5x the %s baseline (%.0f tok/s)\n"
+            throughput out baseline;
+          true
+        end
+        else begin
+          Printf.printf "lint: throughput gate ok (%.2fx the committed baseline)\n%!"
+            (throughput /. baseline);
+          false
+        end
+      | _ -> false)
+  in
   let oc = open_out out in
   output_string oc
     (Json.to_string_pretty
@@ -439,7 +466,7 @@ let lint_bench () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "lint: wrote %s\n" out;
-  if hits > 0 then exit 1
+  if hits > 0 || regressed then exit 1
 
 (* Cost-model hot path: evaluations/sec of the allocation-free evaluator
    (full and score-only) against the frozen pre-PR evaluator (Model_ref) on

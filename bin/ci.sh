@@ -9,6 +9,9 @@ echo "== dune build"
 dune build
 
 echo "== dune runtest"
+# Includes the Gc ground-truth oracle (test_model_hot "gc oracle"): the
+# SA070 static verdict and the measured minor-heap words must agree, in
+# both directions, or the suite fails.
 dune runtest
 
 echo "== lint (srclint source scan over lib/, bin/ and bench/)"
@@ -17,17 +20,37 @@ dune exec bin/lint_src.exe -- lib bin bench
 echo "== sunstone check --src (the same scan through the CLI, JSON path)"
 dune exec bin/sunstone_cli.exe -- check --src --json >/dev/null
 
-echo "== srclint injection (every daemon-era rule must fire on its fixture)"
+echo "== srclint injection (every daemon-era and hot-path rule must fire on its fixture)"
 # The linter itself is gated the same way as the audit oracles: each
 # deliberately-bad fixture must turn the exit code non-zero, or the rule
 # is vacuous. The fixtures are never compiled, only lexed by the linter.
-for fixture in sa060_block sa061_fd sa062_signal sa063_det sa064_swallow; do
+for fixture in sa060_block sa061_fd sa062_signal sa063_det sa064_swallow \
+  sa070_hot sa071_io sa072_rec sa073_unresolved sa074_stale; do
   if dune exec bin/lint_src.exe -- --unscoped "test/fixtures/srclint/$fixture.ml" >/dev/null 2>&1; then
     echo "srclint injection: $fixture.ml did not fail the lint" >&2
     exit 1
   fi
 done
-echo "srclint injection: ok (all 5 injected faults detected)"
+echo "srclint injection: ok (all 10 injected faults detected)"
+
+echo "== srclint cross-module (interprocedural passes see across files)"
+# The whole point of the project-graph passes: the root file of each pair
+# is provably clean on its own (the old per-file analysis finds nothing)
+# and the hazard only appears when the directory scan resolves the dotted
+# call into the sibling module.
+for pair in sa060_cross:feeder sa070_cross:ticker; do
+  dir=${pair%%:*}
+  root=${pair##*:}
+  if ! dune exec bin/lint_src.exe -- --unscoped "test/fixtures/srclint/$dir/$root.ml" >/dev/null 2>&1; then
+    echo "srclint cross-module: $dir/$root.ml alone was flagged (single-file scan should be clean)" >&2
+    exit 1
+  fi
+  if dune exec bin/lint_src.exe -- --unscoped "test/fixtures/srclint/$dir" >/dev/null 2>&1; then
+    echo "srclint cross-module: $dir did not fail the whole-directory lint" >&2
+    exit 1
+  fi
+done
+echo "srclint cross-module: ok (both pairs clean alone, caught together)"
 
 echo "== sunstone check (static analysis over the registry)"
 dune exec bin/sunstone_cli.exe -- check --admissibility
@@ -163,7 +186,7 @@ dune exec bench/main.exe -- serve-daemon
 echo "== bench telemetry (overhead budget)"
 dune exec bench/main.exe -- telemetry
 
-echo "== bench lint (scan throughput, clean-tree gate)"
+echo "== bench lint (scan throughput >= 0.5x committed baseline, clean-tree gate)"
 dune exec bench/main.exe -- lint
 
 echo "== bench evaluate (cost-model hot path, >=2x gate on hardest kernel)"

@@ -1,10 +1,11 @@
 (* Source lint gate: thin driver over the srclint engine — the Forksafe
-   fork-hygiene rules (SA040-SA044) plus the daemon-era passes (SA060-SA064)
-   with inline (* sunstone-lint: allow ... *) suppressions. Scans lib/ bin/
-   bench/ by default; roots may be directories or single .ml files, and
-   --unscoped drops the production path scoping so ci.sh can point the
-   scanner at a deliberately-bad fixture and demand a non-zero exit.
-   Stale suppressions print as warnings; only hits fail the gate. *)
+   fork-hygiene rules (SA040-SA044), the daemon-era passes (SA061-SA064),
+   and the whole-program passes (cross-module SA060 plus the SA070-SA074
+   hot-path lint) with inline (* sunstone-lint: allow ... *) suppressions.
+   Scans lib/ bin/ bench/ by default; roots may be directories or single
+   .ml files, and --unscoped drops the production path scoping so ci.sh can
+   point the scanner at a deliberately-bad fixture and demand a non-zero
+   exit. Stale suppressions print as warnings; only hits fail the gate. *)
 
 module Srclint = Sun_analysis.Srclint
 module Rules = Sun_analysis.Rules
@@ -22,8 +23,7 @@ let () =
     let base = Rules.default_rules () in
     if unscoped then Rules.unscoped base else base
   in
-  let allowlist = Srclint.load_allowlist "bin/lint_allowlist.txt" in
-  let report = Srclint.scan ~allowlist ~rules ~roots () in
+  let report = Srclint.scan ~rules ~roots () in
   List.iter
     (fun d -> Format.eprintf "%a@." D.pp d)
     report.Srclint.stale;

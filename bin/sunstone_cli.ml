@@ -419,6 +419,32 @@ let check_cmd =
     in
     Arg.(value & opt ~vopt:(Some ".") (some string) None & info [ "src" ] ~docv:"DIR" ~doc)
   in
+  let list_rules_arg =
+    let doc =
+      "Print the full SA diagnostic code table (code, severity, summary, scope) and exit."
+    in
+    Arg.(value & flag & info [ "list-rules" ] ~doc)
+  in
+  let list_rules ~json =
+    let table = Sun_analysis.Diagnostic.rule_table () in
+    if json then begin
+      let entries =
+        List.map
+          (fun (id, sev, summary, scope) ->
+            Printf.sprintf
+              "{\"code\":%S,\"severity\":%S,\"summary\":%S,\"scope\":%S}" id sev summary
+              scope)
+          table
+      in
+      Printf.printf "[%s]\n" (String.concat "," entries)
+    end
+    else
+      List.iter
+        (fun (id, sev, summary, scope) ->
+          Printf.printf "%-6s %-8s %-72s %s\n" id sev summary scope)
+        table;
+    0
+  in
   let check_src ~json dir =
     let roots =
       List.filter
@@ -430,11 +456,7 @@ let check_cmd =
       1
     end
     else begin
-      let allowlist =
-        Sun_analysis.Srclint.load_allowlist
-          (Filename.concat dir (Filename.concat "bin" "lint_allowlist.txt"))
-      in
-      let r = Sun_analysis.Srclint.scan ~allowlist ~roots () in
+      let r = Sun_analysis.Srclint.scan ~roots () in
       print_check_results ~json
         [
           {
@@ -449,7 +471,9 @@ let check_cmd =
         ]
     end
   in
-  let run mapping_file admissibility json src =
+  let run mapping_file admissibility json src list_rules_flag =
+    if list_rules_flag then list_rules ~json
+    else
     match (mapping_file, src) with
     | Some file, _ -> (
       match check_mapping_file file with
@@ -512,9 +536,9 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Run the static-analysis passes: mapping legality, pruning soundness, bound \
-          admissibility, config/arch well-formedness and (with $(b,--src)) the srclint source \
-          scan")
-    Term.(const run $ mapping_arg $ admissibility_arg $ json_arg $ src_arg)
+          admissibility, config/arch well-formedness, (with $(b,--src)) the srclint source \
+          scan, and (with $(b,--list-rules)) the SA code table")
+    Term.(const run $ mapping_arg $ admissibility_arg $ json_arg $ src_arg $ list_rules_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sunstone audit: the mapspace auditor                                 *)
@@ -582,17 +606,13 @@ let audit_cmd =
     let forksafe =
       let root = Filename.concat src "lib" in
       if Sys.file_exists root && Sys.is_directory root then begin
-        let allowlist =
-          Sun_analysis.Forksafe.load_allowlist
-            (Filename.concat src (Filename.concat "bin" "lint_allowlist.txt"))
-        in
-        let r = Sun_analysis.Forksafe.scan ~allowlist ~root () in
+        let r = Sun_analysis.Forksafe.scan ~root () in
         [
           {
             pass = "forksafe";
             subject = root;
             note =
-              Printf.sprintf "%d files scanned, %d allowlisted"
+              Printf.sprintf "%d files scanned, %d suppressed inline"
                 r.Sun_analysis.Forksafe.files_scanned r.Sun_analysis.Forksafe.suppressed;
             diags = Sun_analysis.Forksafe.diagnostics r;
           };

@@ -1,0 +1,66 @@
+(** Allocation summaries and bottom-up propagation for the hot-path passes.
+
+    The summary domain is deliberately tiny: per function a list of direct
+    allocation sites (closure creation, list/array/record/tuple literals,
+    [ref], [@]/[^] appends, allocation-shaped stdlib calls, [sprintf]
+    family, [string_of_*], [raise] with a payload), a list of direct IO or
+    broad-raise sites, and a list of non-tail self-recursion sites. The
+    derived per-node facts {i allocates} / {i does IO} live in the two-point
+    lattice [false < true] with join [||]; {!analyze} condenses the
+    {!Srcmod.project} call graph into SCCs (Tarjan) and joins the flags over
+    the condensation in reverse topological order, so mutual recursion
+    converges in a single pass.
+
+    Known approximation limits, pinned by the runtime [Gc] oracle in
+    [test/test_model_hot.ml]: partial application is outside the static
+    vocabulary (a curried call that builds a closure is not flagged), and
+    float boxing across non-inlined calls is invisible at the token level —
+    both are exactly what the dynamic zero-allocation harness exists to
+    catch. *)
+
+type site = { s_line : int; s_col : int; s_desc : string }
+
+type summary = {
+  alloc_sites : site list;
+  io_sites : site list;
+  nontail_sites : site list;
+}
+
+type ann_kind = Hot | Cold
+
+type annotation = {
+  an_kind : ann_kind;
+  an_line : int;  (** line of the marker comment *)
+  an_target : int;  (** line of the binding it marks *)
+}
+
+val annotations : Lexer.t -> annotation list
+(** Every [(* sunstone-hot *)] / [(* sunstone-cold *)] marker, with the line
+    it targets resolved the same way lint suppressions are. *)
+
+val summarize : Srcmod.t -> Srcmod.binding -> summary
+(** Direct (non-transitive) summary of one toplevel binding's body. *)
+
+type node = {
+  nd_file : int;
+  nd_binding : Srcmod.binding;
+  nd_summary : summary;
+  mutable nd_scc : int;  (** SCC id in the condensation *)
+  mutable nd_allocates : bool;  (** transitively allocates (no cold cutoff) *)
+  mutable nd_io : bool;  (** transitively does IO / broad raise *)
+}
+
+type t = {
+  a_project : Srcmod.project;
+  a_nodes : node array;
+  a_index : (int * string, int) Hashtbl.t;  (** (file, name) -> node index *)
+}
+
+val analyze : Srcmod.project -> t
+(** Summarize every toplevel binding and propagate flags bottom-up over the
+    SCC condensation. The transitive flags ignore [(* sunstone-cold *)]
+    boundaries — the SA070 pass applies those while walking chains, keeping
+    the summary lattice free of policy. *)
+
+val node : t -> int -> string -> node option
+(** Node for the first binding with this name in the given file, if any. *)

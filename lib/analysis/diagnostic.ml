@@ -37,6 +37,11 @@ type code =
   | Nondeterminism
   | Exception_swallowed
   | Stale_suppression
+  | Hot_allocation
+  | Hot_io
+  | Hot_nontail
+  | Hot_unresolved
+  | Hot_stale
 
 type location = {
   level : int option;
@@ -84,6 +89,11 @@ let code_id = function
   | Nondeterminism -> "SA063"
   | Exception_swallowed -> "SA064"
   | Stale_suppression -> "SA065"
+  | Hot_allocation -> "SA070"
+  | Hot_io -> "SA071"
+  | Hot_nontail -> "SA072"
+  | Hot_unresolved -> "SA073"
+  | Hot_stale -> "SA074"
 
 let code_name = function
   | Capacity_overflow -> "capacity-overflow"
@@ -122,6 +132,11 @@ let code_name = function
   | Nondeterminism -> "determinism-hazard"
   | Exception_swallowed -> "exception-swallowed"
   | Stale_suppression -> "stale-suppression"
+  | Hot_allocation -> "hot-path-allocation"
+  | Hot_io -> "hot-path-io"
+  | Hot_nontail -> "hot-path-nontail-recursion"
+  | Hot_unresolved -> "hot-annotation-unresolved"
+  | Hot_stale -> "hot-annotation-stale"
 
 let all_codes =
   [
@@ -132,10 +147,77 @@ let all_codes =
     Audit_skipped; Marshal_outside_pool; Fork_outside_pool; Shared_channel_write;
     Toplevel_mutable; Partial_function; Unit_nonfinite; Unit_negative; Unit_implausible;
     Blocking_in_loop; Fd_leak; Signal_unsafe; Nondeterminism; Exception_swallowed;
-    Stale_suppression;
+    Stale_suppression; Hot_allocation; Hot_io; Hot_nontail; Hot_unresolved; Hot_stale;
   ]
 
 let code_of_id id = List.find_opt (fun c -> code_id c = id) all_codes
+
+let code_summary = function
+  | Capacity_overflow -> "a tile footprint exceeds a partition capacity"
+  | Unroll_overflow -> "a level's spatial product exceeds its fanout"
+  | Bad_coverage -> "per-dim factors missing, duplicated, or not multiplying to the bound"
+  | Bad_order -> "a level's loop order is not a permutation of the workload dims"
+  | Level_mismatch -> "mapping level count differs from the architecture's"
+  | Unknown_dim -> "a factor or order names a dim the workload does not declare"
+  | Nonpositive_factor -> "a temporal or spatial factor below 1"
+  | Pruning_unsound -> "a dim dropped by the search is not a non-reuse dim"
+  | Bound_overshoot -> "committed-level energy exceeds a complete mapping's energy"
+  | Optimum_pruned -> "the alpha-beta search lost the reference optimum"
+  | Arch_malformed -> "interior unbounded level, empty/zero-capacity partition, or bad fanout"
+  | Config_invalid -> "optimizer config outside its documented domain"
+  | Workload_malformed -> "workload breaks its own structural invariants"
+  | Operand_unstored -> "no partition at any level accepts an operand's role"
+  | Order_not_subsumed -> "a pruned loop order has no dominating trie candidate"
+  | Trie_incomplete -> "the order trie misses a signature-distinct order class"
+  | Frontier_not_maximal -> "a tiling frontier point can still grow and fit"
+  | Frontier_overflow -> "a tiling frontier point does not actually fit"
+  | Frontier_incomplete -> "frontier differs from the brute-force maximal set"
+  | Best_mismatch -> "pruned-search best differs from the exhaustive best"
+  | Cost_drift -> "a served mapping's claimed cost differs on re-evaluation"
+  | Audit_skipped -> "an audit oracle was skipped (bounds exceeded)"
+  | Marshal_outside_pool -> "Marshal used outside the fork pool module"
+  | Fork_outside_pool -> "Unix.fork used outside the fork pool module"
+  | Shared_channel_write -> "stdout/stderr write from library (worker-reachable) code"
+  | Toplevel_mutable -> "mutable toplevel state reachable from worker code"
+  | Partial_function -> "banned partial function or escape hatch in lib/"
+  | Unit_nonfinite -> "a cost-model quantity is NaN or infinite"
+  | Unit_negative -> "a cost-model quantity that must be nonnegative is negative"
+  | Unit_implausible -> "a cost-model quantity far outside its plausible range"
+  | Blocking_in_loop -> "blocking syscall reachable from the serve event loop"
+  | Fd_leak -> "fd created but never closed (or forwarded to on_child_fork) in its module"
+  | Signal_unsafe -> "signal handler does more than set a ref/Atomic flag"
+  | Nondeterminism -> "Hashtbl order, wall clock, or Random outside sanctioned modules"
+  | Exception_swallowed -> "try ... with _ -> silently discarding the error in lib/"
+  | Stale_suppression -> "an inline lint suppression matching no hit"
+  | Hot_allocation -> "allocation reachable from a declared hot root"
+  | Hot_io -> "IO or a broad raise reachable from a declared hot root"
+  | Hot_nontail -> "non-tail self-recursion reachable from a declared hot root"
+  | Hot_unresolved -> "a (* sunstone-hot *) annotation the call graph cannot resolve"
+  | Hot_stale -> "a stale or duplicate (* sunstone-hot *) annotation"
+
+let code_scope = function
+  | Capacity_overflow | Unroll_overflow | Bad_coverage | Bad_order | Level_mismatch
+  | Unknown_dim | Nonpositive_factor | Operand_unstored ->
+    "mapping legality"
+  | Pruning_unsound | Bound_overshoot | Optimum_pruned -> "search pruning"
+  | Arch_malformed | Config_invalid | Workload_malformed -> "registry well-formedness"
+  | Order_not_subsumed | Trie_incomplete | Frontier_not_maximal | Frontier_overflow
+  | Frontier_incomplete | Best_mismatch | Cost_drift | Audit_skipped ->
+    "mapspace audit"
+  | Marshal_outside_pool | Fork_outside_pool | Shared_channel_write | Toplevel_mutable
+  | Partial_function ->
+    "src: lib/"
+  | Unit_nonfinite | Unit_negative | Unit_implausible -> "cost-model units"
+  | Blocking_in_loop -> "src: lib/serve"
+  | Fd_leak | Signal_unsafe | Exception_swallowed -> "src: lib/"
+  | Nondeterminism -> "src: lib/serve, lib/cost"
+  | Stale_suppression -> "src: any scanned file"
+  | Hot_allocation | Hot_io | Hot_nontail | Hot_unresolved | Hot_stale ->
+    "src: (* sunstone-hot *) roots, whole program"
+
+let nominal_severity = function
+  | Stale_suppression | Audit_skipped -> Warning
+  | _ -> Error
 
 let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
 
@@ -144,6 +226,11 @@ let severity_of_name = function
   | "warning" -> Some Warning
   | "info" -> Some Info
   | _ -> None
+
+let rule_table () =
+  List.map
+    (fun c -> (code_id c, severity_name (nominal_severity c), code_summary c, code_scope c))
+    all_codes
 
 let no_location = { level = None; dim = None; operand = None; partition = None }
 

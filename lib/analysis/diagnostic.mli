@@ -45,7 +45,12 @@ type code =
   | Signal_unsafe  (** SA062: signal handler does more than set a [ref]/[Atomic] flag *)
   | Nondeterminism  (** SA063: Hashtbl iteration order, wall clock, or [Random] outside sanctioned modules *)
   | Exception_swallowed  (** SA064: [try ... with _ ->] silently discarding the error in lib/ *)
-  | Stale_suppression  (** SA065: a lint suppression (inline or allowlist) matching no hit *)
+  | Stale_suppression  (** SA065: an inline lint suppression matching no hit *)
+  | Hot_allocation  (** SA070: allocation reachable from a [(* sunstone-hot *)] root *)
+  | Hot_io  (** SA071: IO or a broad [raise] reachable from a hot root *)
+  | Hot_nontail  (** SA072: non-tail self-recursion reachable from a hot root *)
+  | Hot_unresolved  (** SA073: hot annotation on a function the call graph cannot find *)
+  | Hot_stale  (** SA074: stale or duplicate hot annotation *)
 
 type location = {
   level : int option;
@@ -67,6 +72,22 @@ val all_codes : code list
 
 val code_of_id : string -> code option
 (** Inverse of {!code_id}; [None] on unknown ids. *)
+
+val code_summary : code -> string
+(** One-line human summary of what the code flags; exhaustive over {!code},
+    so adding a constructor without a summary is a compile error. *)
+
+val code_scope : code -> string
+(** Short description of where the pass looks (registry pass, source subtree,
+    hot roots, ...). *)
+
+val nominal_severity : code -> severity
+(** The severity the code is normally reported at; individual diagnostics may
+    downgrade (e.g. informational skips). *)
+
+val rule_table : unit -> (string * string * string * string) list
+(** [(id, severity, summary, scope)] for every code in {!all_codes}, in SA-id
+    order — the single source of truth behind [sunstone check --list-rules]. *)
 
 val severity_name : severity -> string
 

@@ -9,10 +9,8 @@ let hit_string h = Printf.sprintf "%s:%d:%s" h.file h.line h.text
 
 let diagnostics r = List.map (fun h -> h.diag) r.hits
 
-let load_allowlist = Srclint.load_allowlist
-
-let scan ?(allowlist = []) ~root () =
-  let r = Srclint.scan ~allowlist ~rules:(Rules.forksafe_rules ()) ~roots:[ root ] () in
+let scan ~root () =
+  let r = Srclint.scan ~rules:(Rules.forksafe_rules ()) ~project_rules:[] ~roots:[ root ] () in
   {
     files_scanned = r.Srclint.files_scanned;
     hits =

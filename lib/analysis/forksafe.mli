@@ -14,9 +14,9 @@
     {!Srclint}), so comments and string literals can no longer confuse a
     match, and rule needles are spelled as plain literals instead of the
     old concatenation trick. [Marshal] and [Unix.fork] are still permitted
-    in paths containing ["parpool"], the one module whose job they are, and
-    the legacy fixed-substring allowlist format keeps working (inline
-    [(* sunstone-lint: allow ... *)] comments are the preferred form). *)
+    in paths containing ["parpool"], the one module whose job they are.
+    Inline [(* sunstone-lint: allow ... *)] comments are the only
+    suppression mechanism — legacy allowlist files are gone. *)
 
 type hit = {
   file : string;
@@ -27,7 +27,7 @@ type hit = {
 
 type report = {
   files_scanned : int;
-  hits : hit list;  (** after allowlist suppression *)
+  hits : hit list;  (** after inline suppression *)
   suppressed : int;
 }
 
@@ -37,16 +37,10 @@ val contains_sub : string -> string -> bool
     on pathological lines. *)
 
 val hit_string : hit -> string
-(** Grep-style ["file:line:code"] rendering — the string allowlist entries
-    are matched against. *)
+(** Grep-style ["file:line:code"] rendering. *)
 
 val diagnostics : report -> Diagnostic.t list
 
-val scan : ?allowlist:string list -> root:string -> unit -> report
+val scan : root:string -> unit -> report
 (** Scan every [*.ml] under [root] (skipping [_build] and dot-directories)
-    with the SA040-SA044 rules. [allowlist] entries are fixed substrings; a
-    hit whose {!hit_string} contains any of them is suppressed. *)
-
-val load_allowlist : string -> string list
-(** Parse an allowlist file (blank lines and [#] comments ignored); a
-    missing file is an empty allowlist. *)
+    with the SA040-SA044 rules only (no project passes). *)

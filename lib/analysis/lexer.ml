@@ -8,7 +8,14 @@ type kind =
   | String_lit
   | Char_lit
 
-type token = { t_text : string; t_kind : kind; t_line : int; t_col : int }
+type token = {
+  t_text : string;
+  t_kind : kind;
+  t_line : int;
+  t_col : int;
+  t_start : int;
+  t_end : int;
+}
 type comment = { c_text : string; c_line : int; c_col : int }
 type t = { tokens : token array; comments : comment list }
 
@@ -51,7 +58,14 @@ let lex src =
   in
   let add kind start l c =
     tokens :=
-      { t_text = String.sub src start (!pos - start); t_kind = kind; t_line = l; t_col = c }
+      {
+        t_text = String.sub src start (!pos - start);
+        t_kind = kind;
+        t_line = l;
+        t_col = c;
+        t_start = start;
+        t_end = !pos;
+      }
       :: !tokens
   in
   (* ["..."] with backslash escapes; embedded newlines are tolerated. *)

@@ -32,6 +32,8 @@ type token = {
   t_kind : kind;
   t_line : int;  (** 1-based *)
   t_col : int;  (** 0-based column of the token's first character *)
+  t_start : int;  (** byte offset of the token's first character *)
+  t_end : int;  (** byte offset one past the token's last character *)
 }
 
 type comment = {

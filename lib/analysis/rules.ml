@@ -280,37 +280,10 @@ let blocking_needles =
     [ "In_channel"; "input_lines" ];
   ]
 
-let blocking_in_loop_rule ~exempt =
-  {
-    r_code = D.Blocking_in_loop;
-    r_name = "blocking-in-event-loop";
-    r_exempt = exempt;
-    r_check =
-      (fun sm ->
-        match Srcmod.reachable_from sm "serve" with
-        | [] -> []
-        | reach ->
-          List.filter_map
-            (fun occ ->
-              match
-                List.find_opt (fun nd -> Srcmod.matches sm nd occ) blocking_needles
-              with
-              | None -> None
-              | Some nd -> (
-                match Srcmod.enclosing_binding sm occ.Srcmod.o_index with
-                | None -> None
-                | Some b -> (
-                  match List.assoc_opt b.Srcmod.b_name reach with
-                  | None -> None
-                  | Some chain ->
-                    Some
-                      (finding D.Blocking_in_loop occ
-                         (Printf.sprintf
-                            "%s blocks the single-threaded event loop (reachable via %s)"
-                            (path_str nd)
-                            (String.concat " -> " chain))))))
-            sm.Srcmod.sm_occurrences);
-  }
+(* SA060 now runs on the whole-program call graph — see
+   [blocking_project_rule] below. The per-file rule record is gone; the
+   project pass subsumes it (a single-file project degenerates to exactly
+   the old intra-module analysis, chains and all). *)
 
 (* ------------------------------------------------------------------ *)
 (* SA061: fd discipline                                                 *)
@@ -700,12 +673,219 @@ let swallow_rule ~exempt =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Project rules: whole-program passes over the cross-module call graph *)
+(* ------------------------------------------------------------------ *)
+
+type project_finding = { pf_file : int; pf_finding : finding }
+
+type project_rule = { pr_name : string; pr_check : Srcmod.project -> project_finding list }
+
+(* Occurrences of [file] that sit inside [b]'s body. *)
+let body_occs (t : Srcmod.t) (b : Srcmod.binding) =
+  List.filter
+    (fun (o : Srcmod.occurrence) ->
+      o.Srcmod.o_index >= b.Srcmod.b_body_start && o.Srcmod.o_index <= b.Srcmod.b_body_end)
+    t.Srcmod.sm_occurrences
+
+(* SA060 on the project graph: from every [serve] root, walk the
+   cross-module reachable set (fixtures with a local [serve] binding work
+   unchanged) and flag blocking needles inside any reached body. The fork
+   pool is fenced off: its waitpid/worker plumbing runs on the parent side
+   of a fork, never inside the select loop. *)
+let blocking_project_rule =
+  {
+    pr_name = "blocking-in-event-loop";
+    pr_check =
+      (fun p ->
+        let files = p.Srcmod.p_files in
+        let out = ref [] in
+        Array.iteri
+          (fun fi (t : Srcmod.t) ->
+            if (not (in_parpool t.Srcmod.sm_path)) && Srcmod.binding_named t "serve" <> None
+            then
+              List.iter
+                (fun ((fj, b, chain) : int * Srcmod.binding * string list) ->
+                  let tj = files.(fj) in
+                  List.iter
+                    (fun occ ->
+                      match
+                        List.find_opt (fun nd -> Srcmod.matches tj nd occ) blocking_needles
+                      with
+                      | None -> ()
+                      | Some nd ->
+                        out :=
+                          {
+                            pf_file = fj;
+                            pf_finding =
+                              finding D.Blocking_in_loop occ
+                                (Printf.sprintf
+                                   "%s blocks the single-threaded event loop (reachable via \
+                                    %s)"
+                                   (path_str nd)
+                                   (String.concat " -> " chain));
+                          }
+                          :: !out)
+                    (body_occs tj b))
+                (Srcmod.project_reachable p ~file:fi "serve"
+                   ~stop:(fun fj _ -> in_parpool files.(fj).Srcmod.sm_path)))
+          files;
+        List.rev !out);
+  }
+
+(* SA070-SA074: the hot-path passes. One combined pass so the annotation
+   table, the allocation summaries and the SCC analysis are built once. *)
+let hot_project_rule =
+  {
+    pr_name = "hot-path";
+    pr_check =
+      (fun p ->
+        let files = p.Srcmod.p_files in
+        let nf = Array.length files in
+        let az = Allocsum.analyze p in
+        let anns = Array.init nf (fun fi -> Allocsum.annotations files.(fi).Srcmod.sm_lex) in
+        let binding_at fi line =
+          List.find_opt
+            (fun (b : Srcmod.binding) -> b.Srcmod.b_line = line)
+            files.(fi).Srcmod.sm_bindings
+        in
+        let out = ref [] in
+        let emit fi f = out := { pf_file = fi; pf_finding = f } :: !out in
+        (* cold boundaries: reachability stops at these bindings *)
+        let cold = Hashtbl.create 8 in
+        for fi = 0 to nf - 1 do
+          List.iter
+            (fun (a : Allocsum.annotation) ->
+              if a.Allocsum.an_kind = Allocsum.Cold then
+                match binding_at fi a.Allocsum.an_target with
+                | Some b -> Hashtbl.replace cold (fi, b.Srcmod.b_name) ()
+                | None -> ())
+            anns.(fi)
+        done;
+        (* SA073 / SA074: resolve and vet every hot annotation first *)
+        let roots = ref [] in
+        let seen_root = Hashtbl.create 8 in
+        for fi = 0 to nf - 1 do
+          List.iter
+            (fun (a : Allocsum.annotation) ->
+              match binding_at fi a.Allocsum.an_target with
+              | None ->
+                emit fi
+                  {
+                    f_line = a.Allocsum.an_line;
+                    f_col = 0;
+                    f_code = D.Hot_unresolved;
+                    f_message =
+                      Printf.sprintf
+                        "(* sunstone-%s *) targets line %d but no toplevel binding starts \
+                         there"
+                        (match a.Allocsum.an_kind with Allocsum.Hot -> "hot" | _ -> "cold")
+                        a.Allocsum.an_target;
+                  }
+              | Some b when a.Allocsum.an_kind = Allocsum.Hot ->
+                if not b.Srcmod.b_params then
+                  emit fi
+                    {
+                      f_line = a.Allocsum.an_line;
+                      f_col = 0;
+                      f_code = D.Hot_stale;
+                      f_message =
+                        Printf.sprintf
+                          "(* sunstone-hot *) on '%s', a parameterless binding — hot roots \
+                           must be functions"
+                          b.Srcmod.b_name;
+                    }
+                else if Hashtbl.mem seen_root (fi, b.Srcmod.b_name) then
+                  emit fi
+                    {
+                      f_line = a.Allocsum.an_line;
+                      f_col = 0;
+                      f_code = D.Hot_stale;
+                      f_message =
+                        Printf.sprintf "duplicate (* sunstone-hot *) on '%s'" b.Srcmod.b_name;
+                    }
+                else begin
+                  Hashtbl.replace seen_root (fi, b.Srcmod.b_name) ();
+                  roots := (fi, b.Srcmod.b_name) :: !roots
+                end
+              | Some _ -> ())
+            anns.(fi)
+        done;
+        (* SA070 / SA071 / SA072 over the reachable set of each hot root *)
+        let seen_site = Hashtbl.create 64 in
+        let site_once fj code (s : Allocsum.site) k =
+          let key = (fj, s.Allocsum.s_line, s.Allocsum.s_col, D.code_id code) in
+          if not (Hashtbl.mem seen_site key) then begin
+            Hashtbl.replace seen_site key ();
+            k ()
+          end
+        in
+        List.iter
+          (fun (fi, root) ->
+            let display = String.concat " -> " in
+            List.iter
+              (fun ((fj, b, chain) : int * Srcmod.binding * string list) ->
+                let summary =
+                  match Allocsum.node az fj b.Srcmod.b_name with
+                  | Some nd -> nd.Allocsum.nd_summary
+                  | None -> Allocsum.summarize files.(fj) b
+                in
+                List.iter
+                  (fun (s : Allocsum.site) ->
+                    site_once fj D.Hot_allocation s (fun () ->
+                        emit fj
+                          {
+                            f_line = s.Allocsum.s_line;
+                            f_col = s.Allocsum.s_col;
+                            f_code = D.Hot_allocation;
+                            f_message =
+                              Printf.sprintf "%s allocates on the hot path (root %s, via %s)"
+                                s.Allocsum.s_desc root (display chain);
+                          }))
+                  summary.Allocsum.alloc_sites;
+                List.iter
+                  (fun (s : Allocsum.site) ->
+                    site_once fj D.Hot_io s (fun () ->
+                        emit fj
+                          {
+                            f_line = s.Allocsum.s_line;
+                            f_col = s.Allocsum.s_col;
+                            f_code = D.Hot_io;
+                            f_message =
+                              Printf.sprintf
+                                "%s does IO or raises broadly on the hot path (root %s, via \
+                                 %s)"
+                                s.Allocsum.s_desc root (display chain);
+                          }))
+                  summary.Allocsum.io_sites;
+                List.iter
+                  (fun (s : Allocsum.site) ->
+                    site_once fj D.Hot_nontail s (fun () ->
+                        emit fj
+                          {
+                            f_line = s.Allocsum.s_line;
+                            f_col = s.Allocsum.s_col;
+                            f_code = D.Hot_nontail;
+                            f_message =
+                              Printf.sprintf
+                                "non-tail self-recursion in '%s' on the hot path (root %s, \
+                                 via %s)"
+                                b.Srcmod.b_name root (display chain);
+                          }))
+                  summary.Allocsum.nontail_sites)
+              (Srcmod.project_reachable p ~file:fi root ~stop:(fun fj name ->
+                   Hashtbl.mem cold (fj, name))))
+          (List.rev !roots);
+        List.rev !out);
+  }
+
+let project_rules () = [ blocking_project_rule; hot_project_rule ]
+
+(* ------------------------------------------------------------------ *)
 (* Rule sets                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let daemon_rules () =
   [
-    blocking_in_loop_rule ~exempt:no_exemption;
     fd_leak_rule ~exempt:no_exemption;
     signal_rule ~exempt:no_exemption;
     (* cost joined serve in SA063's scope when the probe memo landed: the

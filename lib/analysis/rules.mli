@@ -7,12 +7,20 @@
       plain string literals — the lexer never matches inside literals, so
       the old trick of spelling needles via [String.concat] to avoid
       self-tripping is retired.
-    - {b daemon} (SA060–SA064): event-loop, fd, signal, determinism, and
+    - {b daemon} (SA061–SA064): fd, signal, determinism, and
       exception-swallowing passes introduced with the serve daemon.
 
     Each rule carries its production path scope as an exemption predicate;
     {!unscoped} strips the predicates so fixtures under [test/] exercise
-    every rule. *)
+    every rule.
+
+    A third family runs on the {!Srcmod.project} call graph rather than one
+    file at a time: SA060 (blocking reachable from the [serve] event loop,
+    now across files) and the SA070–SA074 hot-path passes driven by
+    [(* sunstone-hot *)] / [(* sunstone-cold *)] annotations and the
+    {!Allocsum} summaries. These {!project_rule}s always run inside
+    [Srclint.scan]; there is no scoping to strip — a single-file project
+    degenerates to the old intra-module behavior. *)
 
 type finding = {
   f_line : int;
@@ -34,10 +42,30 @@ val forksafe_rules : unit -> rule list
     ["telemetry"], stdout writes in ["telemetry"]/["table_fmt"]. *)
 
 val daemon_rules : unit -> rule list
-(** SA060–SA064 with production scoping: SA060–SA062 everywhere,
-    SA063's sub-rules scoped per hazard (Hashtbl order in [lib/serve],
-    wall clock in [lib/] outside [stopwatch]/[telemetry], [Random]
-    outside [rng]), SA064 in [lib/]. *)
+(** SA061–SA064 with production scoping: SA061–SA062 everywhere,
+    SA063's sub-rules scoped per hazard (Hashtbl order in [lib/serve] and
+    [lib/cost], wall clock in [lib/] outside [stopwatch]/[telemetry],
+    [Random] outside [rng]), SA064 in [lib/]. SA060 lives in
+    {!project_rules} now. *)
+
+type project_finding = {
+  pf_file : int;  (** index into the project's file array *)
+  pf_finding : finding;
+}
+
+type project_rule = {
+  pr_name : string;
+  pr_check : Srcmod.project -> project_finding list;
+}
+
+val project_rules : unit -> project_rule list
+(** The whole-program passes: SA060 (blocking reachable from [serve],
+    cross-module, with the fork pool fenced off) and the combined
+    SA070–SA074 hot-path pass (allocation / IO / non-tail recursion
+    reachable from [(* sunstone-hot *)] roots, plus unresolved and stale
+    annotations). Chain rendering in messages is part of the output
+    contract: nodes in the root's own file print bare, others as
+    [Module.name], joined by [" -> "]. *)
 
 val default_rules : unit -> rule list
 (** [forksafe_rules] scoped to [lib/] plus [daemon_rules]: the production

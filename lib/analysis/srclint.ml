@@ -39,79 +39,74 @@ let hit_string h = Printf.sprintf "%s:%d:%s" h.h_path h.h_line h.h_text
 
 let diagnostics r = List.map (fun h -> h.h_diag) r.hits @ r.stale
 
-let load_allowlist path =
-  if not (Sys.file_exists path) then []
-  else
-    In_channel.with_open_text path In_channel.input_lines
-    |> List.filter_map (fun l ->
-           let l = String.trim l in
-           if l = "" || l.[0] = '#' then None else Some l)
-
-let scan ?(allowlist = []) ?rules ~roots () =
+(* Two-phase scan: load and model every file first (the project rules need
+   the whole program), then run the per-file rules, then the project rules —
+   routing every project finding through its owning file's inline
+   suppressions so (* sunstone-lint: allow SA070 ... *) works identically
+   for both rule families. Stale-suppression warnings come last, after both
+   families had their chance to mark a suppression used. *)
+let scan ?rules ?project_rules ~roots () =
   let rules = match rules with Some r -> r | None -> Rules.default_rules () in
-  let files = List.concat_map walk roots in
-  let allow = List.map (fun e -> (e, ref false)) allowlist in
-  let suppressed = ref 0 in
-  let tokens = ref 0 in
-  let stale = ref [] in
-  let hits = ref [] in
-  List.iter
-    (fun path ->
-      match In_channel.with_open_text path In_channel.input_all with
-      | exception Sys_error _ -> ()
-      | src ->
-        let sm = Srcmod.of_source ~path src in
-        tokens := !tokens + Array.length sm.Srcmod.sm_lex.Lexer.tokens;
-        let sups = Suppress.collect sm.Srcmod.sm_lex in
-        List.iter
-          (fun (r : Rules.rule) ->
-            if not (r.Rules.r_exempt path) then
-              List.iter
-                (fun (f : Rules.finding) ->
-                  let code = D.code_id f.Rules.f_code in
-                  if Suppress.suppresses sups ~code ~line:f.Rules.f_line then
-                    incr suppressed
-                  else begin
-                    let h =
-                      {
-                        h_path = path;
-                        h_line = f.Rules.f_line;
-                        h_col = f.Rules.f_col;
-                        h_text = Srcmod.line_text sm f.Rules.f_line;
-                        h_diag =
-                          D.error f.Rules.f_code
-                            (Printf.sprintf "%s:%d: %s" path f.Rules.f_line
-                               f.Rules.f_message);
-                      }
-                    in
-                    match
-                      List.find_opt
-                        (fun (e, _) -> Rules.contains_sub (hit_string h) e)
-                        allow
-                    with
-                    | Some (_, used) ->
-                      used := true;
-                      incr suppressed
-                    | None -> hits := h :: !hits
-                  end)
-                (r.Rules.r_check sm))
-          rules;
-        stale := !stale @ Suppress.stale ~path sups)
-    files;
-  let stale_allow =
-    List.filter_map
-      (fun (e, used) ->
-        if !used then None
-        else
-          Some
-            (D.warning D.Stale_suppression
-               (Printf.sprintf "allowlist entry '%s' matches no diagnostic" e)))
-      allow
+  let project_rules =
+    match project_rules with Some r -> r | None -> Rules.project_rules ()
   in
+  let files = List.concat_map walk roots in
+  let models =
+    List.filter_map
+      (fun path ->
+        match In_channel.with_open_text path In_channel.input_all with
+        | exception Sys_error _ -> None
+        | src -> Some (Srcmod.of_source ~path src))
+      files
+  in
+  let marr = Array.of_list models in
+  let sups = Array.map (fun sm -> Suppress.collect sm.Srcmod.sm_lex) marr in
+  let tokens =
+    Array.fold_left (fun acc sm -> acc + Array.length sm.Srcmod.sm_lex.Lexer.tokens) 0 marr
+  in
+  let suppressed = ref 0 in
+  let hits = ref [] in
+  let record fi (f : Rules.finding) =
+    let sm = marr.(fi) in
+    let path = sm.Srcmod.sm_path in
+    let code = D.code_id f.Rules.f_code in
+    if Suppress.suppresses sups.(fi) ~code ~line:f.Rules.f_line then incr suppressed
+    else
+      hits :=
+        {
+          h_path = path;
+          h_line = f.Rules.f_line;
+          h_col = f.Rules.f_col;
+          h_text = Srcmod.line_text sm f.Rules.f_line;
+          h_diag =
+            D.error f.Rules.f_code
+              (Printf.sprintf "%s:%d: %s" path f.Rules.f_line f.Rules.f_message);
+        }
+        :: !hits
+  in
+  Array.iteri
+    (fun fi sm ->
+      let path = sm.Srcmod.sm_path in
+      List.iter
+        (fun (r : Rules.rule) ->
+          if not (r.Rules.r_exempt path) then List.iter (record fi) (r.Rules.r_check sm))
+        rules)
+    marr;
+  let project = Srcmod.project_of_files models in
+  List.iter
+    (fun (pr : Rules.project_rule) ->
+      List.iter
+        (fun (pf : Rules.project_finding) -> record pf.Rules.pf_file pf.Rules.pf_finding)
+        (pr.Rules.pr_check project))
+    project_rules;
+  let stale = ref [] in
+  Array.iteri
+    (fun fi sm -> stale := !stale @ Suppress.stale ~path:sm.Srcmod.sm_path sups.(fi))
+    marr;
   {
-    files_scanned = List.length files;
-    tokens_seen = !tokens;
+    files_scanned = Array.length marr;
+    tokens_seen = tokens;
     hits = List.rev !hits;
     suppressed = !suppressed;
-    stale = !stale @ stale_allow;
+    stale = !stale;
   }

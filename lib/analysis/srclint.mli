@@ -1,10 +1,11 @@
-(** The srclint scan driver: walk roots, run {!Rules} over each file's
-    {!Srcmod} model, apply inline {!Suppress} comments and the legacy
-    fixed-substring allowlist, and report structured {!Diagnostic}s.
+(** The srclint scan driver: walk roots, model every file, run the
+    per-file {!Rules} and the whole-program {!Rules.project_rules} (the
+    cross-module SA060 and the SA070–SA074 hot-path passes), apply inline
+    {!Suppress} comments, and report structured {!Diagnostic}s.
 
-    Hits are errors; stale suppressions (inline comments or allowlist
-    entries that matched nothing) are SA065 warnings, so a silenced rule
-    cannot rot without being seen. *)
+    Hits are errors; stale inline suppressions are SA065 warnings, so a
+    silenced rule cannot rot without being seen. Inline comments are the
+    only suppression mechanism — the legacy allowlist files are gone. *)
 
 type hit = {
   h_path : string;
@@ -18,7 +19,7 @@ type report = {
   files_scanned : int;
   tokens_seen : int;
   hits : hit list;  (** after suppression, in file/rule order *)
-  suppressed : int;  (** inline-suppressed plus allowlisted *)
+  suppressed : int;  (** inline-suppressed findings *)
   stale : Diagnostic.t list;  (** SA065 warnings *)
 }
 
@@ -28,19 +29,19 @@ val walk : string -> string list
     latter lets ci.sh point the scanner at a single bad fixture. *)
 
 val hit_string : hit -> string
-(** Grep-style ["path:line:text"] — the string allowlist entries match
-    against, unchanged from the old Forksafe format. *)
+(** Grep-style ["path:line:text"]. *)
 
 val diagnostics : report -> Diagnostic.t list
 (** Hit diagnostics followed by stale-suppression warnings. *)
 
 val scan :
-  ?allowlist:string list -> ?rules:Rules.rule list -> roots:string list -> unit -> report
+  ?rules:Rules.rule list ->
+  ?project_rules:Rules.project_rule list ->
+  roots:string list ->
+  unit ->
+  report
 (** Scan every file under [roots]. [rules] defaults to
     {!Rules.default_rules}; pass [Rules.unscoped] rules to lint fixtures.
-    [allowlist] entries are legacy fixed substrings matched against
-    {!hit_string}; entries that match nothing become SA065 warnings. *)
-
-val load_allowlist : string -> string list
-(** Parse an allowlist file (blank lines and [#] comments ignored); a
-    missing file is an empty allowlist. *)
+    [project_rules] defaults to {!Rules.project_rules} and runs regardless
+    of which per-file rules were chosen — the production clean-tree gate and
+    the fixture gates exercise the same whole-program passes. *)

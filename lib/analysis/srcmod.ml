@@ -242,6 +242,163 @@ let matches t needle occ =
     && binding_named t x = None
   | _ -> false
 
+(* ------------------------------------------------------------------ *)
+(* Whole-program call graph                                             *)
+(* ------------------------------------------------------------------ *)
+
+type project = {
+  p_files : t array;
+  p_dirs : string array;
+  p_modules : string array;
+  p_index : (string * string, int) Hashtbl.t;
+  p_lib_dirs : (string, string) Hashtbl.t;
+}
+
+let file_module path = String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+(* First [(name x)] in a dune file; capitalized it is the library prefix
+   under which wrapped modules appear ([lib/cost/dune]'s [sun_cost] makes
+   [Sun_cost.Model.f] resolve to [lib/cost/model.ml]'s [f]). Executable
+   stanzas yield a harmless never-referenced prefix. *)
+let dune_lib_prefix dir =
+  let dune = Filename.concat dir "dune" in
+  if not (Sys.file_exists dune) then None
+  else begin
+    let ic = open_in_bin dune in
+    let len = in_channel_length ic in
+    let src = really_input_string ic len in
+    close_in ic;
+    let n = String.length src in
+    let needle = "(name" in
+    let rec find i =
+      if i + String.length needle > n then None
+      else if String.sub src i (String.length needle) = needle then Some (i + String.length needle)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some j ->
+      let j = ref j in
+      while !j < n && (src.[!j] = ' ' || src.[!j] = '\t' || src.[!j] = '\n') do incr j done;
+      let k = ref !j in
+      while
+        !k < n
+        && (match src.[!k] with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+      do
+        incr k
+      done;
+      if !k = !j then None else Some (String.capitalize_ascii (String.sub src !j (!k - !j)))
+  end
+
+let project_of_files files =
+  let p_files = Array.of_list files in
+  let nf = Array.length p_files in
+  let p_dirs = Array.map (fun t -> Filename.dirname t.sm_path) p_files in
+  let p_modules = Array.map (fun t -> file_module t.sm_path) p_files in
+  let p_index = Hashtbl.create (2 * nf) in
+  for i = nf - 1 downto 0 do
+    Hashtbl.replace p_index (p_dirs.(i), p_modules.(i)) i
+  done;
+  let p_lib_dirs = Hashtbl.create 16 in
+  let seen_dirs = Hashtbl.create 16 in
+  Array.iter
+    (fun dir ->
+      if not (Hashtbl.mem seen_dirs dir) then begin
+        Hashtbl.replace seen_dirs dir ();
+        match dune_lib_prefix dir with
+        | Some prefix when not (Hashtbl.mem p_lib_dirs prefix) ->
+          Hashtbl.replace p_lib_dirs prefix dir
+        | _ -> ()
+      end)
+    p_dirs;
+  { p_files; p_dirs; p_modules; p_index; p_lib_dirs }
+
+(* Resolve a fully-resolved occurrence path seen in file [fi] to a toplevel
+   binding somewhere in the project. [M.x] is a same-directory module (the
+   only modules visible unqualified inside a wrapped library), [Lib.M.x]
+   goes through the dune library-prefix map. Deeper paths are submodule
+   accesses whose bindings are not toplevel items — skipped, erring toward
+   silence exactly like the per-file approximation. *)
+let resolve_components p fi path =
+  match path with
+  | [ m; x ] -> (
+    match Hashtbl.find_opt p.p_index (p.p_dirs.(fi), m) with
+    | Some fj -> (
+      match binding_named p.p_files.(fj) x with Some b -> Some (fj, b) | None -> None)
+    | None -> None)
+  | [ l; m; x ] -> (
+    match Hashtbl.find_opt p.p_lib_dirs l with
+    | Some dir -> (
+      match Hashtbl.find_opt p.p_index (dir, m) with
+      | Some fj -> (
+        match binding_named p.p_files.(fj) x with Some b -> Some (fj, b) | None -> None)
+      | None -> None)
+    | None -> None)
+  | _ -> None
+
+let resolve_call p fi occ =
+  let t = p.p_files.(fi) in
+  let rec via_opens = function
+    | [] -> None
+    | o :: rest -> (
+      match resolve_components p fi (o @ occ.o_path) with
+      | Some r -> Some r
+      | None -> via_opens rest)
+  in
+  match occ.o_path with
+  | [ x ] when occ.o_bare -> (
+    match binding_named t x with
+    | Some b -> Some (fi, b)
+    | None -> via_opens t.sm_opens)
+  | [ _ ] -> None
+  | path -> (
+    match resolve_components p fi path with Some r -> Some r | None -> via_opens t.sm_opens)
+
+let callees p fi (b : binding) =
+  let t = p.p_files.(fi) in
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun occ ->
+      if occ.o_index >= b.b_body_start && occ.o_index <= b.b_body_end then
+        match resolve_call p fi occ with
+        | Some (fj, bj) ->
+          if Hashtbl.mem seen (fj, bj.b_name) then None
+          else begin
+            Hashtbl.replace seen (fj, bj.b_name) ();
+            Some (fj, bj)
+          end
+        | None -> None
+      else None)
+    t.sm_occurrences
+
+let display_name p ~root_file fj name =
+  if fj = root_file then name else p.p_modules.(fj) ^ "." ^ name
+
+let project_reachable ?(stop = fun _ _ -> false) p ~file root =
+  match binding_named p.p_files.(file) root with
+  | None -> []
+  | Some b0 ->
+    if stop file root then []
+    else begin
+      let visited = Hashtbl.create 32 in
+      let order = ref [] in
+      let queue = Queue.create () in
+      Queue.add (file, b0, [ root ]) queue;
+      Hashtbl.replace visited (file, root) ();
+      while not (Queue.is_empty queue) do
+        let fi, b, chain = Queue.take queue in
+        order := (fi, b, List.rev chain) :: !order;
+        List.iter
+          (fun (fj, bj) ->
+            if (not (Hashtbl.mem visited (fj, bj.b_name))) && not (stop fj bj.b_name) then begin
+              Hashtbl.replace visited (fj, bj.b_name) ();
+              Queue.add (fj, bj, display_name p ~root_file:file fj bj.b_name :: chain) queue
+            end)
+          (callees p fi b)
+      done;
+      List.rev !order
+    end
+
 let reachable_from t root =
   match binding_named t root with
   | None -> []

@@ -65,3 +65,51 @@ val reachable_from : t -> string -> (string * string list) list
     references, as [(name, call chain from the root)] pairs; the root
     itself is included with a singleton chain. Empty when the root does
     not exist. *)
+
+(** {1 Whole-program call graph}
+
+    A {!project} stitches the per-file models into one graph whose nodes are
+    [(file index, toplevel binding)] pairs. Dotted calls resolve across
+    files: [M.x] to the same-directory module file [m.ml], [Lib.M.x] through
+    the directory's [dune] [(name ...)] library prefix (so
+    [Sun_cost.Model.evaluate_ctx] reaches [lib/cost/model.ml]), and bare or
+    short paths additionally through the file's toplevel [open]s. Deeper
+    paths are submodule accesses whose targets are not toplevel bindings and
+    are deliberately skipped — like everything in this engine, resolution
+    errs toward silence. *)
+
+type project = {
+  p_files : t array;
+  p_dirs : string array;  (** [Filename.dirname] per file *)
+  p_modules : string array;  (** capitalized basename, e.g. ["Model"] *)
+  p_index : (string * string, int) Hashtbl.t;  (** (dir, Module) -> file index *)
+  p_lib_dirs : (string, string) Hashtbl.t;  (** dune library prefix -> dir *)
+}
+
+val file_module : string -> string
+(** ["lib/cost/model.ml"] -> ["Model"]. *)
+
+val project_of_files : t list -> project
+(** Build the project graph; reads each distinct directory's [dune] file (if
+    any) to learn library prefixes. Directories without a [dune] file (e.g.
+    fixture trees) still resolve same-directory [M.x] calls. *)
+
+val resolve_call : project -> int -> occurrence -> (int * binding) option
+(** Resolve one occurrence seen in the given file to its target binding,
+    or [None] when it does not denote a toplevel binding in the project. *)
+
+val callees : project -> int -> binding -> (int * binding) list
+(** Distinct call-graph successors of a binding, in first-occurrence order. *)
+
+val project_reachable :
+  ?stop:(int -> string -> bool) ->
+  project ->
+  file:int ->
+  string ->
+  (int * binding * string list) list
+(** Bindings reachable from the named root in the given file, as
+    [(file, binding, display chain)] triples; the chain starts at the root
+    and renders intra-file nodes bare and cross-file nodes as [Module.name].
+    Nodes for which [stop] holds are not visited (and not expanded) — the
+    hook behind [(* sunstone-cold *)] boundaries and scope fences. Empty
+    when the root does not exist. *)

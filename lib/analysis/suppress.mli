@@ -1,7 +1,5 @@
-(** Inline lint suppressions.
-
-    The engine-wide replacement for the global [bin/lint_allowlist.txt]: a
-    comment of the form
+(** Inline lint suppressions — the only suppression mechanism the engine
+    supports (legacy allowlist files are gone). A comment of the form
 
     {[ (* sunstone-lint: allow SA044 reason why this site is fine *) ]}
 
@@ -24,6 +22,11 @@ type suppression = {
 
 val collect : Lexer.t -> suppression list
 (** Parse every suppression comment in a lexed file. *)
+
+val target_line : Lexer.t -> Lexer.comment -> int
+(** The line a marker comment applies to: its own line when it shares the
+    line with preceding code, else the next token-carrying line. Shared with
+    the hot/cold annotation parser in {!Allocsum}. *)
 
 val suppresses : suppression list -> code:string -> line:int -> bool
 (** True when some suppression covers [code] on [line]; marks it used. *)

@@ -25,10 +25,14 @@ type cost = {
 }
 
 type score = {
-  s_energy_pj : float;
-  s_cycles : float;
-  s_edp : float;
+  mutable s_energy_pj : float;
+  mutable s_cycles : float;
+  mutable s_edp : float;
 }
+
+(* A fresh, caller-owned copy of a (possibly context-owned) score. *)
+(* sunstone-lint: allow SA070 copying is this function's whole point; batch members must outlive the context scratch *)
+let copy_score s = { s_energy_pj = s.s_energy_pj; s_cycles = s.s_cycles; s_edp = s.s_edp }
 
 (* ------------------------------------------------------------------ *)
 (* Context: everything derivable from (workload, arch, binding) alone   *)
@@ -80,6 +84,8 @@ type fscratch = {
   mutable f_energy : float;  (** eval_core result: total energy (pJ) *)
   mutable f_cycles : float;  (** eval_core result: cycles *)
   mutable f_mac : float;  (** eval_core result: MAC energy (pJ) *)
+  mutable f_fp : float;  (** [footprint_into] result *)
+  mutable f_esum : float;  (** eval_core's per-gid energy sum (pJ) *)
 }
 
 type ctx = {
@@ -108,7 +114,8 @@ type ctx = {
   sc_used : U.word U.count U.Arr.arr;  (** per gid, validation *)
   sc_energy : U.energy U.Arr.arr;  (** per gid *)
   sc_words : U.access U.count U.Arr.arr;  (** per gid *)
-  mutable sc_transfers : transfer list;  (** details-mode accumulator *)
+  sc_score : score;  (** the context-owned score [score_ctx] returns *)
+  sc_score_ok : (score, string) result;  (** preallocated [Ok sc_score] *)
   mutable sc_violation : string option;  (** first validation violation *)
   mutable sc_stopped : bool;  (** chain_pair's reuse-scan state *)
 }
@@ -190,6 +197,7 @@ let context ?(binding = Fun.id) w arch =
         else acc)
       None operands
   in
+  let sc_score = { s_energy_pj = 0.0; s_cycles = 0.0; s_edp = 0.0 } in
   {
     w;
     arch;
@@ -232,11 +240,14 @@ let context ?(binding = Fun.id) w arch =
         f_energy = 0.0;
         f_cycles = 0.0;
         f_mac = 0.0;
+        f_fp = 1.0;
+        f_esum = 0.0;
       };
     sc_used = U.Arr.make nparts;
     sc_energy = U.Arr.make nparts;
     sc_words = U.Arr.make nparts;
-    sc_transfers = [];
+    sc_score;
+    sc_score_ok = Ok sc_score;
     sc_violation = None;
     sc_stopped = false;
   }
@@ -276,6 +287,14 @@ let rec fill_order ctx row i = function
     Array.unsafe_set row i (dim_index ctx i d);
     fill_order ctx row (i + 1) rest
 
+(* Toplevel, not a local [let rec]: a local recursive loop closing over the
+   row would allocate its closure on every call (classic ocamlopt does no
+   lambda-lifting); a toplevel function with the row as a parameter costs
+   nothing, and its int accumulator stays in a register across the
+   self-tail-call. *)
+let rec sprod_loop srow d n acc =
+  if d >= n then acc else sprod_loop srow (d + 1) n (acc * Array.unsafe_get srow d)
+
 (* Overwrite the context's layout scratch with mapping [m]. *)
 let convert_into ctx (m : M.t) =
   let lay = ctx.lay in
@@ -291,13 +310,11 @@ let convert_into ctx (m : M.t) =
     fill_factors ctx trow 0 lm.M.temporal;
     fill_factors ctx srow 0 lm.M.spatial;
     let olen = List.length lm.M.order in
+    (* sunstone-lint: allow SA070 order row grows to the largest olen seen, then steady state *)
     if olen > Array.length lay.order.(l) then lay.order.(l) <- Array.make olen 0;
     lay.olen.(l) <- olen;
     ignore (fill_order ctx lay.order.(l) 0 lm.M.order);
-    let rec sprod d acc =
-      if d >= ctx.ndims then acc else sprod (d + 1) (acc * Array.unsafe_get srow d)
-    in
-    lay.sprod.(l) <- sprod 0 1
+    lay.sprod.(l) <- sprod_loop srow 0 ctx.ndims 1
   done;
   for l = 0 to n - 1 do
     let crow = lay.cum.(l) and trow = lay.t.(l) and srow = lay.s.(l) in
@@ -315,20 +332,35 @@ let convert_into ctx (m : M.t) =
   done;
   lay
 
-(* Tail-recursive accumulation: ocamlopt keeps the int and float
-   accumulators in registers for these direct local calls, where a [ref]
-   would allocate per invocation. *)
-let axis_extent extents dims coeffs =
-  let n = Array.length dims in
-  let rec go i acc =
-    if i >= n then acc
-    else
-      go (i + 1)
-        (acc
-        + Array.unsafe_get coeffs i * (Array.unsafe_get extents (Array.unsafe_get dims i) - 1))
-  in
-  go 0 1
+(* Toplevel tail recursion with an int accumulator: the self-call compiles
+   to a jump with [acc] in a register. (A float accumulator would NOT be
+   free here — classic ocamlopt boxes float parameters at every recursive
+   call — which is why [footprint_into] below accumulates its float product
+   in a mutable scratch field instead.) *)
+let rec axis_extent_loop extents dims coeffs i n acc =
+  if i >= n then acc
+  else
+    axis_extent_loop extents dims coeffs (i + 1) n
+      (acc + Array.unsafe_get coeffs i * (Array.unsafe_get extents (Array.unsafe_get dims i) - 1))
 
+let axis_extent extents dims coeffs = axis_extent_loop extents dims coeffs 0 (Array.length dims) 1
+
+(* Hot-path footprint: the float product accumulates in [fs.f_fp], an
+   unboxed store into the flat scratch record, so the whole walk allocates
+   nothing — no local closure, no boxed float return. Multiplication order
+   is axis order, exactly the old left fold. *)
+let footprint_into ctx (info : op_info) extents =
+  let fs = ctx.fs in
+  let ad = info.axes_d and ac = info.axes_c in
+  fs.f_fp <- 1.0;
+  for i = 0 to Array.length ad - 1 do
+    fs.f_fp <-
+      fs.f_fp
+      *. float_of_int (axis_extent extents (Array.unsafe_get ad i) (Array.unsafe_get ac i))
+  done
+
+(* Cold-path form returning the product; [level_fill_fraction] and friends
+   use it where a boxed float return does not matter. *)
 let footprint (info : op_info) extents =
   let ad = info.axes_d and ac = info.axes_c in
   let n = Array.length ad in
@@ -336,8 +368,7 @@ let footprint (info : op_info) extents =
     if i >= n then acc
     else
       go (i + 1)
-        (acc
-        *. float_of_int (axis_extent extents (Array.unsafe_get ad i) (Array.unsafe_get ac i)))
+        (acc *. float_of_int (axis_extent extents (Array.unsafe_get ad i) (Array.unsafe_get ac i)))
   in
   go 0 1.0
 
@@ -350,6 +381,7 @@ let part_ref_at (info : op_info) l =
   match info.part_at.(l) with
   | Some r -> r
   | None ->
+    (* sunstone-lint: allow SA070 defensive failure, unreachable for validated mappings *)
     invalid_arg (Printf.sprintf "Model: operand %s has no partition at level %d" info.op.W.name l)
 
 (* ------------------------------------------------------------------ *)
@@ -364,6 +396,7 @@ let validate_lay ctx lay =
     if sp > lvl.A.fanout && ctx.sc_violation = None then
       ctx.sc_violation <-
         Some
+          (* sunstone-lint: allow SA070 rejected-candidate path only *)
           (Printf.sprintf "level %s: spatial unrolling %d exceeds fanout %d" lvl.A.level_name sp
              lvl.A.fanout)
   done;
@@ -375,7 +408,8 @@ let validate_lay ctx lay =
       for l = 0 to ctx.nlevels - 1 do
         match info.part_at.(l) with
         | Some { gid; _ } ->
-          U.Arr.set used gid U.(Arr.get used gid +: count (footprint info lay.cum.(l)))
+          footprint_into ctx info lay.cum.(l);
+          U.Arr.set used gid U.(Arr.get used gid +: count ctx.fs.f_fp)
         | None -> ()
       done
     done;
@@ -384,11 +418,14 @@ let validate_lay ctx lay =
       if not ctx.levels.(l).A.unbounded then begin
         let p = ctx.parts.(gid) in
         if
-          U.gt (U.Arr.get used gid) (U.count (float_of_int p.A.capacity_words +. 1e-9))
+          (* [U.gt] spelled out: the cross-module call boxes both float
+             arguments (the [@inline] hint is not honored without flambda) *)
+          U.to_float (U.Arr.get used gid) > float_of_int p.A.capacity_words +. 1e-9
           && ctx.sc_violation = None
         then
           ctx.sc_violation <-
             Some
+              (* sunstone-lint: allow SA070 rejected-candidate path only *)
               (Printf.sprintf "partition %s at %s: footprint %.0f exceeds capacity %d"
                  ctx.part_names.(gid) ctx.levels.(l).A.level_name
                  (U.to_float (U.Arr.get used gid))
@@ -485,9 +522,9 @@ let chain_pair ctx lay (info : op_info) ~lc ~lp =
         end
     done
   done;
-  let fp = footprint info cum in
-  fs.f_reads <- fs.f_outer *. fp *. fs.f_rm;
-  fs.f_fills <- fs.f_outer *. fp *. fs.f_fm
+  footprint_into ctx info cum;
+  fs.f_reads <- fs.f_outer *. fs.f_fp *. fs.f_rm;
+  fs.f_fills <- fs.f_outer *. fs.f_fp *. fs.f_fm
 
 (* Per-MAC streaming denominator from the nearest storing level [l0]:
    unrolled non-indexing dims below [l0] share one read across lanes when
@@ -511,46 +548,39 @@ let mac_streaming ctx lay (info : op_info) ~l0 =
 
 (* The evaluator core. Float operations run in exactly the order of the
    pre-rewrite evaluator ([Model_ref], pinned by the golden bit-identity
-   suite), so energies, cycles and EDP are bit-identical. With
-   [details = false] (the search's score path) no transfer records are
-   built; per-gid energies/words and scalar accumulators live in the
-   context's scratch either way. *)
-let eval_core ctx lay ~details =
+   suite), so energies, cycles and EDP are bit-identical. No transfer
+   records are built here — [transfers_of] replays the chain walk off the
+   hot path — so the core allocates nothing: per-gid energies/words and
+   every scalar accumulator live in the context's scratch. *)
+let eval_core ctx lay =
   let fs = ctx.fs in
   let energy = ctx.sc_energy in
   let words = ctx.sc_words in
   U.Arr.fill energy;
   U.Arr.fill words;
   fs.f_noc <- 0.0;
-  if details then ctx.sc_transfers <- [];
   for oi = 0 to Array.length ctx.operands - 1 do
     let info = ctx.operands.(oi) in
     let storing = info.storing in
     let nst = Array.length storing in
-    if nst = 0 then invalid_arg (Printf.sprintf "operand %s stored nowhere" info.op.W.name);
+    if nst = 0 then
+      (* sunstone-lint: allow SA070 defensive failure, [ctx.unstored] rejects this first *)
+      invalid_arg (Printf.sprintf "operand %s stored nowhere" info.op.W.name);
     (* MAC streaming from the innermost storing level *)
     let l0 = storing.(0) in
     let { gid; part } = part_ref_at info l0 in
     mac_streaming ctx lay info ~l0;
     let reads = ctx.macs /. fs.f_denom in
-    let per_word : U.access U.rate U.t =
-      if info.is_output then U.(rate part.A.read_energy +: rate part.A.write_energy)
-      else U.rate part.A.read_energy
-    in
-    U.Arr.set energy gid U.(Arr.get energy gid +: charge (count reads) per_word);
+    (* the per-word rate is selected by branching the whole statement: a
+       let-bound [if] join of two computed floats is boxed, the branched
+       statements are not *)
+    if info.is_output then
+      U.Arr.set energy gid
+        U.(Arr.get energy gid +: charge (count reads) (rate part.A.read_energy +: rate part.A.write_energy))
+    else
+      U.Arr.set energy gid U.(Arr.get energy gid +: charge (count reads) (rate part.A.read_energy));
     U.Arr.set words gid
       U.(Arr.get words gid +: count (reads *. if info.is_output then 2.0 else 1.0));
-    if details then
-      ctx.sc_transfers <-
-        {
-          operand = info.op.W.name;
-          from_level = l0;
-          to_level = -1;
-          reads;
-          fills = 0.0;
-          noc_deliveries = 0.0;
-        }
-        :: ctx.sc_transfers;
     (* chain transfers between consecutive storing levels *)
     for i = 0 to nst - 2 do
       let lc = storing.(i) and lp = storing.(i + 1) in
@@ -559,40 +589,48 @@ let eval_core ctx lay ~details =
       let rp = part_ref_at info lp in
       let rc = part_ref_at info lc in
       let dir = if info.is_output then 2.0 else 1.0 in
-      let prod_per_word : U.access U.rate U.t =
-        if info.is_output then U.(halve (rate rp.part.A.read_energy +: rate rp.part.A.write_energy))
-        else U.rate rp.part.A.read_energy
-      in
-      let cons_per_word : U.access U.rate U.t =
-        if info.is_output then U.(halve (rate rc.part.A.read_energy +: rate rc.part.A.write_energy))
-        else U.rate rc.part.A.write_energy
-      in
-      U.Arr.set energy rp.gid U.(Arr.get energy rp.gid +: charge (count (dir *. reads)) prod_per_word);
-      U.Arr.set energy rc.gid U.(Arr.get energy rc.gid +: charge (count (dir *. fills)) cons_per_word);
+      (* [U.halve] spelled out as [/. 2.0]: the cross-module call would box
+         its argument and result; [rate] is an identity primitive, so
+         [rate a +: rate b] = [rate (a +. b)] and the halving is the exact
+         same power-of-two division, bit for bit. As in the streaming charge
+         above, the output/input rate choice branches the whole statement
+         rather than let-binding a boxed [if] join. *)
+      if info.is_output then
+        U.Arr.set energy rp.gid
+          U.(Arr.get energy rp.gid
+             +: charge (count (dir *. reads))
+                  (rate ((rp.part.A.read_energy +. rp.part.A.write_energy) /. 2.0)))
+      else
+        U.Arr.set energy rp.gid
+          U.(Arr.get energy rp.gid +: charge (count (dir *. reads)) (rate rp.part.A.read_energy));
+      if info.is_output then
+        U.Arr.set energy rc.gid
+          U.(Arr.get energy rc.gid
+             +: charge (count (dir *. fills))
+                  (rate ((rc.part.A.read_energy +. rc.part.A.write_energy) /. 2.0)))
+      else
+        U.Arr.set energy rc.gid
+          U.(Arr.get energy rc.gid +: charge (count (dir *. fills)) (rate rc.part.A.write_energy));
       U.Arr.set words rp.gid U.(Arr.get words rp.gid +: count (dir *. reads));
       U.Arr.set words rc.gid U.(Arr.get words rc.gid +: count (dir *. fills));
       for j = lc + 1 to lp do
         fs.f_noc <-
           U.to_float
             U.(pj fs.f_noc +: charge (count (dir *. fills)) (rate ctx.levels.(j).A.noc_hop_energy))
-      done;
-      if details then
-        ctx.sc_transfers <-
-          {
-            operand = info.op.W.name;
-            from_level = lp;
-            to_level = lc;
-            reads;
-            fills;
-            noc_deliveries = fills;
-          }
-          :: ctx.sc_transfers
+      done
     done
   done;
   let mac_energy =
     U.charge (U.count ctx.macs) (U.rate ctx.arch.A.mac_energy : U.op U.rate U.t)
   in
-  let total_energy = U.to_float U.(Arr.sum energy +: pj fs.f_noc +: mac_energy) in
+  (* [U.Arr.sum] is a cross-module loop returning a boxed float; fold the
+     per-gid energies here instead, in the same left-to-right order, into an
+     unboxed scratch field *)
+  fs.f_esum <- 0.0;
+  for gid = 0 to U.Arr.length energy - 1 do
+    fs.f_esum <- fs.f_esum +. U.to_float (U.Arr.get energy gid)
+  done;
+  let total_energy = U.to_float U.(pj fs.f_esum +: pj fs.f_noc +: mac_energy) in
   (* latency *)
   fs.f_spatial <- 1.0;
   for l = 0 to ctx.nlevels - 1 do
@@ -610,20 +648,72 @@ let eval_core ctx lay ~details =
   for gid = 0 to ctx.nparts - 1 do
     let p = ctx.parts.(gid) in
     let l = ctx.part_level.(gid) in
-    fs.f_bw <-
-      Float.max fs.f_bw (U.to_float (U.Arr.get words gid) /. (p.A.bandwidth *. inst_used.(l)))
+    (* [Float.max] spelled out: the call boxes both arguments; both values
+       are non-NaN and non-negative here, so the compare is the same max *)
+    let bw = U.to_float (U.Arr.get words gid) /. (p.A.bandwidth *. inst_used.(l)) in
+    if bw > fs.f_bw then fs.f_bw <- bw
   done;
   fs.f_energy <- total_energy;
-  fs.f_cycles <- Float.max compute_cycles fs.f_bw;
+  fs.f_cycles <- (if compute_cycles >= fs.f_bw then compute_cycles else fs.f_bw);
   fs.f_mac <- U.to_float mac_energy
 
-let score_lay ctx lay =
-  eval_core ctx lay ~details:false;
+(* Write the score triple into the context-owned record: three unboxed
+   float stores, no allocation. *)
+let score_into ctx lay =
+  eval_core ctx lay;
   let fs = ctx.fs in
-  { s_energy_pj = fs.f_energy; s_cycles = fs.f_cycles; s_edp = fs.f_energy *. fs.f_cycles }
+  let s = ctx.sc_score in
+  s.s_energy_pj <- fs.f_energy;
+  s.s_cycles <- fs.f_cycles;
+  s.s_edp <- fs.f_energy *. fs.f_cycles
 
+(* Replay the chain walk of [eval_core] to build the transfer records the
+   core no longer assembles. Reads/fills recompute bit-identically —
+   [mac_streaming]/[chain_pair] are deterministic in [lay] — and the list
+   is consed in the core's old order then reversed, so [evaluate]'s
+   transfer order is unchanged. Clobbers only the chain scratch
+   ([f_denom]/[f_reads]/[f_fills] and friends), never the [f_energy]
+   family, so it may run after [eval_core] for the same layout. *)
+(* sunstone-cold *)
+let transfers_of ctx lay =
+  let fs = ctx.fs in
+  let acc = ref [] in
+  for oi = 0 to Array.length ctx.operands - 1 do
+    let info = ctx.operands.(oi) in
+    let storing = info.storing in
+    let nst = Array.length storing in
+    let l0 = storing.(0) in
+    mac_streaming ctx lay info ~l0;
+    acc :=
+      {
+        operand = info.op.W.name;
+        from_level = l0;
+        to_level = -1;
+        reads = ctx.macs /. fs.f_denom;
+        fills = 0.0;
+        noc_deliveries = 0.0;
+      }
+      :: !acc;
+    for i = 0 to nst - 2 do
+      let lc = storing.(i) and lp = storing.(i + 1) in
+      chain_pair ctx lay info ~lc ~lp;
+      acc :=
+        {
+          operand = info.op.W.name;
+          from_level = lp;
+          to_level = lc;
+          reads = fs.f_reads;
+          fills = fs.f_fills;
+          noc_deliveries = fs.f_fills;
+        }
+        :: !acc
+    done
+  done;
+  List.rev !acc
+
+(* sunstone-cold *)
 let evaluate_lay ctx lay =
-  eval_core ctx lay ~details:true;
+  eval_core ctx lay;
   let fs = ctx.fs in
   (* breakdown by partition name *)
   let breakdown = ref [] in
@@ -641,14 +731,17 @@ let evaluate_lay ctx lay =
   done;
   add "NoC" fs.f_noc;
   add "MAC" fs.f_mac;
+  let energy_pj = fs.f_energy in
+  let cycles = fs.f_cycles in
+  let spatial_utilization = fs.f_spatial /. float_of_int (A.total_fanout ctx.arch) in
   {
-    energy_pj = fs.f_energy;
-    cycles = fs.f_cycles;
-    edp = fs.f_energy *. fs.f_cycles;
+    energy_pj;
+    cycles;
+    edp = energy_pj *. cycles;
     macs = ctx.macs;
-    transfers = List.rev ctx.sc_transfers;
+    transfers = transfers_of ctx lay;
     breakdown = !breakdown;
-    spatial_utilization = fs.f_spatial /. float_of_int (A.total_fanout ctx.arch);
+    spatial_utilization;
   }
 
 (* Pre-registered telemetry handles: an [incr] is one flag load when
@@ -661,56 +754,82 @@ let tel_evaluations = Sun_telemetry.Metrics.counter "model.evaluations"
 let tel_rejected = Sun_telemetry.Metrics.counter "model.evaluate_rejected"
 
 (* Shared evaluate/score front end without telemetry, so the batch entry
-   points can count once per batch. *)
-let prepared ctx m =
-  if M.num_levels m <> ctx.nlevels then
-    Error
-      (Printf.sprintf "mapping has %d levels, architecture has %d" (M.num_levels m) ctx.nlevels)
+   points can count once per batch. Returns [true] when the converted
+   layout (in [ctx.lay]) validated; on [false] the violation is readable
+   through [violation_message]. A boolean instead of [(mlay, string) result]
+   because the [Ok lay] wrapper was the last per-call allocation of the
+   accepted score path. *)
+let prepare ctx m =
+  if M.num_levels m <> ctx.nlevels then begin
+    ctx.sc_violation <-
+      Some
+        (* sunstone-lint: allow SA070 rejected-candidate path only *)
+        (Printf.sprintf "mapping has %d levels, architecture has %d" (M.num_levels m) ctx.nlevels);
+    false
+  end
+  else
+    match validate_lay ctx (convert_into ctx m) with Ok () -> true | Error _ -> false
+
+let violation_message ctx =
+  match ctx.sc_violation with Some msg -> msg | None -> "mapping is valid"
+
+(* sunstone-hot *)
+let evaluate_ctx ctx m =
+  if prepare ctx m then begin
+    Sun_telemetry.Metrics.incr tel_evaluations;
+    Ok (evaluate_lay ctx ctx.lay)
+  end
   else begin
-    let lay = convert_into ctx m in
-    match validate_lay ctx lay with Error _ as e -> e | Ok () -> Ok lay
+    Sun_telemetry.Metrics.incr tel_rejected;
+    Error (violation_message ctx)
   end
 
-let evaluate_ctx ctx m =
-  match prepared ctx m with
-  | Error _ as e ->
-    Sun_telemetry.Metrics.incr tel_rejected;
-    e
-  | Ok lay ->
-    Sun_telemetry.Metrics.incr tel_evaluations;
-    Ok (evaluate_lay ctx lay)
-
+(* sunstone-hot *)
 let score_ctx ctx m =
-  match prepared ctx m with
-  | Error _ as e ->
-    Sun_telemetry.Metrics.incr tel_rejected;
-    e
-  | Ok lay ->
+  if prepare ctx m then begin
     Sun_telemetry.Metrics.incr tel_evaluations;
-    Ok (score_lay ctx lay)
+    score_into ctx ctx.lay;
+    ctx.sc_score_ok
+  end
+  else begin
+    Sun_telemetry.Metrics.incr tel_rejected;
+    Error (violation_message ctx)
+  end
+
+(* Caller-owned copy of the context score, for batch results. *)
+let score_copy ctx lay =
+  score_into ctx lay;
+  copy_score ctx.sc_score
 
 (* Batch entry points: one telemetry flush for the whole sibling set. The
    context's scratch is reused across the batch, which is the point — the
-   per-candidate cost is the arithmetic, not setup. *)
+   per-candidate cost is the arithmetic, not setup. Each member's result is
+   a caller-owned copy, never the context's scratch record: the beam search
+   reads whole batches after the fact. *)
 let batch_over ctx ms ~f =
+  (* sunstone-lint: allow SA070 per-batch counters, amortized over the members *)
   let ok = ref 0 and rejected = ref 0 in
   let out =
+    (* sunstone-lint: allow SA070 one result array per batch, amortized over the members *)
     Array.map
+      (* sunstone-lint: allow SA070 one closure per batch, amortized over the members *)
       (fun m ->
-        match prepared ctx m with
-        | Error _ as e ->
-          incr rejected;
-          e
-        | Ok lay ->
+        if prepare ctx m then begin
           incr ok;
-          Ok (f ctx lay))
+          Ok (f ctx ctx.lay)
+        end
+        else begin
+          incr rejected;
+          Error (violation_message ctx)
+        end)
       ms
   in
   Sun_telemetry.Metrics.add tel_evaluations !ok;
   Sun_telemetry.Metrics.add tel_rejected !rejected;
   out
 
-let score_batch_ctx ctx ms = batch_over ctx ms ~f:score_lay
+(* sunstone-hot *)
+let score_batch_ctx ctx ms = batch_over ctx ms ~f:score_copy
 
 let evaluate_batch_ctx ctx ms = batch_over ctx ms ~f:evaluate_lay
 

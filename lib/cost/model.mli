@@ -45,15 +45,21 @@ type cost = {
 }
 
 type score = {
-  s_energy_pj : float;
-  s_cycles : float;
-  s_edp : float;  (** [s_energy_pj *. s_cycles] *)
+  mutable s_energy_pj : float;
+  mutable s_cycles : float;
+  mutable s_edp : float;  (** [s_energy_pj *. s_cycles] *)
 }
 (** The search's scoring triple. [score_ctx] computes exactly the same
     energy/cycles/EDP floats as [evaluate_ctx] (bit-identical — the same
     arithmetic runs in the same order) but skips assembling the transfer
     list and energy breakdown, which is most of the allocation of a full
-    evaluation. *)
+    evaluation. The fields are mutable because [score_ctx] returns a
+    context-owned record it overwrites on the next call — see its doc. *)
+
+val copy_score : score -> score
+(** A fresh, caller-owned copy. Callers that retain a score past the next
+    [score_ctx] call on the same context (e.g. an incumbent-best slot)
+    must copy it. *)
 
 type ctx
 (** Precomputed evaluation context for one (workload, architecture,
@@ -77,14 +83,22 @@ val evaluate_ctx : ctx -> Sun_mapping.Mapping.t -> (cost, string) result
 
 val score_ctx : ctx -> Sun_mapping.Mapping.t -> (score, string) result
 (** Validate and score without building transfers/breakdown — the search
-    hot path. Same error strings as [evaluate_ctx]. *)
+    hot path. Same error strings as [evaluate_ctx]. An accepted call
+    allocates nothing: [Ok s] is a preallocated result holding the
+    context-owned score record, overwritten by the next [score_ctx] /
+    [score_batch_ctx] call on this context. Read the fields immediately,
+    or {!copy_score} to retain. The zero-allocation contract is pinned by
+    the [Gc.minor_words] harness in [test/test_model_hot.ml] and by the
+    SA070 hot-path lint. *)
 
 val evaluate_batch_ctx : ctx -> Sun_mapping.Mapping.t array -> (cost, string) result array
 
 val score_batch_ctx : ctx -> Sun_mapping.Mapping.t array -> (score, string) result array
 (** Batch forms: evaluate sibling candidates through one context and one
     telemetry flush, in array order. Equivalent to mapping the scalar
-    functions; the batch amortizes the per-call bookkeeping. *)
+    functions; the batch amortizes the per-call bookkeeping. Unlike
+    [score_ctx], every [Ok] member holds a caller-owned copy — batches are
+    read after the fact. *)
 
 val energy_lower_bound_ctx : ctx -> partial_levels:int -> Sun_mapping.Mapping.t -> float
 val level_fill_fraction_ctx : ctx -> Sun_mapping.Mapping.t -> level:int -> float

@@ -78,10 +78,15 @@ let create ?memo (w : W.t) =
 
 let memo_enabled t = t.memo
 
+(* [Hashtbl.find] + the [Not_found] arm, not [find_opt]: the hit path of
+   the memo must not build a [Some] per probe, and raising/catching the
+   constant [Not_found] allocates nothing. *)
 let entry_of t op =
-  match Hashtbl.find_opt t.ops op with
-  | Some e -> e
-  | None -> invalid_arg (Printf.sprintf "Probe: unknown operand %s" op)
+  match Hashtbl.find t.ops op with
+  | e -> e
+  | exception Not_found ->
+    (* sunstone-lint: allow SA070 unknown-operand failure is a caller bug, not a hot path *)
+    invalid_arg (Printf.sprintf "Probe: unknown operand %s" op)
 
 (* Bit-identical to [W.footprint (fun d -> vec.(dim_of d)) op]: the axis
    extents are exact small integers, and the float product folds left in
@@ -108,24 +113,30 @@ let table_at entry level =
   let ti = level + 1 in
   let n = Array.length entry.tbls in
   if ti >= n then begin
+    (* sunstone-lint: allow SA070 per-level table growth, once per level ever probed *)
     let grown = Array.init (ti + 1) (fun i -> if i < n then entry.tbls.(i) else Hashtbl.create 64) in
     entry.tbls <- grown
   end;
   entry.tbls.(ti)
 
+(* The memo's hit path returns the float already boxed inside the table —
+   no per-probe allocation at all. Misses pay [compute] plus the stored
+   key copy, amortized away by the sibling candidates sharing extents. *)
+(* sunstone-hot *)
 let lookup t ~op ~level (vec : int array) =
   let entry = entry_of t op in
   if not t.memo then compute entry.axes vec
   else begin
     let tbl = table_at entry level in
-    match Hashtbl.find_opt tbl vec with
-    | Some fp ->
+    match Hashtbl.find tbl vec with
+    | fp ->
       t.hits <- t.hits + 1;
       fp
-    | None ->
+    | exception Not_found ->
       t.misses <- t.misses + 1;
       let fp = compute entry.axes vec in
       (* the caller reuses [vec] as scratch; the stored key must not alias it *)
+      (* sunstone-lint: allow SA070 miss path: the memo key must not alias caller scratch *)
       Hashtbl.replace tbl (Array.copy vec) fp;
       fp
   end

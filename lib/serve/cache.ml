@@ -64,6 +64,7 @@ let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
+    (* sunstone-lint: allow SA060 bounded local-disk cache read, not socket IO *)
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let evict_if_full t =

@@ -1,9 +1,24 @@
-type 'a entry = { deadline : float; seq : int; payload : 'a }
+(* Parallel-array binary min-heap: deadlines in a flat [floatarray], seqs
+   and payloads in plain arrays, all indexed together. The split layout is
+   what makes {!push}/{!pop} allocation-free — an entry record holding a
+   float field would box the float on every push, and the old
+   [(deadline, payload)] option result of [pop] cost a tuple and a [Some]
+   per dispatch. The serving daemon pops once per dispatched request, so
+   this pair is a hot root of the SA070 allocation lint (see
+   DESIGN.md §3.8) and is pinned to zero words by the Gc harness in
+   [test/test_model_hot.ml]. *)
 
-type 'a t = { mutable heap : 'a entry array; mutable len : int }
+exception Empty
 
-(* The array holds a dummy sentinel in unused slots; it is never read. *)
-let create () = { heap = [||]; len = 0 }
+type 'a t = {
+  mutable deadlines : floatarray;
+  mutable seqs : int array;
+  mutable payloads : 'a array;
+  mutable len : int;
+}
+
+let create () =
+  { deadlines = Float.Array.create 0; seqs = [||]; payloads = [||]; len = 0 }
 
 let length t = t.len
 
@@ -11,17 +26,25 @@ let is_empty t = t.len = 0
 
 (* Lexicographic (deadline, seq): the seq tie-break makes the heap a stable
    FIFO among equal deadlines, including the common all-[infinity] case. *)
-let before a b = a.deadline < b.deadline || (a.deadline = b.deadline && a.seq < b.seq)
+let before t i j =
+  let di = Float.Array.get t.deadlines i and dj = Float.Array.get t.deadlines j in
+  di < dj || (di = dj && t.seqs.(i) < t.seqs.(j))
 
 let swap t i j =
-  let x = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- x
+  let d = Float.Array.get t.deadlines i in
+  Float.Array.set t.deadlines i (Float.Array.get t.deadlines j);
+  Float.Array.set t.deadlines j d;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let p = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- p
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
+    if before t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -29,38 +52,63 @@ let rec sift_up t i =
 
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
+  let smallest = if l < t.len && before t l i then l else i in
+  let smallest = if r < t.len && before t r smallest then r else smallest in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
   end
 
+(* Doubling growth, amortized O(1) per push; [payload] seeds the new slots
+   so the payload array never holds a value of no provenance. Callers that
+   need a strictly allocation-free steady state push/pop once per expected
+   capacity first (the Gc harness pre-warms exactly this way). *)
+let grow t payload =
+  let cap = max 8 (2 * t.len) in
+  let deadlines = Float.Array.make cap 0.0 in
+  Float.Array.blit t.deadlines 0 deadlines 0 t.len;
+  (* sunstone-lint: allow SA070 amortized capacity doubling, pre-warmed by steady-state callers *)
+  let seqs = Array.make cap 0 in
+  Array.blit t.seqs 0 seqs 0 t.len;
+  (* sunstone-lint: allow SA070 amortized capacity doubling, pre-warmed by steady-state callers *)
+  let payloads = Array.make cap payload in
+  Array.blit t.payloads 0 payloads 0 t.len;
+  t.deadlines <- deadlines;
+  t.seqs <- seqs;
+  t.payloads <- payloads
+
+(* sunstone-hot *)
 let push t ~deadline ~seq payload =
-  let e = { deadline; seq; payload } in
-  if t.len = Array.length t.heap then begin
-    let grown = Array.make (max 8 (2 * t.len)) e in
-    Array.blit t.heap 0 grown 0 t.len;
-    t.heap <- grown
-  end;
-  t.heap.(t.len) <- e;
+  if t.len = Array.length t.payloads then grow t payload;
+  Float.Array.set t.deadlines t.len deadline;
+  t.seqs.(t.len) <- seq;
+  t.payloads.(t.len) <- payload;
   t.len <- t.len + 1;
   sift_up t (t.len - 1)
 
-let peek t = if t.len = 0 then None else Some (t.heap.(0).deadline, t.heap.(0).payload)
-
+(* sunstone-hot *)
 let pop t =
+  if t.len = 0 then raise Empty;
+  let payload = t.payloads.(0) in
+  let n = t.len - 1 in
+  t.len <- n;
+  if n > 0 then begin
+    Float.Array.set t.deadlines 0 (Float.Array.get t.deadlines n);
+    t.seqs.(0) <- t.seqs.(n);
+    t.payloads.(0) <- t.payloads.(n);
+    sift_down t 0;
+    (* overwrite the vacated slot with the (live anyway) root payload so the
+       heap keeps no hidden reference to the entry just popped *)
+    t.payloads.(n) <- t.payloads.(0)
+  end;
+  payload
+
+let pop_opt t =
   if t.len = 0 then None
   else begin
-    let top = t.heap.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.heap.(0) <- t.heap.(t.len);
-      sift_down t 0
-    end;
-    (* overwrite the vacated slot: it would otherwise keep a second live
-       reference to the entry that was just moved to the root *)
-    t.heap.(t.len) <- top;
-    Some (top.deadline, top.payload)
+    let deadline = Float.Array.get t.deadlines 0 in
+    Some (deadline, pop t)
   end
+
+let peek t =
+  if t.len = 0 then None else Some (Float.Array.get t.deadlines 0, t.payloads.(0))

@@ -14,9 +14,19 @@
     pass absolute readings of {!Sun_util.Stopwatch.monotonic_now} (never
     wall time: a wall-clock step must not expire or reorder requests),
     which also makes the ordering directly testable with an injected
-    clock. *)
+    clock.
+
+    The heap stores deadlines, sequence numbers and payloads in three
+    parallel arrays, so {!push} and {!pop} allocate nothing once capacity
+    is reached — they are hot roots of the SA070 allocation lint and are
+    held to zero minor words by the Gc harness in
+    [test/test_model_hot.ml]. *)
 
 type 'a t
+
+exception Empty
+(** Raised by {!pop} on an empty queue. A constant exception: raising it
+    allocates nothing. *)
 
 val create : unit -> 'a t
 
@@ -25,14 +35,20 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 
 val push : 'a t -> deadline:float -> seq:int -> 'a -> unit
-(** O(log n). [seq] is the tie-break: entries with equal deadlines pop in
-    increasing [seq] order. Callers use a monotonically increasing
-    admission counter, and re-insert a parked entry with its {e original}
-    sequence number so it keeps its place among its peers. *)
+(** O(log n), allocation-free except when the backing arrays double. [seq]
+    is the tie-break: entries with equal deadlines pop in increasing [seq]
+    order. Callers use a monotonically increasing admission counter, and
+    re-insert a parked entry with its {e original} sequence number so it
+    keeps its place among its peers. *)
 
-val pop : 'a t -> (float * 'a) option
-(** Removes and returns the [(deadline, payload)] with the smallest
-    [(deadline, seq)] key; [None] when empty. O(log n). *)
+val pop : 'a t -> 'a
+(** Removes and returns the payload with the smallest [(deadline, seq)]
+    key; raises {!Empty} when empty. O(log n), allocation-free. Callers
+    that need the deadline read it from the payload or use {!pop_opt}. *)
+
+val pop_opt : 'a t -> (float * 'a) option
+(** Option-returning form of {!pop}: [(deadline, payload)], [None] when
+    empty. Allocates the pair — convenient off the hot path and in tests. *)
 
 val peek : 'a t -> (float * 'a) option
-(** Like {!pop} without removing. O(1). *)
+(** Like {!pop_opt} without removing. O(1). *)

@@ -379,23 +379,22 @@ let expire st item =
    connection died, are settled or dropped here rather than computed;
    either way their fingerprint is released so parked duplicates rerun. *)
 let rec dispatch_ready st pool ~cache ~config ~now =
-  if Parpool.idle pool > 0 then
-    match Edf.pop st.ready with
-    | None -> ()
-    | Some (_, item) ->
-      (if not (Hashtbl.mem st.conns item.i_cid) then begin
-         st.waiting <- st.waiting - 1;
-         release_fp st ~cache ~config item
-       end
-       else if item.i_deadline < now () then begin
-         expire st item;
-         release_fp st ~cache ~config item
-       end
-       else begin
-         Hashtbl.replace st.dispatched item.i_seq item;
-         Parpool.submit pool ~key:item.i_seq (item.i_idx, item.i_line)
-       end);
-      dispatch_ready st pool ~cache ~config ~now
+  if Parpool.idle pool > 0 && not (Edf.is_empty st.ready) then begin
+    let item = Edf.pop st.ready in
+    (if not (Hashtbl.mem st.conns item.i_cid) then begin
+       st.waiting <- st.waiting - 1;
+       release_fp st ~cache ~config item
+     end
+     else if item.i_deadline < now () then begin
+       expire st item;
+       release_fp st ~cache ~config item
+     end
+     else begin
+       Hashtbl.replace st.dispatched item.i_seq item;
+       Parpool.submit pool ~key:item.i_seq (item.i_idx, item.i_line)
+     end);
+    dispatch_ready st pool ~cache ~config ~now
+  end
 
 let on_completion st ~cache ~config (key, reply) =
   match Hashtbl.find_opt st.dispatched key with

@@ -61,8 +61,9 @@ type search_state = {
   probe : Probe.t;
       (** memoized footprint probes, scoped to this search (DESIGN.md §3.7) *)
   dims : W.dim list;
-  mutable fits : (float * W.operand list) list array;
-      (** per level: (capacity, operands stored) per partition *)
+  mutable fits : (float * string array) array array;
+      (** per level: (capacity, stored operand names) per partition —
+          arrays, so the fit test loops without list closures *)
   mutable examined : int;
   mutable evaluated : int;
   mutable pruned : int;
@@ -94,35 +95,49 @@ let initial_levels st =
 let fit_table st =
   Array.init (A.num_levels st.arch) (fun level ->
       let lvl = A.level st.arch level in
-      if lvl.A.unbounded then []
+      if lvl.A.unbounded then [||]
       else
-        List.map
-          (fun (p : A.partition) ->
-            let ops =
-              List.filter
-                (fun (op : W.operand) ->
-                  match A.partition_for lvl ~role:(st.cfg.binding op.W.name) with
-                  | Some p' -> p'.A.part_name = p.A.part_name
-                  | None -> false)
-                st.w.W.operands
-            in
-            (float_of_int p.A.capacity_words +. 1e-9, ops))
-          lvl.A.partitions)
+        Array.of_list
+          (List.map
+             (fun (p : A.partition) ->
+               let ops =
+                 List.filter
+                   (fun (op : W.operand) ->
+                     match A.partition_for lvl ~role:(st.cfg.binding op.W.name) with
+                     | Some p' -> p'.A.part_name = p.A.part_name
+                     | None -> false)
+                   st.w.W.operands
+               in
+               ( float_of_int p.A.capacity_words +. 1e-9,
+                 Array.of_list (List.map (fun (op : W.operand) -> op.W.name) ops) ))
+             lvl.A.partitions))
 
 (* Does a tile with the given extents fit every partition of the level?
    The extent vector is resolved once per call; the per-operand footprints
    go through the search-scoped memo (sibling candidates share most of
    their extent vectors). [Probe.footprint] is bit-identical to
-   [W.footprint extent], so the fold matches [Listx.sum_by] exactly. *)
+   [W.footprint extent], so the sum matches [Listx.sum_by] exactly. The
+   loops are index-driven over the prebuilt arrays — the old
+   [List.for_all]/[List.fold_left] pair allocated two closures per call and
+   boxed the float accumulator on every element — and the local refs below
+   are compiled to registers (Simplif eliminates non-escaping refs). *)
+(* sunstone-hot *)
 let extents_fit st ~level extent =
   Probe.set_extents st.probe extent;
-  List.for_all
-    (fun (cap, ops) ->
-      List.fold_left
-        (fun acc (op : W.operand) -> acc +. Probe.footprint st.probe ~op:op.W.name ~level)
-        0.0 ops
-      <= cap)
-    st.fits.(level)
+  let groups = st.fits.(level) in
+  (* sunstone-lint: allow SA070 non-escaping refs are Simplif-eliminated, no allocation *)
+  let ok = ref true and gi = ref 0 in
+  while !ok && !gi < Array.length groups do
+    let cap, ops = groups.(!gi) in
+    (* sunstone-lint: allow SA070 non-escaping ref is Simplif-eliminated, no allocation *)
+    let sum = ref 0.0 in
+    for oi = 0 to Array.length ops - 1 do
+      sum := !sum +. Probe.footprint st.probe ~op:(Array.unsafe_get ops oi) ~level
+    done;
+    if !sum > cap then ok := false;
+    incr gi
+  done;
+  !ok
 
 (* Breaking exact dim coverage (doubling one temporal factor) makes
    [Mapping.make] reject the candidate, which on natural search paths never
@@ -152,10 +167,15 @@ let build st levels =
     st.evaluated <- st.evaluated + 1;
     Some m
 
+(* [s] may be the context-owned record [Model.score_ctx] overwrites on the
+   next call, so adopting it as the incumbent copies. *)
+(* sunstone-hot *)
 let update_best st m (s : Model.score) =
   match st.best with
   | Some (_, best) when best.Model.s_edp <= s.Model.s_edp -> ()
-  | _ -> st.best <- Some (m, s)
+  | _ ->
+    (* sunstone-lint: allow SA070 improvement path: one copied incumbent per new best *)
+    st.best <- Some (m, Model.copy_score s)
 
 (* Score a structurally complete mapping; updates the incumbent. Build and
    evaluation rejections are counted, never swallowed: a mapspace bug must

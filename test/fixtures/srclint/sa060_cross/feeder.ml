@@ -1,0 +1,6 @@
+(* Fixture (cross-module half): [serve] itself touches nothing blocking —
+   the hazard lives one module away, in [Pump.next]. A single-file scan of
+   this file is provably clean; only the whole-directory scan, which builds
+   the cross-module call graph, can flag it. *)
+
+let serve q = Pump.next q

@@ -1,0 +1,3 @@
+(* Fixture (cross-module half): the blocking read [serve] reaches. *)
+
+let next q = input_line q

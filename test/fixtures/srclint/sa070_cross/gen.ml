@@ -1,0 +1,3 @@
+(* Fixture (cross-module half): the tuple the hot root pays for. *)
+
+let step x = (x, x)

@@ -1,0 +1,5 @@
+(* Fixture (cross-module half): the hot root allocates only through
+   [Gen.step], defined in the sibling module. *)
+
+(* sunstone-hot *)
+let tick_hot x = Gen.step x

@@ -1,0 +1,10 @@
+(* Fixture: an allocation two calls below a hot root. Never compiled, only
+   lexed — the SA070 diagnostic must render the full call chain
+   score_hot -> helper -> build_row (pinned by a golden test). *)
+
+(* sunstone-hot *)
+let score_hot x = helper (x + 1)
+
+let helper x = build_row x
+
+let build_row x = [| x; x + 1 |]

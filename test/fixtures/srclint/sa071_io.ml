@@ -1,0 +1,6 @@
+(* Fixture: blocking IO directly inside a hot root (SA071). *)
+
+(* sunstone-hot *)
+let drain_hot ic = consume (input_line ic)
+
+let consume s = String.length s

@@ -1,0 +1,5 @@
+(* Fixture: non-tail self-recursion in a hot root (SA072): the self-call
+   feeds [+], so every frame survives until the recursion bottoms out. *)
+
+(* sunstone-hot *)
+let rec sum n = if n = 0 then 0 else n + sum (n - 1)

@@ -1,0 +1,7 @@
+(* Fixture: the hot annotation targets a type declaration, so it resolves
+   to no toplevel binding (SA073). *)
+
+(* sunstone-hot *)
+type speed = int
+
+let fine (x : speed) = x

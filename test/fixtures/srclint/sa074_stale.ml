@@ -1,0 +1,5 @@
+(* Fixture: a hot annotation on a parameterless value binding is stale —
+   hot roots must be functions (SA074). *)
+
+(* sunstone-hot *)
+let version = 3

@@ -222,6 +222,118 @@ let test_probe_telemetry () =
   Alcotest.(check int) "model.probe_misses" misses (counter "model.probe_misses");
   Alcotest.(check int) "tallies reset by flush" 0 (Probe.hits probe + Probe.misses probe)
 
+(* ------------------------------------------------------------------ *)
+(* Gc ground truth: the dynamic oracle the SA070 static lint is pinned  *)
+(* to. Each side covers the other's blind spots — the lint sees code the *)
+(* harness never executes, the harness sees allocations the token-level  *)
+(* approximation cannot (closure captures, compiler-inserted boxing).    *)
+(* CI fails if either side disagrees with the other.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Minor-heap words per call, after a warmup that faults in lazy state
+   (probe memo entries, grow-on-demand scratch) and pays any one-time
+   boxing. [reps] large enough to expose even a single boxed float. *)
+let words_per_call ~reps f =
+  for _ = 1 to 100 do
+    f ()
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  (Gc.minor_words () -. before) /. float_of_int reps
+
+let test_gc_score_ctx_zero_alloc () =
+  List.iter
+    (fun (pname, arch) ->
+      let w = find_workload "conv2d" in
+      let nl = List.length arch.A.levels in
+      let ctx = Model.context w arch in
+      List.iter
+        (fun (mname, m) ->
+          (* only accepted mappings are the zero-allocation contract; the
+             reject path legitimately builds its [Error] *)
+          if Model.validate_ctx ctx m = Ok () then begin
+            let score () =
+              match Model.score_ctx ctx m with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail e
+            in
+            let words = words_per_call ~reps:2000 score in
+            if words <> 0.0 then
+              Alcotest.failf "score_ctx allocates %.2f words/call (%s, %s) — want 0" words
+                pname mname
+          end)
+        [
+          ("single_level", M.single_level w ~num_levels:nl);
+          ("split", match split_mapping w ~num_levels:nl with
+                    | Ok m -> m
+                    | Error e -> Alcotest.fail e);
+        ])
+    presets
+
+let test_gc_edf_zero_alloc () =
+  let q = Sun_serve.Edf.create () in
+  (* pre-warm capacity: steady-state daemons reach a working-set size and
+     stay there; growth beyond it is the allocation being amortized *)
+  for i = 0 to 63 do
+    Sun_serve.Edf.push q ~deadline:(float_of_int i) ~seq:i ()
+  done;
+  for _ = 0 to 63 do
+    ignore (Sun_serve.Edf.pop q)
+  done;
+  (* deadlines pre-boxed the way the daemon's request records hold them: a
+     freshly computed float would be boxed by the caller at the call
+     boundary, which is the caller's allocation, not the heap's *)
+  let deadlines = Array.init 8 (fun i -> ("req", float_of_int (i * 37 mod 11))) in
+  let seq = ref 0 in
+  let pairs () =
+    for i = 0 to 7 do
+      incr seq;
+      let _, d = deadlines.(i) in
+      Sun_serve.Edf.push q ~deadline:d ~seq:!seq ()
+    done;
+    for _ = 0 to 7 do
+      ignore (Sun_serve.Edf.pop q)
+    done
+  in
+  let words = words_per_call ~reps:2000 pairs /. 8.0 in
+  if words <> 0.0 then
+    Alcotest.failf "Edf push/pop allocates %.2f words/pair — want 0" words
+
+(* Static/dynamic agreement: the production tree must carry zero SA070
+   diagnostics (the static side of the gate) while the Gc assertions above
+   hold (the dynamic side). A disagreement in either direction — a finding
+   on a path the harness measures at zero, or measured allocation on a path
+   the lint passes — fails this suite. *)
+let test_static_dynamic_agreement () =
+  let rec find d =
+    if Sys.file_exists (Filename.concat d "dune-project") then Some d
+    else
+      let parent = Filename.dirname d in
+      if parent = d then None else find parent
+  in
+  match find (Sys.getcwd ()) with
+  | None -> ()
+  | Some root ->
+    let roots =
+      List.filter Sys.file_exists (List.map (Filename.concat root) [ "lib"; "bin"; "bench" ])
+    in
+    if roots <> [] then begin
+      let module Srclint = Sun_analysis.Srclint in
+      let module D = Sun_analysis.Diagnostic in
+      let r = Srclint.scan ~roots () in
+      let hot_codes = [ "SA070"; "SA071"; "SA072"; "SA073"; "SA074" ] in
+      let hot_hits =
+        List.filter
+          (fun (h : Srclint.hit) -> List.mem (D.code_id h.Srclint.h_diag.D.code) hot_codes)
+          r.Srclint.hits
+      in
+      Alcotest.(check (list string))
+        "static lint agrees with the Gc oracle: zero hot-path findings" []
+        (List.map Srclint.hit_string hot_hits)
+    end
+
 let qcheck_props =
   let open QCheck in
   let memo_matches_direct wname =
@@ -264,6 +376,14 @@ let () =
         [
           Alcotest.test_case "changes_footprint = derivation" `Quick test_probe_changes_footprint;
           Alcotest.test_case "telemetry counters" `Quick test_probe_telemetry;
+        ] );
+      ( "gc oracle",
+        [
+          Alcotest.test_case "score_ctx is allocation-free" `Quick
+            test_gc_score_ctx_zero_alloc;
+          Alcotest.test_case "Edf push/pop is allocation-free" `Quick
+            test_gc_edf_zero_alloc;
+          Alcotest.test_case "static lint agrees" `Quick test_static_dynamic_agreement;
         ] );
       ("probe properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
     ]

@@ -1003,14 +1003,16 @@ module Server = Sun_serve.Server
 
 let edf_drain q =
   let rec go acc =
-    match Edf.pop q with Some (_, x) -> go (x :: acc) | None -> List.rev acc
+    match Edf.pop_opt q with Some (_, x) -> go (x :: acc) | None -> List.rev acc
   in
   go []
 
 let test_edf_ordering () =
   let q = Edf.create () in
   Alcotest.(check bool) "starts empty" true (Edf.is_empty q);
-  Alcotest.(check bool) "pop on empty" true (Edf.pop q = None);
+  Alcotest.(check bool) "pop_opt on empty" true (Edf.pop_opt q = None);
+  Alcotest.(check bool) "pop on empty raises" true
+    (match Edf.pop q with exception Edf.Empty -> true | _ -> false);
   Edf.push q ~deadline:5.0 ~seq:0 "late";
   Edf.push q ~deadline:1.0 ~seq:1 "urgent";
   Edf.push q ~deadline:3.0 ~seq:2 "middle";

@@ -128,15 +128,6 @@ let test_suppression_semantics () =
       Alcotest.(check (list string)) "no stale warnings" []
         (List.map (fun (d : D.t) -> d.D.message) r.Srclint.stale))
 
-let test_stale_allowlist_entry () =
-  with_temp_file "let fine x = x + 1\n" (fun path ->
-      let r =
-        Srclint.scan ~allowlist:[ "never-matches-anything" ] ~rules:(unscoped_rules ())
-          ~roots:[ path ] ()
-      in
-      Alcotest.(check bool) "stale allowlist entry warns SA065" true
-        (has_code "SA065" r.Srclint.stale))
-
 (* ------------------------------------------------------------------ *)
 (* Fixtures: every daemon-era rule demonstrably fires                   *)
 (* ------------------------------------------------------------------ *)
@@ -206,6 +197,154 @@ let test_fixture_sa065 () =
       Alcotest.(check int) "one suppressed hit" 1 r.Srclint.suppressed;
       Alcotest.(check int) "one stale warning" 1 (List.length r.Srclint.stale);
       Alcotest.(check bool) "stale warning is SA065" true (has_code "SA065" r.Srclint.stale))
+
+let hit_with_code id (r : Srclint.report) =
+  List.find_opt
+    (fun (h : Srclint.hit) -> D.code_id h.Srclint.h_diag.D.code = id)
+    r.Srclint.hits
+
+let test_fixture_sa070 () =
+  with_fixture "sa070_hot.ml" (fun r ->
+      Alcotest.(check int) "one hot allocation flagged" 1 (count_code "SA070" r);
+      match hit_with_code "SA070" r with
+      | Some h ->
+        (* golden: the diagnostic renders the full cross-binding call chain
+           (the message is prefixed by the fixture's absolute path) *)
+        let golden =
+          "array literal allocates on the hot path (root score_hot, via score_hot -> \
+           helper -> build_row)"
+        in
+        let msg = h.Srclint.h_diag.D.message in
+        let ok =
+          String.length msg >= String.length golden
+          && String.sub msg (String.length msg - String.length golden) (String.length golden)
+             = golden
+        in
+        if not ok then
+          Alcotest.failf "chain rendering: %S does not end with %S" msg golden;
+        Alcotest.(check int) "flagged at the allocation site" 10 h.Srclint.h_line
+      | None -> Alcotest.fail "SA070 hit missing")
+
+let test_fixture_sa071 () =
+  with_fixture "sa071_io.ml" (fun r ->
+      Alcotest.(check int) "one hot IO flagged" 1 (count_code "SA071" r);
+      Alcotest.(check int) "no allocation hit piggybacks" 0 (count_code "SA070" r))
+
+let test_fixture_sa072 () =
+  with_fixture "sa072_rec.ml" (fun r ->
+      Alcotest.(check int) "non-tail self-recursion flagged" 1 (count_code "SA072" r);
+      match hit_with_code "SA072" r with
+      | Some h ->
+        Alcotest.(check bool) "names the recursive binding" true
+          (Forksafe.contains_sub h.Srclint.h_diag.D.message "'sum'")
+      | None -> Alcotest.fail "SA072 hit missing")
+
+let test_fixture_sa073 () =
+  with_fixture "sa073_unresolved.ml" (fun r ->
+      Alcotest.(check int) "unresolved hot annotation flagged" 1 (count_code "SA073" r))
+
+let test_fixture_sa074 () =
+  with_fixture "sa074_stale.ml" (fun r ->
+      Alcotest.(check int) "stale hot annotation flagged" 1 (count_code "SA074" r);
+      match hit_with_code "SA074" r with
+      | Some h ->
+        Alcotest.(check bool) "explains the function requirement" true
+          (Forksafe.contains_sub h.Srclint.h_diag.D.message "must be functions")
+      | None -> Alcotest.fail "SA074 hit missing")
+
+(* The tentpole's reason to exist: the same root file is provably clean
+   under the old per-file view (a scan of just that file) and dirty under
+   the whole-program view (a scan of the directory, which resolves the
+   dotted call into the sibling module). One pair per cross-module pass. *)
+let test_cross_module_sa060 () =
+  with_fixture "sa060_cross/feeder.ml" (fun r ->
+      Alcotest.(check int) "single-file scan misses the blocking call" 0
+        (count_code "SA060" r));
+  with_fixture "sa060_cross" (fun r ->
+      Alcotest.(check int) "directory scan resolves Pump.next" 1 (count_code "SA060" r);
+      match hit_with_code "SA060" r with
+      | Some h ->
+        Alcotest.(check bool) "chain crosses the module boundary" true
+          (Forksafe.contains_sub h.Srclint.h_diag.D.message "serve -> Pump.next")
+      | None -> Alcotest.fail "SA060 hit missing")
+
+let test_cross_module_sa070 () =
+  with_fixture "sa070_cross/ticker.ml" (fun r ->
+      Alcotest.(check int) "single-file scan misses the allocation" 0
+        (count_code "SA070" r));
+  with_fixture "sa070_cross" (fun r ->
+      Alcotest.(check int) "directory scan resolves Gen.step" 1 (count_code "SA070" r);
+      match hit_with_code "SA070" r with
+      | Some h ->
+        Alcotest.(check bool) "chain crosses the module boundary" true
+          (Forksafe.contains_sub h.Srclint.h_diag.D.message "tick_hot -> Gen.step")
+      | None -> Alcotest.fail "SA070 hit missing")
+
+(* ------------------------------------------------------------------ *)
+(* check --list-rules stays in sync with the diagnostic code table      *)
+(* ------------------------------------------------------------------ *)
+
+let test_rule_table_sync () =
+  let table = D.rule_table () in
+  Alcotest.(check int) "one row per diagnostic code" (List.length D.all_codes)
+    (List.length table);
+  List.iter2
+    (fun code (id, sev, summary, scope) ->
+      Alcotest.(check string) "row order matches all_codes" (D.code_id code) id;
+      Alcotest.(check bool) (id ^ " has a severity") true
+        (List.mem sev [ "error"; "warning"; "info" ]);
+      Alcotest.(check bool) (id ^ " has a summary") true (String.length summary > 0);
+      Alcotest.(check bool) (id ^ " has a scope") true (String.length scope > 0))
+    D.all_codes table;
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " listed") true
+        (List.exists (fun (id', _, _, _) -> id' = id) table))
+    [ "SA070"; "SA071"; "SA072"; "SA073"; "SA074" ]
+
+(* ------------------------------------------------------------------ *)
+(* Lexer token extents: monotone, non-overlapping, faithful to source   *)
+(* ------------------------------------------------------------------ *)
+
+(* OCaml-ish source soup: random concatenation of fragments that exercise
+   every token class, including the pathological ones (strings holding
+   comment closers, quoted strings, chars vs type variables). *)
+let source_gen =
+  let fragment =
+    QCheck2.Gen.oneofl
+      [
+        "let x = 1 "; "module M = Map "; "(* a (* nested *) comment *) "; "\"str *) \\\" q\" ";
+        "{|raw \"x\" (* y *)|} "; "'c' "; "'\\n' "; "type 'a t = 'a list "; "[| 1; 2 |] ";
+        "f 3.14e2 0x1f "; "a.(i) <- b.{j} "; "let g = fun (a, b) -> a :: [ b ] ";
+        "match xs with [] -> 0 | y :: _ -> y "; "x + y * z mod w "; "s ^ \"t\" @ u ";
+        "\n"; "  "; "(* unterminated string in comment \" still fine *) ";
+      ]
+  in
+  QCheck2.Gen.(map (String.concat "") (list_size (int_range 0 25) fragment))
+
+let lexer_extents_prop =
+  QCheck2.Test.make ~name:"lexer token extents are monotone and faithful" ~count:500
+    source_gen (fun src ->
+      let lx = Lexer.lex src in
+      let toks = lx.Lexer.tokens in
+      let n = String.length src in
+      Array.iteri
+        (fun i t ->
+          if not (0 <= t.Lexer.t_start && t.Lexer.t_start < t.Lexer.t_end && t.Lexer.t_end <= n)
+          then
+            QCheck2.Test.fail_reportf "token %d %S: extent [%d,%d) outside source of %d" i
+              t.Lexer.t_text t.Lexer.t_start t.Lexer.t_end n;
+          let sub = String.sub src t.Lexer.t_start (t.Lexer.t_end - t.Lexer.t_start) in
+          if sub <> t.Lexer.t_text then
+            QCheck2.Test.fail_reportf "token %d: text %S but source slice %S" i
+              t.Lexer.t_text sub;
+          if i > 0 && toks.(i - 1).Lexer.t_end > t.Lexer.t_start then
+            QCheck2.Test.fail_reportf "tokens %d and %d overlap: [.., %d) then [%d, ..)"
+              (i - 1) i
+              toks.(i - 1).Lexer.t_end
+              t.Lexer.t_start)
+        toks;
+      true)
 
 (* SA063's production scope is lib/serve plus lib/cost (the probe memo
    keeps hashtables in the hot path). Stage the cost fixture under both a
@@ -309,7 +448,6 @@ let () =
       ( "suppress",
         [
           Alcotest.test_case "inline forms and reasons" `Quick test_suppression_semantics;
-          Alcotest.test_case "stale allowlist entry warns" `Quick test_stale_allowlist_entry;
         ] );
       ( "fixtures",
         [
@@ -319,8 +457,19 @@ let () =
           Alcotest.test_case "SA063 determinism hazards" `Quick test_fixture_sa063;
           Alcotest.test_case "SA064 exception swallowing" `Quick test_fixture_sa064;
           Alcotest.test_case "SA065 stale suppression" `Quick test_fixture_sa065;
+          Alcotest.test_case "SA070 hot allocation + chain golden" `Quick test_fixture_sa070;
+          Alcotest.test_case "SA071 hot IO" `Quick test_fixture_sa071;
+          Alcotest.test_case "SA072 non-tail recursion" `Quick test_fixture_sa072;
+          Alcotest.test_case "SA073 unresolved hot annotation" `Quick test_fixture_sa073;
+          Alcotest.test_case "SA074 stale hot annotation" `Quick test_fixture_sa074;
+          Alcotest.test_case "SA060 cross-module pair" `Quick test_cross_module_sa060;
+          Alcotest.test_case "SA070 cross-module pair" `Quick test_cross_module_sa070;
           Alcotest.test_case "SA063 lib/cost scoping" `Quick test_sa063_cost_scope;
         ] );
+      ( "rules",
+        [ Alcotest.test_case "--list-rules table in sync" `Quick test_rule_table_sync ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest ~long:false lexer_extents_prop ] );
       ( "tree",
         [
           Alcotest.test_case "production scan is clean" `Quick test_tree_clean;
