@@ -637,6 +637,130 @@ let evaluate_bench () =
   Printf.printf "evaluate: wrote %s\n" out;
   if not pass then exit 1
 
+(* Cross-request mapping transfer ({!Sun_serve.Transfer}): for each
+   catalog (resnet18, inception on simba_like), a cold pass searches every
+   layer from scratch and stores its result, then a warm pass re-runs the
+   catalog against that populated cache — the steady state of a server
+   that has already scheduled the rest of the network — seeding each layer
+   from its nearest family member. A layer never seeds itself
+   ([~exclude_self]); the exact-fingerprint repeat is the pipeline's cache
+   hit, which skips the search entirely, so the bench isolates what
+   cross-layer nearest-neighbor transfer buys a search that must still
+   run. Persists per-layer evaluated counts and EDPs to
+   BENCH_transfer.json and exits non-zero unless the warm resnet18 pass
+   evaluates >= 25% fewer mappings than cold with per-layer EDP equal or
+   better on both catalogs. *)
+let transfer_bench () =
+  let module Json = Sun_serve.Json in
+  let module Cache = Sun_serve.Cache in
+  let module Transfer = Sun_serve.Transfer in
+  let module Codec = Sun_serve.Codec in
+  let module Opt = Sun_core.Optimizer in
+  let module Model = Sun_cost.Model in
+  let arch = Sun_arch.Presets.simba_like in
+  let config = Opt.default_config in
+  let catalog prefix =
+    let pl = String.length prefix in
+    List.filter
+      (fun (n, _) -> String.length n > pl && String.sub n 0 pl = prefix)
+      (Sun_serve.Registry.workloads ())
+  in
+  let search ?seed w =
+    match Opt.optimize ~config ?seed w arch with
+    | Ok r -> (r.Opt.stats.Opt.evaluated, r.Opt.cost.Model.edp, r.Opt.mapping)
+    | Error msg ->
+      Printf.eprintf "transfer: optimize failed: %s\n" msg;
+      exit 2
+  in
+  let run_catalog name prefix =
+    let layers = catalog prefix in
+    let cold = List.map (fun (n, w) -> (n, search w)) layers in
+    let cache = Cache.create ~capacity:(List.length layers + 1) () in
+    List.iter2
+      (fun (n, w) (_, (_, _, m)) ->
+        Cache.store cache n
+          (Json.Obj
+             (("mapping", Codec.encode_mapping m) :: Transfer.family_fields ~config w arch)))
+      layers cold;
+    let warm =
+      List.map
+        (fun (n, w) ->
+          let seed = Transfer.find_seed ~exclude_self:true ~cache ~config w arch in
+          (n, search ?seed w, seed <> None))
+        layers
+    in
+    let sum f = List.fold_left (fun acc x -> acc + f x) 0 in
+    let cold_evals = sum (fun (_, (e, _, _)) -> e) cold in
+    let warm_evals = sum (fun (_, (e, _, _), _) -> e) warm in
+    let seeded = sum (fun (_, _, s) -> if s then 1 else 0) warm in
+    let edp_ok = ref true in
+    let rows =
+      List.map2
+        (fun (n, (ce, cedp, _)) (_, (we, wedp, _), s) ->
+          (* "equal or better" up to float-print jitter: one part in 1e9 *)
+          if wedp > cedp *. (1.0 +. 1e-9) then begin
+            Printf.eprintf "transfer: %s warm EDP %.6g worse than cold %.6g\n" n wedp cedp;
+            edp_ok := false
+          end;
+          Json.Obj
+            [
+              ("layer", Json.String n);
+              ("seeded", Json.Bool s);
+              ("cold_evaluated", Json.Int ce);
+              ("warm_evaluated", Json.Int we);
+              ("cold_edp", Json.Float cedp);
+              ("warm_edp", Json.Float wedp);
+            ])
+        cold warm
+    in
+    let reduction =
+      if cold_evals = 0 then 0.0
+      else 1.0 -. (float_of_int warm_evals /. float_of_int cold_evals)
+    in
+    Printf.printf
+      "transfer: %-10s %d layers, %d seeded; evaluated cold %d -> warm %d (%.1f%% fewer)\n%!"
+      name (List.length layers) seeded cold_evals warm_evals (100.0 *. reduction);
+    ( Json.Obj
+        [
+          ("layers", Json.Int (List.length layers));
+          ("seeded", Json.Int seeded);
+          ("cold_evaluated", Json.Int cold_evals);
+          ("warm_evaluated", Json.Int warm_evals);
+          ("reduction", Json.Float reduction);
+          ("per_layer", Json.List rows);
+        ],
+      reduction, !edp_ok )
+  in
+  let resnet, resnet_reduction, resnet_edp_ok = run_catalog "resnet18" "resnet18/" in
+  let inception, _, inception_edp_ok = run_catalog "inception" "inception/" in
+  let gate = 0.25 in
+  let pass = resnet_reduction >= gate && resnet_edp_ok && inception_edp_ok in
+  let out = "BENCH_transfer.json" in
+  let oc = open_out out in
+  output_string oc
+    (Json.to_string_pretty
+       (Json.Obj
+          [
+            ( "transfer",
+              Json.Obj
+                [
+                  ("arch", Json.String "simba_like");
+                  ("gate_reduction", Json.Float gate);
+                  ("resnet18", resnet);
+                  ("inception", inception);
+                  ("pass", Json.Bool pass);
+                ] );
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "transfer: wrote %s\n" out;
+  if not pass then begin
+    if resnet_reduction < gate then
+      Printf.eprintf "transfer: resnet18 reduction %.1f%% below the %.0f%% gate\n"
+        (100.0 *. resnet_reduction) (100.0 *. gate);
+    exit 1
+  end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let known = List.map fst Sun_experiments.Figures.all in
@@ -648,6 +772,7 @@ let () =
   | [ "telemetry" ] -> telemetry_bench ()
   | [ "evaluate" ] -> evaluate_bench ()
   | [ "lint" ] -> lint_bench ()
+  | [ "transfer" ] -> transfer_bench ()
   | [] -> List.iter (fun (name, driver) -> run_experiment name driver) Sun_experiments.Figures.all
   | names ->
     List.iter
@@ -657,7 +782,7 @@ let () =
         | None ->
           Printf.eprintf
             "unknown experiment %S; known: %s, 'micro', 'serve', 'serve-daemon', 'audit', \
-             'telemetry', 'evaluate' or 'lint'\n"
+             'telemetry', 'evaluate', 'lint' or 'transfer'\n"
             name
             (String.concat ", " known);
           exit 2)

@@ -222,6 +222,37 @@ if ! diff -u "$PARITY_TMP/memo-off.norm" "$PARITY_TMP/memo-on.norm"; then
 fi
 echo "memo parity: ok ($(wc -l <"$PARITY_TMP/memo-on.norm" | tr -d ' ') responses identical)"
 
+echo "== transfer-off parity (SUNSTONE_TRANSFER=off vs committed golden fixture)"
+# The warm-start kill switch must restore pre-transfer behavior exactly:
+# with SUNSTONE_TRANSFER=off the batch pipeline's responses are pinned
+# byte-identical (modulo wall_s) to the golden fixture generated before
+# the transfer subsystem existed. Any drift in the cold path — seeded
+# bounds, margins, refine changes leaking into unseeded searches — fails
+# here.
+set +e
+SUNSTONE_TRANSFER=off dune exec bin/sunstone_cli.exe -- batch \
+  -i test/fixtures/batch_mixed.jsonl \
+  -o "$PARITY_TMP/transfer-off.jsonl" --cache-dir "$PARITY_TMP/cache-transfer-off" --jobs 1 2>/dev/null
+set -e
+sed -E 's/"wall_s":[-+0-9.eE]+/"wall_s":0/g' "$PARITY_TMP/transfer-off.jsonl" >"$PARITY_TMP/transfer-off.norm"
+sed -E 's/"wall_s":[-+0-9.eE]+/"wall_s":0/g' test/fixtures/batch_mixed_expected.jsonl >"$PARITY_TMP/transfer-golden.norm"
+if ! diff -u "$PARITY_TMP/transfer-golden.norm" "$PARITY_TMP/transfer-off.norm"; then
+  echo "transfer-off parity: responses drifted from the pre-transfer golden fixture" >&2
+  exit 1
+fi
+echo "transfer-off parity: ok ($(wc -l <"$PARITY_TMP/transfer-off.norm" | tr -d ' ') responses identical)"
+
+echo "== bench transfer (warm >= 25% fewer evaluations, EDP equal-or-better per layer)"
+# Cold vs steady-state warm over the ResNet-18 and Inception-v3 catalogs.
+# The bench itself enforces the two acceptance gates (>= 25% fewer
+# mappings evaluated on ResNet-18, per-layer warm EDP never worse than
+# cold) and exits non-zero on either violation.
+dune exec bench/main.exe -- transfer
+if ! [ -s BENCH_transfer.json ]; then
+  echo "bench transfer: BENCH_transfer.json missing or empty" >&2
+  exit 1
+fi
+
 echo "== srclint SA063 scope (lib/cost in, lib/arch out)"
 # The hashtbl-order rule covers lib/serve and lib/cost. The same fixture
 # must trip the scoped scanner under a lib/cost path and pass under

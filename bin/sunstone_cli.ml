@@ -245,7 +245,12 @@ let batch_cmd =
       if summary.Sun_serve.Pipeline.errors > 0 then 1 else 0
   in
   Cmd.v
-    (Cmd.info "batch" ~doc:"Schedule a JSONL stream of requests through the mapping cache")
+    (Cmd.info "batch"
+       ~doc:
+         "Schedule a JSONL stream of requests through the mapping cache. Cache misses whose \
+          shape family has a cached member are warm-started from the nearest neighbor's \
+          mapping; set SUNSTONE_TRANSFER=off to disable transfer and reproduce cold searches \
+          exactly.")
     Term.(
       const run $ input_arg $ output_arg $ cache_dir_arg $ no_cache_arg $ jobs_arg $ beam_arg
       $ top_down_arg $ metrics_arg)
@@ -818,7 +823,9 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run a long-lived scheduling daemon: the batch pipeline behind a socket, with \
-          per-request deadlines, admission control and graceful drain on SIGTERM")
+          per-request deadlines, admission control and graceful drain on SIGTERM. Like batch, \
+          cache misses are warm-started from nearest-neighbor cached mappings of the same \
+          shape family (SUNSTONE_TRANSFER=off disables)")
     Term.(
       const run $ listen_arg $ cache_dir_arg $ no_cache_arg $ jobs_arg $ max_queue_arg $ beam_arg
       $ top_down_arg $ metrics_arg)

@@ -872,6 +872,80 @@ let energy_lower_bound_ctx ctx ~partial_levels m =
     ctx.operands;
   U.to_float !energy
 
+(* The seeded alpha-beta bound: like [energy_lower_bound_ctx] but (a) also
+   derives a bandwidth-cycles bound from the same boundary traffic and (b)
+   includes the boundary {e at} [partial_levels], not just those strictly
+   below it. Traffic at that boundary is computed with the uncommitted
+   upper temporal loops still at 1, and adding an outer iteration can only
+   re-stream a tile again (more traffic) or be absorbed by reuse (equal
+   traffic), never remove a fill — so the partial value lower-bounds every
+   completion's. The committed streaming reads are exact: the MAC count and
+   the committed unrolls fix them. Kept separate from the legacy bound so
+   unseeded searches stay bit-identical with earlier releases. *)
+let lower_bounds_ctx ctx ~partial_levels m =
+  let lay = convert_into ctx m in
+  let fs = ctx.fs in
+  let energy =
+    ref (U.charge (U.count ctx.macs) (U.rate ctx.arch.A.mac_energy : U.op U.rate U.t))
+  in
+  (* Instance-count upper bounds for the bandwidth side: spatial factors
+     at or below [partial_levels] are committed, every level above can
+     unroll at most its fanout. A partition's boundary traffic is shared
+     by at most this many copies, so [words / (bw x inst)] lower-bounds
+     the completed mapping's bandwidth cycles. Reuses the context's
+     [inst] scratch ([eval_core] reinitializes it each call). *)
+  let inst = ctx.inst in
+  inst.(ctx.nlevels - 1) <- 1.0;
+  for l = ctx.nlevels - 2 downto 0 do
+    let above =
+      if l + 1 <= partial_levels then float_of_int (spatial_product lay (l + 1))
+      else float_of_int ctx.levels.(l + 1).A.fanout
+    in
+    inst.(l) <- inst.(l + 1) *. above
+  done;
+  let bw_cycles = ref 0.0 in
+  let bump words (part : A.partition) l =
+    if part.A.bandwidth > 0.0 then begin
+      let c = words /. (part.A.bandwidth *. inst.(l)) in
+      if c > !bw_cycles then bw_cycles := c
+    end
+  in
+  Array.iter
+    (fun info ->
+      let storing = info.storing in
+      let nst = Array.length storing in
+      if nst > 0 && storing.(0) <= partial_levels then begin
+        let l0 = storing.(0) in
+        let { part; _ } = part_ref_at info l0 in
+        mac_streaming ctx lay info ~l0;
+        let reads = ctx.macs /. fs.f_denom in
+        let per_word : U.access U.rate U.t =
+          if info.is_output then U.(rate part.A.read_energy +: rate part.A.write_energy)
+          else U.rate part.A.read_energy
+        in
+        energy := U.(!energy +: charge (count reads) per_word);
+        bump reads part l0
+      end;
+      for i = 0 to nst - 2 do
+        let lc = storing.(i) and lp = storing.(i + 1) in
+        if lp <= partial_levels then begin
+          chain_pair ctx lay info ~lc ~lp;
+          let reads = fs.f_reads and fills = fs.f_fills in
+          let rp = part_ref_at info lp in
+          let rc = part_ref_at info lc in
+          let dir = if info.is_output then 2.0 else 1.0 in
+          energy :=
+            U.(
+              !energy
+              +: charge (count (dir *. reads)) (rate rp.part.A.read_energy)
+              +: charge (count (dir *. fills)) (rate rc.part.A.write_energy));
+          bump (dir *. reads) rp.part lp;
+          bump (dir *. fills) rc.part lc
+        end
+      done)
+    ctx.operands;
+  (U.to_float !energy, !bw_cycles)
+
 (* ------------------------------------------------------------------ *)
 (* Convenience wrappers                                                 *)
 (* ------------------------------------------------------------------ *)

@@ -101,6 +101,18 @@ val score_batch_ctx : ctx -> Sun_mapping.Mapping.t array -> (score, string) resu
     read after the fact. *)
 
 val energy_lower_bound_ctx : ctx -> partial_levels:int -> Sun_mapping.Mapping.t -> float
+
+val lower_bounds_ctx :
+  ctx -> partial_levels:int -> Sun_mapping.Mapping.t -> float * float
+(** [(energy, bandwidth_cycles)] lower bounds for a partial mapping whose
+    levels at or below [partial_levels] are committed. The energy member is
+    exactly [energy_lower_bound_ctx]. The cycles member divides each
+    committed boundary's traffic by its partition's bandwidth times an
+    {e upper} bound on that partition's instance count (committed spatial
+    unrolls at or below [partial_levels], full fanout above), so no
+    completion of the prefix can run in fewer bandwidth cycles. Used by the
+    seeded alpha-beta test ({!Sun_core.Optimizer.optimize}'s [?seed]). *)
+
 val level_fill_fraction_ctx : ctx -> Sun_mapping.Mapping.t -> level:int -> float
 
 val validate :

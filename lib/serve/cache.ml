@@ -7,7 +7,13 @@ type stats = {
   stores : int;
 }
 
-type entry = { value : Json.t; mutable last_use : int }
+type entry = {
+  value : Json.t;
+  mutable last_use : int;
+  family : (string * int array) option;
+      (** shape-family key and structural bounds parsed from the document's
+          ["family"]/["bounds"] fields, if present — feeds {!nearest} *)
+}
 
 type t = {
   capacity : int;
@@ -84,13 +90,36 @@ let evict_if_full t =
     | None -> ()
   end
 
+(* Family metadata is parsed once at insert time, so {!nearest} scans plain
+   entries instead of re-decoding JSON documents on every probe. Documents
+   without the fields (older formats, non-pipeline values) simply never
+   participate in neighbor selection. *)
+let family_of_doc value =
+  match (Json.member "family" value, Json.member "bounds" value) with
+  | Some (Json.String fam), Some (Json.List bs) -> (
+    let ints =
+      List.fold_left
+        (fun acc b -> match (acc, b) with Some l, Json.Int i -> Some (i :: l) | _ -> None)
+        (Some []) bs
+    in
+    match ints with
+    | Some l -> Some (fam, Array.of_list (List.rev l))
+    | None -> None)
+  | _ -> None
+
 let insert t key value =
   if not (Hashtbl.mem t.table key) then evict_if_full t;
   Hashtbl.remove t.table key;
-  let entry = { value; last_use = 0 } in
+  let entry = { value; last_use = 0; family = family_of_doc value } in
   Hashtbl.replace t.table key entry;
   touch t entry
 
+(* Disk entries are wrapped as [{"k":<exact key>,"d":<value>}]: [safe_key]
+   is lossy (it maps every non-alphanumeric char to '_'), so distinct keys
+   can share a file name. The exact key inside the document disambiguates —
+   a mismatch means the file belongs to a colliding key and this lookup
+   must miss, not return the other key's value. Mismatches and unwrapped
+   documents count under [corrupt], like any other unusable entry. *)
 let disk_lookup t key =
   match t.cache_dir with
   | None -> None
@@ -100,7 +129,15 @@ let disk_lookup t key =
     | None -> None
     | Some contents -> (
       match Json.of_string contents with
-      | Ok v -> Some v
+      | Ok (Json.Obj _ as doc) when Json.member "k" doc = Some (Json.String key) -> (
+        match Json.member "d" doc with
+        | Some v -> Some v
+        | None ->
+          t.corrupt <- t.corrupt + 1;
+          None)
+      | Ok _ ->
+        t.corrupt <- t.corrupt + 1;
+        None
       | Error _ ->
         t.corrupt <- t.corrupt + 1;
         None))
@@ -143,7 +180,8 @@ let persist t key value =
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
           (fun () ->
-            output_string oc (Json.to_string value);
+            output_string oc
+              (Json.to_string (Json.Obj [ ("k", Json.String key); ("d", value) ]));
             flush oc;
             Unix.fsync (Unix.descr_of_out_channel oc));
         Sys.rename tmp final
@@ -158,6 +196,38 @@ let store t key value =
   insert t key value;
   persist t key value;
   t.stores <- t.stores + 1
+
+(* Nearest family member by bound distance: sum of |ln(b/b')| over the
+   structural bound vectors, i.e. symmetric relative scaling per dim. A
+   read-only probe over the in-memory tier (disk entries join the index as
+   they are promoted by [find]): no stats, no LRU refresh — neighbor
+   probing must not perturb the hit/miss accounting the parity tests pin. *)
+let nearest_many ?exclude_bounds t ~family ~bounds ~k =
+  let narity = Array.length bounds in
+  let distance bs =
+    let acc = ref 0.0 in
+    for i = 0 to narity - 1 do
+      acc := !acc +. abs_float (log (float_of_int bounds.(i) /. float_of_int bs.(i)))
+    done;
+    !acc
+  in
+  let excluded bs = match exclude_bounds with Some ex -> ex = bs | None -> false in
+  let matches = ref [] in
+  (* sunstone-lint: allow SA063 scan sorted by a total (distance, key) order; iteration order cannot change the ranking *)
+  Hashtbl.iter
+    (fun key entry ->
+      match entry.family with
+      | Some (fam, bs) when fam = family && Array.length bs = narity && not (excluded bs) ->
+        matches := (distance bs, key, entry.value) :: !matches
+      | _ -> ())
+    t.table;
+  let sorted = List.sort (fun (d, key, _) (d', key', _) -> compare (d, key) (d', key')) !matches in
+  List.filteri (fun i _ -> i < k) (List.map (fun (_, _, v) -> v) sorted)
+
+let nearest ?exclude_bounds t ~family ~bounds =
+  match nearest_many ?exclude_bounds t ~family ~bounds ~k:1 with
+  | value :: _ -> Some value
+  | [] -> None
 
 let stats t =
   {

@@ -37,15 +37,10 @@ let canonical_renaming (w : W.t) =
   let sorted = List.sort compare signed in
   List.mapi (fun i (_, d) -> (d, Printf.sprintf "d%d" i)) sorted
 
-let canonical_workload (w : W.t) =
-  let rename = canonical_renaming w in
-  let name_of d = List.assoc d rename in
-  let buf = Buffer.create 128 in
-  Buffer.add_string buf "dims{";
-  List.iter
-    (fun (d, r) -> Buffer.add_string buf (Printf.sprintf "%s:%d;" r (W.bound w d)))
-    (List.sort (fun (_, a) (_, b) -> compare a b) rename);
-  Buffer.add_string buf "}ops{";
+(* Operand rendering shared by the canonical (bound-carrying) and the
+   structural (bound-free) forms; [name_of] supplies the dim renaming. *)
+let render_operands buf name_of (w : W.t) =
+  Buffer.add_string buf "ops{";
   List.iter
     (fun (op : W.operand) ->
       Buffer.add_string buf op.W.name;
@@ -65,7 +60,53 @@ let canonical_workload (w : W.t) =
         op.W.indices;
       Buffer.add_string buf "];")
     w.W.operands;
+  Buffer.add_char buf '}'
+
+let canonical_workload (w : W.t) =
+  let rename = canonical_renaming w in
+  let name_of d = List.assoc d rename in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "dims{";
+  List.iter
+    (fun (d, r) -> Buffer.add_string buf (Printf.sprintf "%s:%d;" r (W.bound w d)))
+    (List.sort (fun (_, a) (_, b) -> compare a b) rename);
   Buffer.add_char buf '}';
+  render_operands buf name_of w;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Structural form: the canonical form minus the bounds                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural ordering of the dims: primarily by the bound-free occurrence
+   signature (rename- and bound-invariant), then by bound, then by original
+   name. The bound tiebreak gives two workloads of the same shape family a
+   canonical position-by-position dim correspondence (smallest bound to
+   smallest bound within a tied group); the name tiebreak only separates
+   dims that are fully automorphic, where either order is equivalent. *)
+let structural_order (w : W.t) =
+  let keyed =
+    List.map (fun d -> ((snd (dim_signature w d), W.bound w d, d), d)) (W.dim_names w)
+  in
+  List.map snd (List.sort compare keyed)
+
+let structural_dims = structural_order
+
+let structural_bounds (w : W.t) =
+  Array.of_list (List.map (W.bound w) (structural_order w))
+
+let structural_workload (w : W.t) =
+  let rename = List.mapi (fun i d -> (d, Printf.sprintf "d%d" i)) (structural_order w) in
+  let name_of d = List.assoc d rename in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "dims{";
+  List.iter
+    (fun (_, r) ->
+      Buffer.add_string buf r;
+      Buffer.add_char buf ';')
+    rename;
+  Buffer.add_char buf '}';
+  render_operands buf name_of w;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -117,3 +158,7 @@ let config c = digest (render_config c)
 let request ?(config = Opt.default_config) w a =
   digest
     (String.concat "\n" [ canonical_workload w; render_arch a; render_config config ])
+
+let structural ?(config = Opt.default_config) w a =
+  digest
+    (String.concat "\n" [ structural_workload w; render_arch a; render_config config ])

@@ -46,3 +46,37 @@ val request :
   string
 (** Fingerprint of a full scheduling request; [?config] defaults to
     [Sun_core.Optimizer.default_config]. *)
+
+(** {2 Structural keys (shape families)}
+
+    The structural key is the canonical form {e minus the bounds}: two
+    workloads share it exactly when they differ only in dimension extents
+    (e.g. the conv layers of one network at different spatial sizes).
+    Changing any bound changes {!request} but never {!structural}, which is
+    what lets the cache index results by family and transfer a
+    nearest-neighbor mapping as a search seed ({!Transfer}).
+
+    Dims are put in a canonical {e structural order}: primarily by their
+    bound-free occurrence signature, with the bound as tiebreak among
+    structurally identical dims. Two family members therefore agree
+    position-by-position: position [i] of one workload's
+    {!structural_dims} corresponds to position [i] of the other's. *)
+
+val structural_workload : Sun_tensor.Workload.t -> string
+(** The bound-free canonical textual form (exposed for tests; the
+    {!structural} digest is computed over this string). *)
+
+val structural_dims : Sun_tensor.Workload.t -> Sun_tensor.Workload.dim list
+(** The workload's own dim names in structural order. *)
+
+val structural_bounds : Sun_tensor.Workload.t -> int array
+(** The dim bounds in structural order ([structural_dims] position-wise). *)
+
+val structural :
+  ?config:Sun_core.Optimizer.config ->
+  Sun_tensor.Workload.t ->
+  Sun_arch.Arch.t ->
+  string
+(** Family digest of a request: structural workload + architecture +
+    config. Same family implies same rank, same operand structure, same
+    arch and same search config — only the bounds may differ. *)

@@ -173,7 +173,11 @@ let parse_request ~config:base ~index line =
 type classified =
   | Final of outcome * Json.t * float  (** response ready; per-request wall seconds *)
   | Deferred of string  (** same fingerprint already dispatched; retry after it lands *)
-  | Dispatch of string option  (** needs compute; [Some fp] = cacheable search *)
+  | Dispatch of {
+      fp : string option;  (** [Some fp] = cacheable search *)
+      seed : Sun_mapping.Mapping.level_mapping list option;
+          (** transferred nearest-neighbor mapping for the optimizer *)
+    }
 
 let classify ?cache ?(in_flight = fun _ -> false) ~config ~index line =
   let timer = Sun_util.Stopwatch.start () in
@@ -186,10 +190,12 @@ let classify ?cache ?(in_flight = fun _ -> false) ~config ~index line =
         Sun_util.Stopwatch.elapsed_s timer )
   | Ok p -> (
     match p.eval_mapping with
-    | Some _ -> Dispatch None (* evaluations never touch the cache *)
+    | Some _ ->
+      Dispatch { fp = None; seed = None } (* evaluations never touch the cache *)
     | None -> (
       match cache with
-      | None -> Dispatch None (* caching disabled: every search computes *)
+      | None ->
+        Dispatch { fp = None; seed = None } (* caching disabled: every search computes *)
       | Some c ->
         if in_flight p.fingerprint then Deferred p.fingerprint
         else (
@@ -207,12 +213,19 @@ let classify ?cache ?(in_flight = fun _ -> false) ~config ~index line =
                   ~workload_name:p.workload_name ~arch_name:p.arch_name ~mapping_json ~cost_json
                   ~cost ~wall_s:(Sun_util.Stopwatch.elapsed_s timer),
                 Sun_util.Stopwatch.elapsed_s timer )
-          | None -> Dispatch (Some p.fingerprint))))
+          | None ->
+            (* miss: try to warm-start from the nearest cached family
+               member (parent-side — workers never see the cache) *)
+            Dispatch
+              {
+                fp = Some p.fingerprint;
+                seed = Transfer.find_seed ~cache:c ~config:p.config p.w p.a;
+              })))
 
 (* Phase 2 (worker side, or inline when [jobs <= 1]): the actual search or
    evaluation. Never consults the cache; instead returns the document the
    parent should store, keeping the parent the single cache writer. *)
-let compute ~config ~index line =
+let compute ?seed ~config ~index line =
   let timer = Sun_util.Stopwatch.start () in
   let line_no = index + 1 in
   match parse_request ~config ~index line with
@@ -249,7 +262,9 @@ let compute ~config ~index line =
              None ))
     | None ->
       finish
-        (match Tel.span "serve.compute_s" (fun () -> Opt.optimize ~config:p.config p.w p.a) with
+        (match
+           Tel.span "serve.compute_s" (fun () -> Opt.optimize ~config:p.config ?seed p.w p.a)
+         with
         | Error msg -> Error (Printf.sprintf "no valid mapping: %s" msg, [])
         | Ok r ->
           (* Response gate: re-check legality, re-derive the cost (SA037 on
@@ -278,8 +293,11 @@ let compute ~config ~index line =
           let mapping_json = Codec.encode_mapping r.Opt.mapping in
           let cost_json = Codec.encode_cost r.Opt.cost in
           let doc =
+            (* family/bounds/sdims make the stored document self-describing
+               for the cache's shape-family index ({!Transfer}) *)
             Json.Obj
-              [ ("v", Json.Int Codec.version); ("mapping", mapping_json); ("cost", cost_json) ]
+              ([ ("v", Json.Int Codec.version); ("mapping", mapping_json); ("cost", cost_json) ]
+              @ Transfer.family_fields ~config:p.config p.w p.a)
           in
           Ok
             ( Computed,
@@ -351,8 +369,14 @@ let run_sequential ?cache ~config cnt ic oc =
         let outcome, response, wall =
           match classify ?cache ~config ~index:idx line with
           | Final (outcome, response, wall) -> (outcome, response, wall)
-          | Deferred _ | Dispatch _ ->
+          | Deferred _ ->
+            (* unreachable sequentially (no in_flight), but compute is the
+               right fallback either way *)
             let outcome, response, store, wall = compute ~config ~index:idx line in
+            store_if ?cache store;
+            (outcome, response, wall)
+          | Dispatch { seed; _ } ->
+            let outcome, response, store, wall = compute ?seed ~config ~index:idx line in
             store_if ?cache store;
             (outcome, response, wall)
         in
@@ -402,10 +426,10 @@ let crash_error_response ~index ~line msg =
    with the result; the parent merges it on receipt. A crashed attempt's
    counts die with the process, so a retried job is counted exactly once —
    keeping jobs-N totals equal to jobs-1. *)
-let worker ~config (index, line) =
+let worker ~config (index, line, seed) =
   worker_crash_hooks line;
   if Tel.enabled () then Tel.reset ();
-  let outcome, response, store, wall = compute ~config ~index line in
+  let outcome, response, store, wall = compute ?seed ~config ~index line in
   let tel = if Tel.enabled () then Some (Tel.snapshot ()) else None in
   (outcome, Json.to_string response, store, wall, tel)
 
@@ -475,10 +499,10 @@ let run_parallel ?cache ~config ~jobs cnt ic oc =
           q
       in
       Queue.add (seq, idx, line) q
-    | Dispatch fp ->
+    | Dispatch { fp; seed } ->
       (match fp with Some fp -> Hashtbl.replace in_flight_fp fp () | None -> ());
       Hashtbl.replace dispatched seq (idx, line, fp);
-      Parpool.submit pool ~key:seq (idx, line)
+      Parpool.submit pool ~key:seq (idx, line, seed)
   in
   (* When a search lands, everything deferred on its fingerprint gets
      re-classified: normally a cache hit now, or a fresh dispatch if the

